@@ -1,0 +1,59 @@
+"""Ablation: BISP vs demand-driven (QubiC-style) vs lock-step.
+
+Isolates the value of the *booking* (hoisting) idea: demand-driven sync
+is BISP without the booking lead, so the BISP-vs-demand gap is exactly
+the hidden communication latency (Insight #1).
+"""
+
+from repro.circuits import build_logical_t
+from repro.compiler import run_circuit
+from repro.harness.tables import format_table
+from repro.quantum import build_long_range_cnot_circuit
+
+
+def test_ablation_three_schemes(benchmark):
+    def run():
+        rows = []
+        for name, circuit, mesh in (
+                ("long_range_cnot_d9",
+                 build_long_range_cnot_circuit(9), "line"),
+                ("logical_t_d3x2",
+                 build_logical_t(3, parallel_pairs=2), "interaction")):
+            times = {}
+            for scheme in ("bisp", "demand", "lockstep"):
+                result = run_circuit(circuit, scheme=scheme,
+                                     mesh_kind=mesh,
+                                     record_gate_log=False)
+                times[scheme] = result.makespan_cycles
+            rows.append((name, times["bisp"], times["demand"],
+                         times["lockstep"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Sync-scheme ablation (cycles) ===")
+    print(format_table(["workload", "BISP", "demand-driven", "lock-step"],
+                       rows))
+    for name, bisp, demand, lockstep in rows:
+        assert bisp <= demand <= lockstep * 2  # booking only helps
+
+
+def test_ablation_booking_value_grows_with_work(benchmark):
+    """More deterministic work before a sync -> more hidden latency."""
+    from repro.isa.assembler import assemble
+    from repro.sim import ControlSystem
+
+    def run():
+        out = []
+        for lead in (0, 4, 8, 16, 32):
+            system = ControlSystem(2, mesh_kind="line")
+            for address in (0, 1):
+                src = "waiti 10\nsync {}\nwaiti {}\ncw.i.i 0,1\nhalt".format(
+                    1 - address, max(lead, 4))
+                system.load_program(address, assemble(src))
+            system.run()
+            out.append((lead,
+                        system.telf.emissions("C0")[0].time))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nbooking lead -> synchronized task time:", rows)

@@ -1,0 +1,75 @@
+"""Ablations: router fan-out, baseline broadcast latency, queue depth."""
+
+from repro.circuits import build_bv
+from repro.circuits.dynamic import to_dynamic
+from repro.compiler import run_circuit
+from repro.harness.tables import format_table
+from repro.sim.config import SimulationConfig
+
+
+def test_ablation_router_fanout(benchmark):
+    """Deeper trees (small fan-out) raise region-sync and message cost."""
+    circuit = to_dynamic(build_bv(40), substitution_fraction=0.3)
+
+    def run():
+        rows = []
+        for fanout in (2, 4, 8, 16):
+            config = SimulationConfig(router_fanout=fanout)
+            result = run_circuit(circuit, scheme="bisp", config=config,
+                                 record_gate_log=False)
+            rows.append((fanout, result.makespan_cycles))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Router fan-out ablation (bv_n40 dynamic) ===")
+    print(format_table(["fan-out", "BISP makespan (cycles)"], rows))
+    assert rows[0][1] >= rows[-1][1]  # flatter tree never slower
+
+
+def test_ablation_baseline_broadcast_latency(benchmark):
+    """Figure 15's bv anomaly: the lock-step baseline assumes a constant
+    broadcast latency; sweeping it shows where BISP's tree-routed
+    messages lose to an (unrealistically) fast central broadcast."""
+    circuit = to_dynamic(build_bv(40), substitution_fraction=0.3)
+
+    def run():
+        rows = []
+        for broadcast in (5, 25, 50, 100):
+            config = SimulationConfig(baseline_broadcast_cycles=broadcast)
+            bisp = run_circuit(circuit, scheme="bisp", config=config,
+                               record_gate_log=False).makespan_cycles
+            lockstep = run_circuit(circuit, scheme="lockstep",
+                                   config=config,
+                                   record_gate_log=False).makespan_cycles
+            rows.append((broadcast, bisp, lockstep,
+                         "{:.3f}".format(bisp / lockstep)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Baseline broadcast-latency ablation (bv_n40) ===")
+    print(format_table(["broadcast (cycles)", "BISP", "lock-step",
+                        "normalized"], rows))
+    normalized = [float(r[3]) for r in rows]
+    assert normalized == sorted(normalized, reverse=True)
+
+
+def test_ablation_event_queue_depth(benchmark):
+    """Shallow event queues stall the pipeline but never break timing."""
+    from repro.circuits import build_ghz
+
+    def run():
+        rows = []
+        for depth in (2, 8, 1024):
+            config = SimulationConfig(event_queue_depth=depth)
+            result = run_circuit(build_ghz(8), scheme="bisp",
+                                 config=config, record_gate_log=False)
+            rows.append((depth, result.makespan_cycles,
+                         result.stats.timing_violations))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Event-queue depth ablation (ghz_n8) ===")
+    print(format_table(["depth", "makespan", "violations"], rows))
+    makespans = {r[1] for r in rows}
+    assert len(makespans) == 1  # queue pressure must not shift timing
+    assert all(r[2] == 0 for r in rows)

@@ -1,0 +1,22 @@
+"""Figure 16: infidelity vs relaxation time for the long-range CNOT."""
+
+from repro.harness.figures import T1_SWEEP_US, figure16_sweep
+from repro.harness.tables import render_figure16
+
+
+def test_fig16_infidelity_sweep(benchmark):
+    data = benchmark.pedantic(figure16_sweep, kwargs={
+        "distance": 41, "t1_values_us": T1_SWEEP_US},
+        rounds=1, iterations=1)
+    print("\n=== Figure 16 ===")
+    print(render_figure16(data["t1_values_us"], data["baseline"],
+                          data["hisq"]))
+    print("makespans:", data["makespans"])
+    ratios = list(data["reduction_ratio"].values())
+    # Shape: several-fold, roughly T1-independent reduction (paper: ~5x).
+    assert min(ratios) > 3.0
+    assert max(ratios) / min(ratios) < 1.2
+    # Infidelity decreases with T1 for both schemes.
+    sweep = data["baseline"]
+    t1s = data["t1_values_us"]
+    assert all(sweep[a] > sweep[b] for a, b in zip(t1s, t1s[1:]))

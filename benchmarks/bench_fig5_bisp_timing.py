@@ -1,0 +1,24 @@
+"""Figure 5: BISP nearby/remote synchronization timing diagrams."""
+
+from repro.harness.figures import figure5_nearby, figure7_overhead_sweep
+from repro.sync.analysis import Participant, timing_diagram
+
+
+def test_fig5a_nearby_zero_overhead(benchmark):
+    result = benchmark(figure5_nearby, 30)
+    print("\n=== Figure 5(a): nearby synchronization ===")
+    print(result)
+    assert result["aligned"] == 1
+    assert result["simulated_overhead"] == 0
+
+
+def test_fig5b_remote_zero_overhead(benchmark):
+    def run():
+        return figure7_overhead_sweep([40])
+
+    rows = benchmark(run)
+    (lead, simulated, analytic), = rows
+    print("\n=== Figure 5(b): remote synchronization, lead=40 ===")
+    parts = [Participant(b, 40, 18) for b in (10, 25, 60)]
+    print(timing_diagram(parts, ["C0", "C1", "C2"]))
+    assert simulated == analytic == 0

@@ -1,0 +1,20 @@
+"""Figure 7: synchronization overhead vs booking lead (zero-cycle cond.)."""
+
+from repro.harness.figures import figure7_overhead_sweep
+from repro.harness.tables import format_table
+
+
+def test_fig7_overhead_sweep(benchmark):
+    leads = [0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 32]
+    rows = benchmark(figure7_overhead_sweep, leads)
+    print("\n=== Figure 7: overhead = max(0, L - D) ===")
+    print(format_table(["booking lead D", "simulated overhead",
+                        "analytic overhead"], rows))
+    for lead, simulated, analytic in rows:
+        assert simulated == analytic
+    # Overhead decreases monotonically and hits exactly zero once the
+    # lead covers the booking round trip (section 4.4).
+    overheads = [r[1] for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[-1] == 0
+    assert overheads[0] > 0

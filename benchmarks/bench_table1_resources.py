@@ -1,0 +1,50 @@
+"""Table 1: FPGA resource consumption of HISQ boards."""
+
+from repro.hardware.resources import (CONTROL_BOARD, READOUT_BOARD,
+                                      board_cost, custom_board,
+                                      event_queue_cost)
+from repro.harness.tables import render_table1
+
+
+def test_table1_reproduction(benchmark):
+    table = benchmark(render_table1)
+    print("\n=== Table 1 (reproduced) ===")
+    print(table)
+    assert "4155" in table and "2435" in table
+
+
+def test_table1_values_match_paper(benchmark):
+    def compute():
+        return board_cost(CONTROL_BOARD), board_cost(READOUT_BOARD)
+
+    control, readout = benchmark(compute)
+    assert (round(control.luts), round(control.brams, 1),
+            round(control.ffs)) == (4155, 75.0, 6392)
+    assert (round(readout.luts), round(readout.brams, 1),
+            round(readout.ffs)) == (2435, 45.0, 3192)
+
+
+def test_ablation_queue_depth_sweep(benchmark):
+    """Resource-model ablation: BRAM scales with event-queue depth."""
+    def sweep():
+        return [(depth, board_cost(CONTROL_BOARD,
+                                   queue_depth=depth).brams)
+                for depth in (256, 512, 1024, 2048, 4096)]
+
+    rows = benchmark(sweep)
+    print("\nqueue-depth -> control-board BRAM blocks:", rows)
+    brams = [b for _, b in rows]
+    assert brams == sorted(brams)
+
+
+def test_ablation_channel_count_sweep(benchmark):
+    """LUTs grow linearly with channel count (one event queue each)."""
+    def sweep():
+        return [(ch, board_cost(custom_board("x", ch)).luts)
+                for ch in (8, 16, 28, 56)]
+
+    rows = benchmark(sweep)
+    deltas = [b[1] - a[1] for a, b in zip(rows, rows[1:])]
+    per_channel = event_queue_cost().luts
+    assert all(abs(d / (b[0] - a[0]) - per_channel) < 1e-6
+               for d, (a, b) in zip(deltas, zip(rows, rows[1:])))

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+``REPRO_SCALE`` (default 0.15) scales the Figure-15 workload sizes so the
+benchmark suite completes in minutes; set ``REPRO_SCALE=1.0`` to run the
+paper's full sizes (adder_n1153, qft_n300, ... — a few minutes per
+workload).  Results are printed so the regenerated tables/figures appear
+in the benchmark log.
+"""
+
+import os
+
+import pytest
+
+
+def repro_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return repro_scale()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Logical-T-gate QEC workload: simultaneous feedback (section 2.1.2).
+
+Builds lattice-surgery logical-T circuits with 1..4 concurrent
+(data, magic) patch pairs and compares BISP against the lock-step
+baseline.  With one pair the two schemes are close; as independent T
+gates run concurrently, lock-step serializes their conditional logical-S
+sub-circuits (Figure 2b) while Distributed-HISQ overlaps them.
+
+Run:  python examples/logical_t_qec.py
+"""
+
+from repro.circuits import build_logical_t
+from repro.compiler import run_circuit
+from repro.harness.tables import format_table
+
+
+def main():
+    rows = []
+    for pairs in (1, 2, 3, 4):
+        circuit = build_logical_t(distance=5, parallel_pairs=pairs)
+        times = {}
+        for scheme in ("bisp", "lockstep"):
+            result = run_circuit(circuit, scheme=scheme,
+                                 mesh_kind="interaction",
+                                 record_gate_log=False)
+            times[scheme] = result.makespan_cycles
+            assert result.system.device.gate_skew_events == 0
+        rows.append((pairs, circuit.num_qubits, times["bisp"],
+                     times["lockstep"],
+                     "{:.2f}".format(times["bisp"] / times["lockstep"])))
+    print(format_table(
+        ["parallel T gates", "qubits", "BISP (cycles)",
+         "lock-step (cycles)", "normalized"], rows))
+    print("\nLock-step cost grows ~linearly with concurrent feedback; "
+          "BISP stays ~flat\n(the paper's simultaneous-feedback argument, "
+          "sections 2.1.2 and 6.4.2).")
+
+
+if __name__ == "__main__":
+    main()

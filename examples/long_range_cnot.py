@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Long-range CNOT via dynamic circuits (Figure 14) across the full stack.
+
+Compares the teleportation-based long-range CNOT against the SWAP-ladder
+baseline at increasing distances: circuit depth, control-plane execution
+time under BISP vs lock-step, and logical correctness (the distributed
+execution must produce a perfect Bell pair between the endpoints).
+
+Run:  python examples/long_range_cnot.py
+"""
+
+from repro.compiler import run_circuit
+from repro.harness.tables import format_table
+from repro.quantum import (build_long_range_cnot_circuit,
+                           build_swap_cnot_circuit)
+from repro.quantum.statevector import StatevectorBackend
+
+
+def main():
+    rows = []
+    for distance in (3, 5, 7, 9):
+        dynamic = build_long_range_cnot_circuit(distance)
+        swap = build_swap_cnot_circuit(distance)
+
+        # Verify logical correctness through the distributed control plane.
+        backend = StatevectorBackend(distance + 1, seed=distance)
+        result = run_circuit(dynamic, scheme="bisp", backend=backend,
+                             device_seed=distance)
+        assert result.system.device.gate_skew_events == 0
+        p_control = backend.probability_one(0)
+        correlated = backend.measure(0) == backend.measure(distance)
+        assert abs(p_control - 0.5) < 1e-9 and correlated
+
+        baseline = run_circuit(dynamic, scheme="lockstep",
+                               device_seed=distance)
+        rows.append((
+            distance, dynamic.depth(), swap.depth(),
+            result.makespan_cycles, baseline.makespan_cycles,
+            "{:.2f}x".format(baseline.makespan_cycles /
+                             result.makespan_cycles),
+            "OK" if correlated else "FAIL"))
+
+    print(format_table(
+        ["distance", "dyn depth", "swap depth", "BISP cycles",
+         "lock-step cycles", "speedup", "Bell pair"], rows))
+    print("\nDynamic-circuit depth stays ~constant while the SWAP ladder "
+          "grows linearly (Figure 14);\nBISP beats lock-step on the "
+          "feedback-heavy dynamic version at every distance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Analog front end + qubit physics (calibration experiments, Figure 11)."""
+
+from .acquisition import AcquisitionRecord, AcquisitionUnit
+from .awg import (AWGChannel, ExcitePlusAcquire, PlayPulse, PlayedPulse,
+                  SetFrequency, SetPhase)
+from .experiments import (AnalogControlSystem, CalibrationBench,
+                          ExperimentResult, run_all)
+from .fitting import (CircleFit, ExponentialFit, LorentzianFit, RabiFit,
+                      fit_circle, fit_exponential_decay, fit_lorentzian,
+                      fit_rabi)
+from .qubit_physics import QubitModel
+from .waveforms import (NCO, gaussian_envelope, iq_demodulate, iq_modulate,
+                        square_envelope)
+
+__all__ = [
+    "AWGChannel", "AcquisitionRecord", "AcquisitionUnit",
+    "AnalogControlSystem", "CalibrationBench", "CircleFit",
+    "ExcitePlusAcquire", "ExperimentResult", "ExponentialFit",
+    "LorentzianFit", "NCO", "PlayPulse", "PlayedPulse", "QubitModel",
+    "RabiFit", "SetFrequency", "SetPhase", "fit_circle",
+    "fit_exponential_decay", "fit_lorentzian", "fit_rabi",
+    "gaussian_envelope", "iq_demodulate", "iq_modulate", "run_all",
+    "square_envelope",
+]

@@ -1,0 +1,136 @@
+"""Curve fitting for the calibration experiments (scipy-based)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LorentzianFit:
+    """Result of a spectroscopy fit: P(f) = A w^2/((f-f0)^2 + w^2) + c."""
+
+    center_ghz: float
+    width_ghz: float
+    amplitude: float
+    offset: float
+
+
+def fit_lorentzian(frequencies_ghz: Sequence[float],
+                   response: Sequence[float]) -> LorentzianFit:
+    """Fit a Lorentzian resonance (Figure 11b)."""
+    f = np.asarray(frequencies_ghz, dtype=float)
+    y = np.asarray(response, dtype=float)
+    if len(f) < 4:
+        raise CalibrationError("need at least 4 spectroscopy points")
+    guess = (f[int(np.argmax(y))], (f[-1] - f[0]) / 10.0,
+             float(y.max() - y.min()), float(y.min()))
+
+    def model(x, f0, w, a, c):
+        return a * w ** 2 / ((x - f0) ** 2 + w ** 2) + c
+
+    try:
+        popt, _ = optimize.curve_fit(model, f, y, p0=guess, maxfev=20000)
+    except RuntimeError as err:
+        raise CalibrationError("lorentzian fit failed: {}".format(err))
+    return LorentzianFit(center_ghz=float(popt[0]),
+                         width_ghz=abs(float(popt[1])),
+                         amplitude=float(popt[2]), offset=float(popt[3]))
+
+
+@dataclass(frozen=True)
+class RabiFit:
+    """Result of an amplitude-Rabi fit: P(a) = A sin^2(pi a / (2 a_pi)) + c."""
+
+    pi_amplitude: float
+    amplitude: float
+    offset: float
+
+
+def fit_rabi(amplitudes: Sequence[float],
+             response: Sequence[float]) -> RabiFit:
+    """Fit a Rabi oscillation vs drive amplitude (Figure 11c)."""
+    a = np.asarray(amplitudes, dtype=float)
+    y = np.asarray(response, dtype=float)
+    if len(a) < 6:
+        raise CalibrationError("need at least 6 Rabi points")
+    # Estimate the period from the dominant FFT component.
+    detrended = y - y.mean()
+    freqs = np.fft.rfftfreq(len(a), d=(a[1] - a[0]))
+    spectrum = np.abs(np.fft.rfft(detrended))
+    peak = int(np.argmax(spectrum[1:])) + 1
+    guess_api = 1.0 / (2.0 * freqs[peak]) if freqs[peak] > 0 else a[-1] / 2
+
+    def model(x, a_pi, amp, c):
+        return amp * np.sin(math.pi * x / (2.0 * a_pi)) ** 2 + c
+
+    try:
+        popt, _ = optimize.curve_fit(
+            model, a, y, p0=(guess_api, float(y.max() - y.min()),
+                             float(y.min())), maxfev=20000)
+    except RuntimeError as err:
+        raise CalibrationError("rabi fit failed: {}".format(err))
+    return RabiFit(pi_amplitude=abs(float(popt[0])),
+                   amplitude=float(popt[1]), offset=float(popt[2]))
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Result of a T1 fit: P(t) = A exp(-t / T1) + c."""
+
+    t1_us: float
+    amplitude: float
+    offset: float
+
+
+def fit_exponential_decay(delays_ns: Sequence[float],
+                          response: Sequence[float]) -> ExponentialFit:
+    """Fit exponential relaxation (Figure 11d)."""
+    t = np.asarray(delays_ns, dtype=float)
+    y = np.asarray(response, dtype=float)
+    if len(t) < 4:
+        raise CalibrationError("need at least 4 T1 points")
+
+    def model(x, t1_ns, amp, c):
+        return amp * np.exp(-x / t1_ns) + c
+
+    try:
+        popt, _ = optimize.curve_fit(
+            model, t, y, p0=(t.max() / 2.0, float(y[0] - y[-1]),
+                             float(y[-1])), maxfev=20000)
+    except RuntimeError as err:
+        raise CalibrationError("T1 fit failed: {}".format(err))
+    return ExponentialFit(t1_us=abs(float(popt[0])) / 1000.0,
+                          amplitude=float(popt[1]), offset=float(popt[2]))
+
+
+@dataclass(frozen=True)
+class CircleFit:
+    """Result of fitting a circle to IQ points (Figure 11a)."""
+
+    center: complex
+    radius: float
+    rms_deviation: float
+
+
+def fit_circle(points: Sequence[complex]) -> CircleFit:
+    """Least-squares circle through IQ points; rms radial deviation."""
+    z = np.asarray(points, dtype=complex)
+    if len(z) < 3:
+        raise CalibrationError("need at least 3 IQ points")
+    x, y = z.real, z.imag
+    # Linear least squares for x^2+y^2 + D x + E y + F = 0.
+    a_matrix = np.column_stack([x, y, np.ones_like(x)])
+    b_vec = -(x ** 2 + y ** 2)
+    (d, e, f_coef), *_ = np.linalg.lstsq(a_matrix, b_vec, rcond=None)
+    center = complex(-d / 2.0, -e / 2.0)
+    radius = math.sqrt(max(abs(center) ** 2 - f_coef, 0.0))
+    deviations = np.abs(np.abs(z - center) - radius)
+    return CircleFit(center=center, radius=float(radius),
+                     rms_deviation=float(np.sqrt(np.mean(deviations ** 2))))

@@ -1,0 +1,88 @@
+"""Closed-form superconducting-qubit response models.
+
+The calibration experiments of Figure 11 characterize control of signal
+phase, frequency, amplitude, timing and envelope.  These models give the
+physical response that the control stack's pulses elicit:
+
+* driven two-level dynamics (Rabi's formula) for spectroscopy and
+  amplitude calibration,
+* exponential energy relaxation (T1),
+* dispersive readout: the integrated IQ point depends on the qubit state
+  and the excitation phase, with a small interference contribution from
+  neighbor qubits on the shared feedline (the paper's "deviation from an
+  ideal circle").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class QubitModel:
+    """Static parameters of one simulated qubit (paper section 6.2 ranges)."""
+
+    frequency_ghz: float = 4.62
+    readout_frequency_ghz: float = 6.38
+    t1_us: float = 9.9
+    t2_us: float = 7.0
+    #: Rabi frequency per unit drive amplitude (MHz).
+    rabi_mhz_per_amp: float = 12.5
+    #: IQ centers for ground/excited dispersive readout.
+    iq_ground: complex = 1.0 + 0.0j
+    iq_excited: complex = -0.6 + 0.8j
+    #: Relative magnitude of neighbor-qubit feedline interference.
+    feedline_interference: float = 0.06
+    #: Harmonic of the excitation phase at which interference enters.
+    interference_harmonic: int = 3
+    readout_noise: float = 0.02
+
+    def rabi_probability(self, amplitude: float, duration_ns: float,
+                         drive_frequency_ghz: Optional[float] = None
+                         ) -> float:
+        """Excited-state probability after a drive pulse (Rabi's formula).
+
+        P = (Omega^2 / (Omega^2 + Delta^2)) sin^2(sqrt(Omega^2+Delta^2) t/2)
+        """
+        omega = 2 * math.pi * self.rabi_mhz_per_amp * amplitude * 1e-3  # rad/ns
+        drive = (drive_frequency_ghz if drive_frequency_ghz is not None
+                 else self.frequency_ghz)
+        delta = 2 * math.pi * (drive - self.frequency_ghz)  # rad/ns
+        total = math.hypot(omega, delta)
+        if total == 0.0:
+            return 0.0
+        contrast = (omega / total) ** 2
+        return contrast * math.sin(total * duration_ns / 2.0) ** 2
+
+    def t1_decay(self, p_excited: float, delay_ns: float) -> float:
+        """Excited-state probability after free evolution of ``delay_ns``."""
+        return p_excited * math.exp(-delay_ns / (self.t1_us * 1000.0))
+
+    def readout_iq(self, p_excited: float, excitation_phase_rad: float,
+                   rng: Optional[np.random.Generator] = None,
+                   sample_state: bool = True) -> Tuple[complex, int]:
+        """Integrated IQ response to a measurement excitation.
+
+        The response rotates with the excitation phase (Figure 11a's
+        circle); neighbor qubits on the same feedline add a small
+        phase-dependent distortion.  Returns (iq_point, sampled_state).
+        """
+        rng = rng or np.random.default_rng()
+        state = int(rng.random() < p_excited) if sample_state else 0
+        center = self.iq_excited if state else self.iq_ground
+        rotation = np.exp(1j * excitation_phase_rad)
+        interference = self.feedline_interference * np.exp(
+            1j * self.interference_harmonic * excitation_phase_rad)
+        noise = (rng.normal(0.0, self.readout_noise) +
+                 1j * rng.normal(0.0, self.readout_noise))
+        return complex(center * rotation + interference + noise), state
+
+    def discriminate(self, iq_point: complex) -> int:
+        """Threshold an IQ point against the ground/excited centers."""
+        d0 = abs(iq_point - self.iq_ground)
+        d1 = abs(iq_point - self.iq_excited)
+        return int(d1 < d0)

@@ -1,0 +1,80 @@
+"""Waveform primitives: envelopes, NCO, IQ (de)modulation.
+
+These model the analog part of the boards (section 2.2): an AWG channel
+plays an envelope, optionally IQ-modulated onto an intermediate frequency
+from a numerically controlled oscillator (NCO); the readout chain
+demodulates and integrates the returned signal into one IQ point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: AWG sample rate (GS/s) — 1 ns per sample keeps arithmetic simple.
+SAMPLE_RATE_GSPS = 1.0
+
+
+def gaussian_envelope(duration_ns: float, sigma_ns: Optional[float] = None,
+                      amplitude: float = 1.0) -> np.ndarray:
+    """Truncated Gaussian envelope sampled at 1 GS/s."""
+    if duration_ns <= 0:
+        raise ReproError("duration must be positive")
+    sigma_ns = sigma_ns if sigma_ns is not None else duration_ns / 4.0
+    n = int(round(duration_ns * SAMPLE_RATE_GSPS))
+    t = np.arange(n) - (n - 1) / 2.0
+    return amplitude * np.exp(-0.5 * (t / (sigma_ns * SAMPLE_RATE_GSPS)) ** 2)
+
+
+def square_envelope(duration_ns: float, amplitude: float = 1.0,
+                    rise_ns: float = 0.0) -> np.ndarray:
+    """Square (flux-pulse style) envelope with optional linear rise/fall."""
+    if duration_ns <= 0:
+        raise ReproError("duration must be positive")
+    n = int(round(duration_ns * SAMPLE_RATE_GSPS))
+    out = np.full(n, amplitude, dtype=float)
+    rise = int(round(rise_ns * SAMPLE_RATE_GSPS))
+    if rise > 0:
+        ramp = np.linspace(0.0, amplitude, rise, endpoint=False)
+        out[:rise] = ramp
+        out[n - rise:] = ramp[::-1]
+    return out
+
+
+class NCO:
+    """Numerically controlled oscillator with settable frequency and phase."""
+
+    def __init__(self, frequency_ghz: float = 0.0, phase_rad: float = 0.0):
+        self.frequency_ghz = frequency_ghz
+        self.phase_rad = phase_rad
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        self.frequency_ghz = frequency_ghz
+
+    def set_phase(self, phase_rad: float) -> None:
+        self.phase_rad = phase_rad % (2 * math.pi)
+
+    def samples(self, num: int, start_ns: float = 0.0) -> np.ndarray:
+        """Complex carrier e^{i(2 pi f t + phi)} at 1 GS/s."""
+        t = start_ns + np.arange(num) / SAMPLE_RATE_GSPS
+        return np.exp(1j * (2 * math.pi * self.frequency_ghz * t +
+                            self.phase_rad))
+
+
+def iq_modulate(envelope: np.ndarray, nco: NCO,
+                start_ns: float = 0.0) -> np.ndarray:
+    """Upconvert a real envelope with the NCO carrier (complex output)."""
+    return envelope * nco.samples(len(envelope), start_ns)
+
+
+def iq_demodulate(signal: np.ndarray, nco: NCO,
+                  start_ns: float = 0.0) -> complex:
+    """Digital downconversion + integration to one IQ point."""
+    if len(signal) == 0:
+        raise ReproError("empty acquisition window")
+    reference = np.conj(nco.samples(len(signal), start_ns))
+    return complex(np.mean(signal * reference))

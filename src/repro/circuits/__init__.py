@@ -1,0 +1,19 @@
+"""Benchmark circuit generators (QASMBench-style families + QEC)."""
+
+from .adder import build_adder, register_size
+from .bv import build_bv, secret_of
+from .dynamic import (cnot_distance_histogram, count_feedback_ops,
+                      decompose_to_native, to_dynamic)
+from .ghz import build_ghz
+from .logical_t import build_logical_t, build_named
+from .qft import build_qft
+from .surface_code import SurfacePatch, build_memory_experiment, build_patch
+from .w_state import build_w_state
+
+__all__ = [
+    "SurfacePatch", "build_adder", "build_bv", "build_ghz",
+    "build_logical_t", "build_memory_experiment", "build_named",
+    "build_patch", "build_qft", "build_w_state",
+    "cnot_distance_histogram", "count_feedback_ops", "decompose_to_native",
+    "register_size", "secret_of", "to_dynamic",
+]

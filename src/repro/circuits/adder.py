@@ -1,0 +1,100 @@
+"""Ripple-carry adder benchmark family (adder_n577, adder_n1153).
+
+Cuccaro/CDKM ripple-carry adder: for ``k``-bit operands the circuit uses
+``2k + 2`` qubits (a carry-in ancilla, interleaved ``a``/``b`` registers
+and a carry-out), hence the paper's sizes: n = 577 -> k = 287 does not fit
+2k+2; QASMBench's adder_nN convention is N total qubits with k = (N-2)/2
+when N is even and k = (N-1)/2 with the carry-out dropped when N is odd
+(577 = 2*288 + 1, 1153 = 2*576 + 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """MAJ block of the CDKM adder (Toffoli decomposed to the native set)."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    _toffoli(circuit, c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """UMA (2-CNOT version) block of the CDKM adder."""
+    _toffoli(circuit, c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def _toffoli(circuit: QuantumCircuit, a: int, b: int, t: int) -> None:
+    """Standard 6-CX Toffoli decomposition (native 1q/2q gates only)."""
+    circuit.h(t)
+    circuit.cx(b, t)
+    circuit.tdg(t)
+    circuit.cx(a, t)
+    circuit.t(t)
+    circuit.cx(b, t)
+    circuit.tdg(t)
+    circuit.cx(a, t)
+    circuit.t(b)
+    circuit.t(t)
+    circuit.h(t)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+
+
+def build_adder(num_qubits: int, a_value: Optional[int] = None,
+                b_value: Optional[int] = None,
+                measure: bool = True) -> QuantumCircuit:
+    """CDKM ripple-carry adder on ``num_qubits`` qubits computing b += a.
+
+    Qubit layout: ``cin, a0, b0, a1, b1, ..., a_{k-1}, b_{k-1} [, cout]``.
+    ``a_value``/``b_value`` optionally initialize the operand registers with
+    X gates so the (classical) sum is verifiable from the measurement.
+    """
+    if num_qubits < 4:
+        raise ValueError("adder needs at least 4 qubits")
+    has_cout = num_qubits % 2 == 0
+    k = (num_qubits - 2) // 2 if has_cout else (num_qubits - 1) // 2
+    circuit = QuantumCircuit(num_qubits, k + (1 if has_cout else 0),
+                             name="adder_n{}".format(num_qubits))
+    cin = 0
+    a = [1 + 2 * i for i in range(k)]
+    b = [2 + 2 * i for i in range(k)]
+    cout = num_qubits - 1 if has_cout else None
+
+    if a_value:
+        for i in range(k):
+            if (a_value >> i) & 1:
+                circuit.x(a[i])
+    if b_value:
+        for i in range(k):
+            if (b_value >> i) & 1:
+                circuit.x(b[i])
+
+    _maj(circuit, cin, b[0], a[0])
+    for i in range(1, k):
+        _maj(circuit, a[i - 1], b[i], a[i])
+    if cout is not None:
+        circuit.cx(a[k - 1], cout)
+    for i in reversed(range(1, k)):
+        _uma(circuit, a[i - 1], b[i], a[i])
+    _uma(circuit, cin, b[0], a[0])
+
+    if measure:
+        for i in range(k):
+            circuit.measure(b[i], i)
+        if cout is not None:
+            circuit.measure(cout, k)
+    return circuit
+
+
+def register_size(num_qubits: int) -> int:
+    """Operand register width k for an ``adder_n{num_qubits}`` instance."""
+    return (num_qubits - 2) // 2 if num_qubits % 2 == 0 else \
+        (num_qubits - 1) // 2

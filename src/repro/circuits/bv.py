@@ -1,0 +1,41 @@
+"""Bernstein-Vazirani benchmark family (bv_n400, bv_n1000)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..quantum.circuit import QuantumCircuit
+
+
+def build_bv(num_qubits: int, secret: Optional[int] = None) -> QuantumCircuit:
+    """Bernstein-Vazirani on ``num_qubits`` qubits (last is the oracle qubit).
+
+    ``secret`` is the hidden bit-string (default: alternating bits, the
+    QASMBench convention of a dense oracle).  The circuit ends with
+    measurement of the data register, whose outcome equals ``secret``.
+    """
+    if num_qubits < 2:
+        raise ValueError("bv needs at least 2 qubits")
+    data = num_qubits - 1
+    if secret is None:
+        secret = int("10" * data, 2) & ((1 << data) - 1)
+    circuit = QuantumCircuit(num_qubits, data,
+                             name="bv_n{}".format(num_qubits))
+    for q in range(data):
+        circuit.h(q)
+    circuit.x(data)
+    circuit.h(data)
+    for q in range(data):
+        if (secret >> q) & 1:
+            circuit.cx(q, data)
+    for q in range(data):
+        circuit.h(q)
+    for q in range(data):
+        circuit.measure(q, q)
+    return circuit
+
+
+def secret_of(num_qubits: int) -> int:
+    """Default secret used by :func:`build_bv`."""
+    data = num_qubits - 1
+    return int("10" * data, 2) & ((1 << data) - 1)

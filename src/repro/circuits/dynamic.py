@@ -1,0 +1,119 @@
+"""Static -> dynamic circuit conversion (paper section 6.4.2, benchmark 1).
+
+Near-term dynamic circuits: CNOTs between non-adjacent qubits (on a linear
+coupling map) are replaced by teleportation-based long-range CNOTs
+(Figure 14) that use a shared ancilla bus, mid-circuit measurement and
+feed-forward Pauli corrections.  This trades SWAP ladders for feedback
+operations — precisely the control-plane load the evaluation stresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CompilationError
+from ..quantum.circuit import Operation, QuantumCircuit
+from ..quantum.teleport import append_long_range_cnot, classical_bits_needed
+
+#: Gates the compiler accepts directly (everything else is decomposed).
+NATIVE_1Q = frozenset(["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+                       "rx", "ry", "rz", "u1"])
+NATIVE_2Q = frozenset(["cx", "cz"])
+
+
+def decompose_to_native(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower cp/crz/swap to the native {1q rotations, cx, cz} set."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         name=circuit.name)
+    for op in circuit:
+        if op.is_measurement or op.is_barrier or op.name in ("reset",):
+            out.add(op)
+            continue
+        name = op.name
+        if name in NATIVE_1Q or name in NATIVE_2Q:
+            out.add(op)
+            continue
+        if name in ("cp", "crz"):
+            (theta,) = op.params
+            c, t = op.qubits
+            cond = op.condition
+            out.gate("rz", c, params=(theta / 2,), condition=cond)
+            out.gate("rz", t, params=(theta / 2,), condition=cond)
+            out.cx(c, t, condition=cond)
+            out.gate("rz", t, params=(-theta / 2,), condition=cond)
+            out.cx(c, t, condition=cond)
+            continue
+        if name == "swap":
+            a, b = op.qubits
+            out.cx(a, b, condition=op.condition)
+            out.cx(b, a, condition=op.condition)
+            out.cx(a, b, condition=op.condition)
+            continue
+        raise CompilationError("no native decomposition for {!r}".format(name))
+    return out
+
+
+def to_dynamic(circuit: QuantumCircuit, distance_threshold: int = 1,
+               substitution_fraction: float = 1.0,
+               bus_ancillas: int = 2,
+               seed: Optional[int] = 7) -> QuantumCircuit:
+    """Replace distant CNOTs with teleportation-based long-range CNOTs.
+
+    A CNOT between qubits further apart than ``distance_threshold`` on the
+    linear layout is substituted (with probability
+    ``substitution_fraction``, matching the paper's "randomly
+    substituting") by the Figure-14 gadget over a shared ``bus_ancillas``-
+    qubit ancilla bus appended after the data qubits.  Ancillas are reset
+    after each use, so concurrent gadgets serialize on the bus exactly as
+    they would on hardware.
+    """
+    if bus_ancillas < 1:
+        raise CompilationError("need at least one bus ancilla")
+    base = decompose_to_native(circuit)
+    rng = np.random.default_rng(seed)
+    substituted = []
+    for op in base:
+        if (op.name == "cx" and not op.is_conditional and
+                abs(op.qubits[0] - op.qubits[1]) > distance_threshold and
+                rng.random() < substitution_fraction):
+            substituted.append(True)
+        else:
+            substituted.append(False)
+    per_gadget_cbits = classical_bits_needed(bus_ancillas)
+    num_gadgets = sum(substituted)
+    out = QuantumCircuit(
+        base.num_qubits + bus_ancillas,
+        base.num_clbits + per_gadget_cbits,
+        name=base.name + "_dyn")
+    bus = list(range(base.num_qubits, base.num_qubits + bus_ancillas))
+    scratch_base = base.num_clbits
+    for op, replace_it in zip(base, substituted):
+        if not replace_it:
+            out.add(op)
+            continue
+        control, target = op.qubits
+        append_long_range_cnot(out, control, bus, target,
+                               cbit_base=scratch_base)
+        for ancilla in bus:
+            out.add(Operation("reset", (ancilla,)))
+    out.metadata = {"num_gadgets": num_gadgets,
+                    "bus_ancillas": bus_ancillas}
+    return out
+
+
+def count_feedback_ops(circuit: QuantumCircuit) -> int:
+    """Number of classically conditioned operations (feedback load)."""
+    return sum(1 for op in circuit if op.is_conditional)
+
+
+def cnot_distance_histogram(circuit: QuantumCircuit) -> dict:
+    """Histogram of |i-j| over all CX gates (linear-layout distances)."""
+    out: dict = {}
+    for op in circuit:
+        if op.name == "cx":
+            d = abs(op.qubits[0] - op.qubits[1])
+            out[d] = out.get(d, 0) + 1
+    return out

@@ -1,0 +1,20 @@
+"""GHZ state preparation (used for small-scale logical verification)."""
+
+from __future__ import annotations
+
+from ..quantum.circuit import QuantumCircuit
+
+
+def build_ghz(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """H + CX chain preparing (|0...0> + |1...1>)/sqrt(2)."""
+    if num_qubits < 2:
+        raise ValueError("ghz needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0,
+                             name="ghz_n{}".format(num_qubits))
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit

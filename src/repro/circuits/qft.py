@@ -1,0 +1,31 @@
+"""Quantum Fourier Transform benchmark family (qft_n30 .. qft_n300)."""
+
+from __future__ import annotations
+
+import math
+
+from ..quantum.circuit import QuantumCircuit
+
+
+def build_qft(num_qubits: int, with_swaps: bool = True,
+              max_interaction_distance: int = 0) -> QuantumCircuit:
+    """Standard QFT: H + controlled-phase ladder (+ final swaps).
+
+    ``max_interaction_distance`` > 0 drops controlled phases between qubits
+    farther apart than that distance (the standard approximate QFT used at
+    large n; the paper's qft_n300 is intractable without approximation on
+    real devices, and the dropped rotations are exponentially small).
+    """
+    circuit = QuantumCircuit(num_qubits, num_qubits,
+                             name="qft_n{}".format(num_qubits))
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            distance = j - i
+            if max_interaction_distance and distance > max_interaction_distance:
+                break
+            circuit.cp(math.pi / (1 << distance), j, i)
+    if with_swaps:
+        for i in range(num_qubits // 2):
+            circuit.swap(i, num_qubits - 1 - i)
+    return circuit

@@ -1,0 +1,158 @@
+"""Rotated surface-code layout and syndrome-extraction circuit generator.
+
+Provides the substrate for the logical-T benchmarks (section 6.4.2): a
+distance-d rotated surface code patch with data qubits on a d x d grid and
+(d^2 - 1) ancilla qubits measuring X/Z plaquette stabilizers, plus the
+standard 8-step syndrome extraction round (H, 4 CX layers, H, measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompilationError
+from ..quantum.circuit import QuantumCircuit
+
+
+@dataclass
+class SurfacePatch:
+    """Qubit bookkeeping for one rotated surface-code patch.
+
+    ``data[(r, c)]`` maps grid coordinates to qubit indices;
+    ``x_ancillas`` / ``z_ancillas`` map each stabilizer ancilla to the data
+    coordinates it touches (in the standard N/Z-ordering for hook-error
+    avoidance).
+    """
+
+    distance: int
+    qubit_offset: int = 0
+    data: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    x_ancillas: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    z_ancillas: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    num_qubits: int = 0
+
+    @property
+    def data_qubits(self) -> List[int]:
+        return sorted(self.data.values())
+
+    @property
+    def ancilla_qubits(self) -> List[int]:
+        return sorted(list(self.x_ancillas) + list(self.z_ancillas))
+
+    def logical_z_qubits(self) -> List[int]:
+        """Representative logical-Z string: the top row.
+
+        Z strings must terminate on the Z-type boundaries (left/right,
+        where the weight-2 Z plaquettes live), i.e. run horizontally —
+        otherwise they would anticommute with a boundary X plaquette.
+        """
+        return [self.data[(0, c)] for c in range(self.distance)]
+
+    def logical_x_qubits(self) -> List[int]:
+        """Representative logical-X string: the left column (terminates on
+        the X-type top/bottom boundaries)."""
+        return [self.data[(r, 0)] for r in range(self.distance)]
+
+
+def build_patch(distance: int, qubit_offset: int = 0) -> SurfacePatch:
+    """Construct a distance-``distance`` rotated surface-code patch."""
+    if distance < 2:
+        raise CompilationError("distance must be >= 2")
+    d = distance
+    patch = SurfacePatch(distance=d, qubit_offset=qubit_offset)
+    index = qubit_offset
+    for r in range(d):
+        for c in range(d):
+            patch.data[(r, c)] = index
+            index += 1
+    # Plaquette ancillas: checkerboard over the (d+1) x (d+1) vertex grid.
+    for r in range(d + 1):
+        for c in range(d + 1):
+            corners = [(r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c)]
+            touching = [xy for xy in corners if xy in patch.data]
+            if len(touching) < 2:
+                continue
+            is_x = (r + c) % 2 == 0
+            # Boundary rules of the rotated code: X stabilizers terminate on
+            # the top/bottom boundary, Z stabilizers on the left/right.
+            if len(touching) == 2:
+                if is_x and r not in (0, d):
+                    continue
+                if not is_x and c not in (0, d):
+                    continue
+            if is_x:
+                patch.x_ancillas[index] = touching
+            else:
+                patch.z_ancillas[index] = touching
+            index += 1
+    patch.num_qubits = index - qubit_offset
+    expected = 2 * d * d - 1
+    if patch.num_qubits != expected:
+        raise CompilationError(
+            "patch construction error: {} qubits, expected {}".format(
+                patch.num_qubits, expected))
+    return patch
+
+
+def syndrome_round(circuit: QuantumCircuit, patch: SurfacePatch,
+                   cbit_base: int, active_reset: bool = False) -> int:
+    """Append one syndrome-extraction round; return #classical bits used.
+
+    ``active_reset`` adds the conditional-X ancilla reset (feedback); the
+    control-architecture benchmarks leave it off because syndrome results
+    flow to the router-attached decoders, not back to the controllers
+    (paper section 6.4.2).
+    """
+    for ancilla in patch.x_ancillas:
+        circuit.h(ancilla)
+    # X-plaquette CX layers first, then Z-plaquette layers.  Interleaving
+    # them requires the hook-avoiding N/Z step order to measure exact
+    # stabilizers; separating the types guarantees exactness for any
+    # plaquette orientation (CXs within a layer mutually commute).
+    for step in range(4):
+        for ancilla, coords in patch.x_ancillas.items():
+            if step < len(coords):
+                circuit.cx(ancilla, patch.data[coords[step]])
+    for step in range(4):
+        for ancilla, coords in patch.z_ancillas.items():
+            if step < len(coords):
+                circuit.cx(patch.data[coords[step]], ancilla)
+    for ancilla in patch.x_ancillas:
+        circuit.h(ancilla)
+    cbit = cbit_base
+    for ancilla in sorted(list(patch.x_ancillas) + list(patch.z_ancillas)):
+        circuit.measure(ancilla, cbit)
+        if active_reset:
+            # Active ancilla reset: flip back conditioned on the outcome.
+            circuit.x(ancilla, condition=(cbit, 1))
+        cbit += 1
+    return cbit - cbit_base
+
+
+def build_memory_experiment(distance: int, rounds: int,
+                            active_reset: bool = False) -> QuantumCircuit:
+    """Logical-|0> memory experiment: ``rounds`` syndrome rounds + readout.
+
+    Without ``active_reset`` the ancillas carry their previous outcome, so
+    round r reports the *difference* syndrome s_r XOR m_{r-1} (all zeros in
+    the noiseless case) — standard practice on hardware without feedback
+    reset.  With ``active_reset`` every round reports the absolute
+    syndrome (and adds one feedback operation per ancilla per round).
+    """
+    patch = build_patch(distance)
+    num_ancilla_bits = len(patch.x_ancillas) + len(patch.z_ancillas)
+    circuit = QuantumCircuit(
+        patch.num_qubits,
+        rounds * num_ancilla_bits + len(patch.data),
+        name="surface_d{}_r{}".format(distance, rounds))
+    cbit = 0
+    for _ in range(rounds):
+        cbit += syndrome_round(circuit, patch, cbit,
+                               active_reset=active_reset)
+    for qubit in patch.data_qubits:
+        circuit.measure(qubit, cbit)
+        cbit += 1
+    circuit.metadata = {"patch": patch, "rounds": rounds,
+                        "active_reset": active_reset}
+    return circuit

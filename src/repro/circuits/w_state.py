@@ -1,0 +1,34 @@
+"""W-state preparation benchmark family (w_state_n800, w_state_n1000)."""
+
+from __future__ import annotations
+
+import math
+
+from ..quantum.circuit import QuantumCircuit
+
+
+def build_w_state(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Prepare the n-qubit W state with the standard cascade construction.
+
+    Uses controlled-Ry rotations (decomposed to ry + cx, native set) that
+    move the single excitation down the register, followed by a CX chain.
+    """
+    if num_qubits < 2:
+        raise ValueError("w_state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0,
+                             name="w_state_n{}".format(num_qubits))
+    circuit.x(0)
+    for i in range(num_qubits - 1):
+        # Controlled-Ry(theta) from qubit i onto i+1, theta chosen so the
+        # amplitude splits as sqrt(1/(n-i)) : sqrt((n-i-1)/(n-i)).
+        remaining = num_qubits - i
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.ry(theta / 2, i + 1)
+        circuit.cx(i, i + 1)
+        circuit.ry(-theta / 2, i + 1)
+        circuit.cx(i, i + 1)
+        circuit.cx(i + 1, i)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit

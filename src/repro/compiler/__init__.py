@@ -1,0 +1,12 @@
+"""Quantum software stack: circuit -> HISQ binaries (section 6.2)."""
+
+from .codewords import CodewordAllocator, drive_port, measure_port
+from .driver import (SCHEMES, CompilationResult, RunResult, compile_circuit,
+                     run_circuit)
+from .mapping import QubitMap
+
+__all__ = [
+    "SCHEMES", "CodewordAllocator", "CompilationResult", "QubitMap",
+    "RunResult", "compile_circuit", "drive_port", "measure_port",
+    "run_circuit",
+]

@@ -1,0 +1,232 @@
+"""Circuit -> per-controller stream lowering for BISP and demand schemes.
+
+Each controller executes only its own qubits' operations (independent
+instruction streams, section 7.2); cross-controller two-qubit gates get a
+sync (nearby if the controllers are mesh neighbors, region otherwise) and
+classical conditions get point-to-point result messages.  The *demand*
+scheme (QubiC 2.0 style) is identical except that the booking pass never
+hoists syncs, so every sync pays its communication latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompilationError
+from ..network.topology import Topology
+from ..quantum.circuit import QuantumCircuit
+from ..sim.config import SimulationConfig
+from ..sim.device import GateAction, MeasureAction
+from .codewords import CodewordAllocator, drive_port, measure_port
+from .mapping import QubitMap
+from .streams import (Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR,
+                      Wait, append_wait)
+
+
+class LoweredProgram:
+    """Result of lowering: streams, codeword tables, sync groups, stats."""
+
+    def __init__(self, num_controllers: int):
+        self.streams: Dict[int, List] = {a: [] for a in range(num_controllers)}
+        self.allocators: Dict[int, CodewordAllocator] = {
+            a: CodewordAllocator(a) for a in range(num_controllers)}
+        self.sync_groups: Dict[int, List[int]] = {}
+        self.num_feedback_ops = 0
+        self.num_syncs = 0
+        self.num_messages = 0
+
+
+class Lowering:
+    """One lowering run over a circuit."""
+
+    #: First region sync-group identifier (arbitrary, distinct per pair).
+    GROUP_BASE = 0x1000
+
+    def __init__(self, circuit: QuantumCircuit, qmap: QubitMap,
+                 topology: Topology, config: SimulationConfig):
+        self.circuit = circuit
+        self.qmap = qmap
+        self.topology = topology
+        self.config = config
+        self.out = LoweredProgram(qmap.num_controllers)
+        #: classical bit -> producing controller
+        self.bit_producer: Dict[int, int] = {}
+        #: (controller, bit) pairs already holding the bit locally
+        self.bit_present: set = set()
+        #: frozenset({c1, c2}) -> region sync group id
+        self._pair_groups: Dict[frozenset, int] = {}
+        self._next_group = self.GROUP_BASE
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _stream(self, controller: int) -> List:
+        return self.out.streams[controller]
+
+    def _gate_cycles(self, num_qubits: int) -> int:
+        return self.config.gate_cycles(num_qubits)
+
+    def _drive_cw(self, controller: int, action: GateAction) -> Cw:
+        local = self.qmap.local_index(action.qubits[0])
+        port = drive_port(local)
+        cw = self.out.allocators[controller].allocate(port, action)
+        return Cw(port, cw)
+
+    def _measure_item(self, controller: int, qubit: int, bit: int) -> Measure:
+        local = self.qmap.local_index(qubit)
+        port = measure_port(local)
+        cw = self.out.allocators[controller].allocate(
+            port, MeasureAction(qubit))
+        return Measure(port, cw, bit)
+
+    def _region_group(self, c1: int, c2: int) -> int:
+        key = frozenset((c1, c2))
+        if key not in self._pair_groups:
+            group = self._next_group
+            self._next_group += 1
+            self._pair_groups[key] = group
+            self.out.sync_groups[group] = sorted(key)
+        return self._pair_groups[key]
+
+    def _ensure_bit(self, consumer: int, bit: int) -> None:
+        """Make classical ``bit`` available in ``consumer``'s memory."""
+        if (consumer, bit) in self.bit_present:
+            return
+        producer = self.bit_producer.get(bit)
+        if producer is None:
+            raise CompilationError(
+                "classical bit {} used before being measured".format(bit))
+        self._stream(producer).append(SendBit(consumer, bit))
+        self._stream(consumer).append(RecvBit(producer, bit))
+        self.bit_present.add((consumer, bit))
+        self.out.num_messages += 1
+
+    # -- op lowering ----------------------------------------------------------
+
+    def _lower_1q(self, op, body_sink: Optional[Dict[int, List]] = None
+                  ) -> None:
+        qubit = op.qubits[0]
+        controller = self.qmap.controller_of(qubit)
+        sink = (body_sink[controller] if body_sink is not None
+                else self._stream(controller))
+        if op.name == "delay":
+            append_wait(sink, self.config.cycles(op.params[0]))
+            return
+        action = GateAction(op.name, (qubit,), tuple(op.params))
+        sink.append(self._drive_cw(controller, action))
+        append_wait(sink, self._gate_cycles(1))
+
+    def _lower_2q(self, op, body_sinks: Optional[Dict[int, List]] = None
+                  ) -> None:
+        q1, q2 = op.qubits
+        c1 = self.qmap.controller_of(q1)
+        c2 = self.qmap.controller_of(q2)
+        duration = self._gate_cycles(2)
+        if c1 == c2:
+            sink = (body_sinks[c1] if body_sinks is not None
+                    else self._stream(c1))
+            action = GateAction(op.name, tuple(op.qubits), tuple(op.params))
+            local = self.qmap.local_index(q1)
+            port = drive_port(local)
+            cw = self.out.allocators[c1].allocate(port, action)
+            sink.append(Cw(port, cw))
+            append_wait(sink, duration)
+            return
+        self.out.num_syncs += 1
+        pair_key = (min(c1, c2), max(c1, c2), self.out.num_syncs)
+        nearby = self.topology.are_neighbors(c1, c2)
+        group = None if nearby else self._region_group(c1, c2)
+        for half, (controller, qubit) in enumerate(((c1, q1), (c2, q2))):
+            sink = (body_sinks[controller] if body_sinks is not None
+                    else self._stream(controller))
+            if nearby:
+                peer = c2 if controller == c1 else c1
+                n = self.config.neighbor_link_cycles
+                sink.append(SyncN(peer, pair_key, gap=n))
+            else:
+                # delta >= 1 by ISA convention; unhoisted lead is 1 cycle.
+                sink.append(SyncR(group, delta=1, gap=1))
+            action = GateAction(op.name, tuple(op.qubits), tuple(op.params),
+                                half=half, total_halves=2)
+            local = self.qmap.local_index(qubit)
+            port = drive_port(local)
+            cw = self.out.allocators[controller].allocate(port, action)
+            sink.append(Cw(port, cw))
+            append_wait(sink, duration)
+
+    def _lower_measure(self, op) -> None:
+        qubit = op.qubits[0]
+        bit = op.cbit
+        controller = self.qmap.controller_of(qubit)
+        if bit is None:
+            raise CompilationError("measurement without classical bit")
+        self._stream(controller).append(
+            self._measure_item(controller, qubit, bit))
+        self.bit_producer[bit] = controller
+        # Invalidate stale copies of this bit on other controllers.
+        self.bit_present = {(c, b) for (c, b) in self.bit_present if b != bit}
+        self.bit_present.add((controller, bit))
+
+    def _lower_reset(self, op) -> None:
+        qubit = op.qubits[0]
+        controller = self.qmap.controller_of(qubit)
+        # reset = measure into a scratch bit + conditional X (local feedback)
+        scratch_bit = self.circuit.num_clbits + qubit  # one scratch per qubit
+        self._stream(controller).append(
+            self._measure_item(controller, qubit, scratch_bit))
+        self.bit_producer[scratch_bit] = controller
+        self.bit_present = {(c, b) for (c, b) in self.bit_present
+                            if b != scratch_bit}
+        self.bit_present.add((controller, scratch_bit))
+        action = GateAction("x", (qubit,), ())
+        body = [self._drive_cw(controller, action)]
+        append_wait(body, self._gate_cycles(1))
+        self._stream(controller).append(Cond(scratch_bit, 1, body))
+        self.out.num_feedback_ops += 1
+
+    def _lower_conditional(self, op) -> None:
+        bit, value = op.condition
+        controllers = sorted({self.qmap.controller_of(q) for q in op.qubits})
+        for controller in controllers:
+            self._ensure_bit(controller, bit)
+        self.out.num_feedback_ops += 1
+        bodies = {c: [] for c in controllers}
+        inner = op.__class__(op.name, op.qubits, op.params)
+        if len(op.qubits) == 1:
+            self._lower_1q(inner, body_sink=bodies)
+        else:
+            self._lower_2q(inner, body_sinks=bodies)
+        for controller in controllers:
+            self._stream(controller).append(
+                Cond(bit, value, bodies[controller]))
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> LoweredProgram:
+        for op in self.circuit:
+            if op.is_barrier:
+                continue
+            if op.is_measurement:
+                if op.is_conditional:
+                    raise CompilationError(
+                        "conditional measurement is not supported")
+                self._lower_measure(op)
+            elif op.is_reset:
+                self._lower_reset(op)
+            elif op.is_conditional:
+                self._lower_conditional(op)
+            elif len(op.qubits) == 1:
+                self._lower_1q(op)
+            elif len(op.qubits) == 2:
+                self._lower_2q(op)
+            else:
+                raise CompilationError(
+                    "gates on {} qubits must be decomposed first".format(
+                        len(op.qubits)))
+        return self.out
+
+
+def lower_circuit(circuit: QuantumCircuit, qmap: QubitMap,
+                  topology: Topology,
+                  config: SimulationConfig) -> LoweredProgram:
+    """Lower ``circuit`` to per-controller streams (BISP/demand shape)."""
+    return Lowering(circuit, qmap, topology, config).run()

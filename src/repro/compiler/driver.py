@@ -1,0 +1,156 @@
+"""End-to-end compilation driver: circuit -> HISQ binaries -> simulation.
+
+The three supported synchronization schemes (section 6.4):
+
+* ``"bisp"``    — Distributed-HISQ: independent streams, booked syncs
+  (hoisted over deterministic work), point-to-point feedback.
+* ``"demand"``  — QubiC-2.0-style ablation: identical to BISP but syncs are
+  placed immediately before the synchronization point (no booking lead).
+* ``"lockstep"``— IBM-style baseline: shared program flow, central
+  controller broadcasting every measurement, reserved feedback slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CompilationError
+from ..isa.program import Program
+from ..network.topology import Topology, build_topology
+from ..quantum.circuit import QuantumCircuit
+from ..sim.config import SimulationConfig
+from ..sim.system import ControlSystem
+from ..sim.telf import ExecutionStats
+from .codegen import LoweredProgram, lower_circuit
+from .emit import emit_program
+from .lockstep_gen import lower_lockstep
+from .mapping import QubitMap
+from .sync_pass import demand_gaps, hoist_bookings
+
+SCHEMES = ("bisp", "demand", "lockstep")
+
+
+@dataclass
+class CompilationResult:
+    """Everything needed to instantiate and run the compiled system."""
+
+    circuit: QuantumCircuit
+    scheme: str
+    config: SimulationConfig
+    qmap: QubitMap
+    topology: Topology
+    programs: Dict[int, Program]
+    codeword_tables: Dict[int, dict]
+    sync_groups: Dict[int, List[int]]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def build_system(self, backend=None, device_seed: int = 12345,
+                     strict_timing: bool = False,
+                     record_gate_log: bool = True) -> ControlSystem:
+        """Instantiate a ready-to-run :class:`ControlSystem`."""
+        system = ControlSystem(
+            self.qmap.num_controllers, config=self.config,
+            mesh_kind="line", topology=self.topology, backend=backend,
+            device_seed=device_seed, strict_timing=strict_timing,
+            record_gate_log=record_gate_log)
+        for address, program in self.programs.items():
+            system.load_program(address, program)
+        for address, table in self.codeword_tables.items():
+            system.set_codeword_table(address, table)
+        for group, members in self.sync_groups.items():
+            system.register_sync_group(group, members)
+        return system
+
+
+def compile_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
+                    config: Optional[SimulationConfig] = None,
+                    qubits_per_controller: int = 1,
+                    mesh_kind: str = "line") -> CompilationResult:
+    """Compile ``circuit`` into per-controller HISQ programs."""
+    if scheme not in SCHEMES:
+        raise CompilationError("unknown scheme {!r}; expected one of {}"
+                               .format(scheme, SCHEMES))
+    config = config or SimulationConfig()
+    qmap = QubitMap(circuit.num_qubits, qubits_per_controller)
+    mesh_edges = None
+    if mesh_kind == "interaction":
+        # Mirror the qubit interaction topology (Insight #2): controllers
+        # of interacting qubits become mesh neighbors.
+        mesh_kind = "custom"
+        mesh_edges = sorted({
+            tuple(sorted((qmap.controller_of(op.qubits[0]),
+                          qmap.controller_of(op.qubits[1]))))
+            for op in circuit.two_qubit_ops()})
+    topology = build_topology(
+        qmap.num_controllers, fanout=config.router_fanout,
+        mesh_kind=mesh_kind, mesh_edges=mesh_edges,
+        neighbor_link_cycles=config.neighbor_link_cycles,
+        router_hop_cycles=config.router_hop_cycles)
+    if scheme == "lockstep":
+        lowered = lower_lockstep(circuit, qmap, topology, config)
+        pass_stats: Dict[str, int] = {}
+    else:
+        lowered = lower_circuit(circuit, qmap, topology, config)
+        if scheme == "bisp":
+            pass_stats = hoist_bookings(lowered,
+                                        config.neighbor_link_cycles)
+        else:
+            demand_gaps(lowered, config.neighbor_link_cycles)
+            pass_stats = {}
+    programs = {}
+    for address, items in lowered.streams.items():
+        if not items:
+            continue
+        programs[address] = emit_program("C{}".format(address), items)
+    tables = {address: allocator.table
+              for address, allocator in lowered.allocators.items()}
+    stats = {
+        "feedback_ops": lowered.num_feedback_ops,
+        "syncs": lowered.num_syncs,
+        "messages": lowered.num_messages,
+    }
+    stats.update(pass_stats)
+    return CompilationResult(
+        circuit=circuit, scheme=scheme, config=config, qmap=qmap,
+        topology=topology, programs=programs, codeword_tables=tables,
+        sync_groups=lowered.sync_groups, stats=stats)
+
+
+@dataclass
+class RunResult:
+    """Simulation outcome of one compiled circuit."""
+
+    compilation: CompilationResult
+    system: ControlSystem
+    stats: ExecutionStats
+
+    @property
+    def makespan_cycles(self) -> int:
+        return self.stats.makespan_cycles
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.compilation.config.ns(self.stats.makespan_cycles)
+
+
+def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
+                config: Optional[SimulationConfig] = None,
+                backend=None, device_seed: int = 12345,
+                qubits_per_controller: int = 1,
+                mesh_kind: str = "line",
+                until: Optional[int] = None,
+                record_gate_log: bool = True) -> RunResult:
+    """Compile, simulate and collect statistics in one call."""
+    compilation = compile_circuit(
+        circuit, scheme=scheme, config=config,
+        qubits_per_controller=qubits_per_controller, mesh_kind=mesh_kind)
+    system = compilation.build_system(backend=backend,
+                                      device_seed=device_seed,
+                                      record_gate_log=record_gate_log)
+    stats = system.run(until=until)
+    return RunResult(compilation=compilation, system=system, stats=stats)

@@ -1,0 +1,120 @@
+"""Expand per-controller streams into executable HISQ instructions.
+
+Register conventions: ``t0`` (x5) holds received/loaded classical values,
+``t1`` (x6) holds spilled-bit addresses.  Classical bits live in data
+memory at address ``4 * bit``, so any number of measurement results can be
+stored and reloaded (``sw``/``lw``), matching how real control firmware
+spills feedback state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.config import ACQ_ADDRESS
+from ..errors import CompilationError
+from ..isa.instructions import (Instruction, cw_ii, halt, recv, send, sync,
+                                waiti)
+from ..isa.program import Program
+from .streams import Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR, Wait
+
+VALUE_REG = 5   # t0
+ADDR_REG = 6    # t1
+
+_MAX_WAIT = (1 << 20) - 1
+
+
+def emit_wait(cycles: int, out: List[Instruction]) -> None:
+    """Append waiti instruction(s) totalling ``cycles``."""
+    if cycles < 0:
+        raise CompilationError("negative wait {}".format(cycles))
+    while cycles > _MAX_WAIT:
+        out.append(waiti(_MAX_WAIT))
+        cycles -= _MAX_WAIT
+    if cycles:
+        out.append(waiti(cycles))
+
+
+def _bit_address_ops(bit: int, mnemonic: str) -> List[Instruction]:
+    """lw/sw of VALUE_REG at the spill slot of classical ``bit``."""
+    address = 4 * bit
+    if address <= 2047:
+        if mnemonic == "sw":
+            return [Instruction("sw", rs2=VALUE_REG, rs1=0, imm=address)]
+        return [Instruction("lw", rd=VALUE_REG, rs1=0, imm=address)]
+    low = address & 0xFFF
+    if low >= 0x800:
+        low -= 0x1000
+    high = (address - low) >> 12
+    ops = [Instruction("lui", rd=ADDR_REG, imm=high & 0xFFFFF)]
+    if low:
+        ops.append(Instruction("addi", rd=ADDR_REG, rs1=ADDR_REG, imm=low))
+    if mnemonic == "sw":
+        ops.append(Instruction("sw", rs2=VALUE_REG, rs1=ADDR_REG, imm=0))
+    else:
+        ops.append(Instruction("lw", rd=VALUE_REG, rs1=ADDR_REG, imm=0))
+    return ops
+
+
+def store_bit(bit: int) -> List[Instruction]:
+    """Spill VALUE_REG into classical bit ``bit``'s memory slot."""
+    return _bit_address_ops(bit, "sw")
+
+
+def load_bit(bit: int) -> List[Instruction]:
+    """Load classical bit ``bit`` into VALUE_REG."""
+    return _bit_address_ops(bit, "lw")
+
+
+def expand_items(items) -> List[Instruction]:
+    """Expand a stream into instructions (no trailing halt)."""
+    out: List[Instruction] = []
+    for item in items:
+        if isinstance(item, Wait):
+            emit_wait(item.cycles, out)
+        elif isinstance(item, Cw):
+            out.append(cw_ii(item.port, item.codeword))
+        elif isinstance(item, SyncN):
+            out.append(sync(item.peer, 0))
+            emit_wait(item.gap, out)
+        elif isinstance(item, SyncR):
+            if item.delta < 1:
+                raise CompilationError("region sync delta must be >= 1")
+            out.append(sync(item.group, item.delta))
+            emit_wait(item.gap, out)
+        elif isinstance(item, Measure):
+            out.append(cw_ii(item.port, item.codeword))
+            out.append(recv(VALUE_REG, ACQ_ADDRESS))
+            out.extend(store_bit(item.bit))
+        elif isinstance(item, SendBit):
+            out.extend(load_bit(item.bit))
+            out.append(send(item.dst, VALUE_REG))
+        elif isinstance(item, RecvBit):
+            out.append(recv(VALUE_REG, item.src))
+            out.extend(store_bit(item.bit))
+        elif isinstance(item, Cond):
+            body = expand_items(item.body)
+            out.extend(load_bit(item.bit))
+            offset = len(body) + 1
+            if item.value == 1:
+                out.append(Instruction("beq", rs1=VALUE_REG, rs2=0,
+                                       imm=offset))
+            elif item.value == 0:
+                out.append(Instruction("bne", rs1=VALUE_REG, rs2=0,
+                                       imm=offset))
+            else:
+                raise CompilationError(
+                    "condition value must be 0 or 1, got {}".format(
+                        item.value))
+            out.extend(body)
+            emit_wait(item.reserve, out)
+        else:
+            raise CompilationError("unknown stream item {!r}".format(item))
+    return out
+
+
+def emit_program(name: str, items) -> Program:
+    """Expand a stream into a complete program ending in halt."""
+    instructions = expand_items(items)
+    instructions.append(halt())
+    return Program(name=name, instructions=instructions)

@@ -1,0 +1,236 @@
+"""Lock-step baseline code generation (paper section 6.4.3, after [51]).
+
+Every controller follows the *same program flow*: a global static schedule
+(segment-relative offsets realized with ``wait`` padding) broken at every
+feedback point, where
+
+1. all controllers pad to the segment's global completion offset,
+2. each measurement's owner sends the result to the central controller,
+   which rebroadcasts it to *every* controller with a constant latency
+   (deliberately optimistic: independent of qubit count),
+3. every controller receives every broadcast (the shared-flow property) —
+   the receive realigns all timers exactly (central-trigger re-arm), and
+4. the conditional sub-circuit executes in a *reserved* slot while all
+   uninvolved controllers idle.
+
+Consecutive operations conditioned on the same bit form one reserved block
+(the logical-S sub-circuit of Figure 2b is one unit), scheduled ASAP
+internally; blocks on different bits serialize — this is exactly the
+"temporally stacked feedback" behavior the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import CENTRAL_ADDRESS
+from ..errors import CompilationError
+from ..network.topology import Topology
+from ..quantum.circuit import QuantumCircuit
+from ..sim.config import SimulationConfig
+from ..sim.device import GateAction, MeasureAction
+from .codegen import LoweredProgram
+from .codewords import drive_port, measure_port
+from .mapping import QubitMap
+from .streams import Cond, Cw, Measure, RecvBit, SendBit, Wait, append_wait
+
+
+class LockstepLowering:
+    """One lock-step lowering run over a circuit."""
+
+    def __init__(self, circuit: QuantumCircuit, qmap: QubitMap,
+                 topology: Topology, config: SimulationConfig):
+        self.circuit = circuit
+        self.qmap = qmap
+        self.config = config
+        self.out = LoweredProgram(qmap.num_controllers)
+        self.ready = [0] * circuit.num_qubits
+        self.offset = {c: 0 for c in range(qmap.num_controllers)}
+        self.pending_bits: List[int] = []
+        self.bit_owner: Dict[int, int] = {}
+        self.broadcast_bits: set = set()
+        self._scratch_base = circuit.num_clbits
+        #: Only bits consumed by conditions are broadcast; pure data
+        #: measurements (e.g. syndrome bits bound for the decoder) are not.
+        self._used_bits = {op.condition[0] for op in circuit
+                           if op.condition is not None}
+        self._used_bits.update(self._scratch_base + op.qubits[0]
+                               for op in circuit if op.is_reset)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pad(self, controller: int, target: int) -> None:
+        gap = target - self.offset[controller]
+        if gap < 0:
+            raise CompilationError(
+                "lockstep schedule error: controller {} at {} past {}".format(
+                    controller, self.offset[controller], target))
+        if gap:
+            append_wait(self.out.streams[controller], gap)
+            self.offset[controller] = target
+
+    def _cw(self, controller: int, qubit: int, action: GateAction) -> Cw:
+        port = drive_port(self.qmap.local_index(qubit))
+        codeword = self.out.allocators[controller].allocate(port, action)
+        return Cw(port, codeword)
+
+    # -- unconditional ops -------------------------------------------------------
+
+    def _do_gate(self, op) -> None:
+        if op.name == "delay":
+            qubit = op.qubits[0]
+            self.ready[qubit] += self.config.cycles(op.params[0])
+            return
+        duration = self.config.gate_cycles(len(op.qubits))
+        start = max(self.ready[q] for q in op.qubits)
+        controllers = {self.qmap.controller_of(q): q for q in op.qubits}
+        if len(controllers) == 1:
+            (controller, _), = controllers.items()
+            self._pad(controller, start)
+            action = GateAction(op.name, tuple(op.qubits), tuple(op.params))
+            self.out.streams[controller].append(
+                self._cw(controller, op.qubits[0], action))
+        else:
+            for half, qubit in enumerate(op.qubits):
+                controller = self.qmap.controller_of(qubit)
+                self._pad(controller, start)
+                action = GateAction(op.name, tuple(op.qubits),
+                                    tuple(op.params), half=half,
+                                    total_halves=2)
+                self.out.streams[controller].append(
+                    self._cw(controller, qubit, action))
+        for q in op.qubits:
+            self.ready[q] = start + duration
+
+    def _do_measure(self, qubit: int, bit: int) -> None:
+        controller = self.qmap.controller_of(qubit)
+        start = self.ready[qubit]
+        self._pad(controller, start)
+        port = measure_port(self.qmap.local_index(qubit))
+        codeword = self.out.allocators[controller].allocate(
+            port, MeasureAction(qubit))
+        self.out.streams[controller].append(Measure(port, codeword, bit))
+        # The blocking ACQ receive re-arms the owner's timer at
+        # (trigger + measurement + resync); the static schedule must account
+        # for that wall-clock passage or the owner drifts out of lock-step.
+        elapsed = (self.config.measurement_cycles +
+                   self.config.feedback_resync_cycles)
+        self.ready[qubit] = start + elapsed
+        self.offset[controller] = start + elapsed
+        self.bit_owner[bit] = controller
+        if bit in self._used_bits:
+            self.pending_bits.append(bit)
+
+    # -- feedback barrier ---------------------------------------------------------
+
+    def _barrier(self) -> None:
+        """Broadcast all pending bits through the central controller."""
+        if not self.pending_bits:
+            return
+        global_max = max(self.ready) if self.ready else 0
+        for controller in self.out.streams:
+            self._pad(controller, global_max)
+        for bit in self.pending_bits:
+            owner = self.bit_owner[bit]
+            self.out.streams[owner].append(SendBit(CENTRAL_ADDRESS, bit))
+            self.out.num_messages += 1
+            for controller in self.out.streams:
+                self.out.streams[controller].append(
+                    RecvBit(CENTRAL_ADDRESS, bit))
+            self.broadcast_bits.add(bit)
+        self.pending_bits = []
+        self.ready = [0] * len(self.ready)
+        for controller in self.offset:
+            self.offset[controller] = 0
+
+    def _do_conditional_block(self, ops) -> None:
+        bit, value = ops[0].condition
+        if bit in self.pending_bits or bit not in self.broadcast_bits:
+            self._barrier()
+        if bit not in self.broadcast_bits:
+            raise CompilationError(
+                "classical bit {} used before being measured".format(bit))
+        self.out.num_feedback_ops += len(ops)
+        # Strict lock-step: the reserved slot starts once every controller
+        # reaches the segment's current completion point.
+        start = max(self.ready) if self.ready else 0
+        for controller in self.out.streams:
+            self._pad(controller, start)
+        # ASAP schedule of the block, relative to the block start.
+        block_ready = [0] * self.circuit.num_qubits
+        bodies: Dict[int, List] = {}
+        body_offset: Dict[int, int] = {}
+
+        def body_pad(controller: int, target: int) -> None:
+            gap = target - body_offset.get(controller, 0)
+            if gap:
+                append_wait(bodies.setdefault(controller, []), gap)
+                body_offset[controller] = target
+
+        for op in ops:
+            duration = self.config.gate_cycles(len(op.qubits))
+            op_start = max(block_ready[q] for q in op.qubits)
+            multi = len({self.qmap.controller_of(q) for q in op.qubits}) > 1
+            for half, qubit in enumerate(op.qubits):
+                controller = self.qmap.controller_of(qubit)
+                if not multi and half > 0:
+                    continue
+                body_pad(controller, op_start)
+                action = GateAction(
+                    op.name, tuple(op.qubits), tuple(op.params),
+                    half=half if multi else 0,
+                    total_halves=2 if multi else 1)
+                bodies.setdefault(controller, []).append(
+                    self._cw(controller, qubit, action))
+            for q in op.qubits:
+                block_ready[q] = op_start + duration
+        reserve = max(block_ready)
+        for controller, body in bodies.items():
+            self.out.streams[controller].append(
+                Cond(bit, value, body, reserve=reserve))
+            self.offset[controller] += reserve
+        # Strict lock-step: everyone idles during the reserved slot.
+        self.ready = [start + reserve] * len(self.ready)
+
+    def _do_reset(self, qubit: int) -> None:
+        from ..quantum.circuit import Operation
+        bit = self._scratch_base + qubit
+        self._do_measure(qubit, bit)
+        self._do_conditional_block([Operation("x", (qubit,),
+                                              condition=(bit, 1))])
+
+    # -- entry point ------------------------------------------------------------
+
+    def run(self) -> LoweredProgram:
+        ops = [op for op in self.circuit if not op.is_barrier]
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            if op.is_measurement:
+                if op.cbit is None:
+                    raise CompilationError("measurement without target bit")
+                self._do_measure(op.qubits[0], op.cbit)
+                index += 1
+            elif op.is_reset:
+                self._do_reset(op.qubits[0])
+                index += 1
+            elif op.is_conditional:
+                block = [op]
+                while (index + len(block) < len(ops) and
+                       ops[index + len(block)].condition == op.condition and
+                       not ops[index + len(block)].is_measurement and
+                       not ops[index + len(block)].is_reset):
+                    block.append(ops[index + len(block)])
+                self._do_conditional_block(block)
+                index += len(block)
+            else:
+                self._do_gate(op)
+                index += 1
+        return self.out
+
+
+def lower_lockstep(circuit: QuantumCircuit, qmap: QubitMap,
+                   topology: Topology,
+                   config: SimulationConfig) -> LoweredProgram:
+    """Lower ``circuit`` with the lock-step baseline scheme."""
+    return LockstepLowering(circuit, qmap, topology, config).run()

@@ -1,0 +1,118 @@
+"""Per-controller stream IR sitting between circuits and HISQ instructions.
+
+The code generator lowers a circuit into one item stream per controller;
+the BISP booking pass (:mod:`repro.compiler.sync_pass`) hoists sync items;
+:mod:`repro.compiler.emit` expands streams into executable instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Wait:
+    """Advance the timeline by ``cycles``."""
+
+    cycles: int
+
+
+@dataclass
+class Cw:
+    """Emit ``codeword`` on ``port`` at the current position."""
+
+    port: int
+    codeword: int
+
+
+@dataclass
+class SyncN:
+    """Nearby BISP sync with controller ``peer``.
+
+    ``pair_key`` identifies the logical sync so the booking pass can
+    coordinate the two sides; ``gap`` is the extra wait inserted between
+    the sync instruction and the synchronous operation (it must satisfy
+    ``hoisted + gap >= countdown N``, equal on both sides).
+    """
+
+    peer: int
+    pair_key: Tuple
+    gap: int
+
+
+@dataclass
+class SyncR:
+    """Region BISP sync through ``group``.
+
+    ``delta`` is the booked lead (cycles from booking to the sync point);
+    ``gap`` is the wait inserted after the sync instruction (delta - the
+    hoisted amount).  ``delta`` >= 1 by ISA convention (0 means nearby).
+    """
+
+    group: int
+    delta: int
+    gap: int
+
+
+@dataclass
+class Measure:
+    """Trigger a measurement and latch its result into classical ``bit``."""
+
+    port: int
+    codeword: int
+    bit: int
+
+
+@dataclass
+class SendBit:
+    """Transmit stored classical ``bit`` to controller ``dst``."""
+
+    dst: int
+    bit: int
+
+
+@dataclass
+class RecvBit:
+    """Receive classical ``bit`` from ``src`` and store it locally."""
+
+    src: int
+    bit: int
+
+
+@dataclass
+class Cond:
+    """Classically conditioned block.
+
+    ``body`` executes iff stored ``bit`` == ``value``; ``reserve`` cycles
+    are waited *unconditionally* after the branch (the lock-step baseline's
+    reserved time slot; 0 for BISP/demand schemes).
+    """
+
+    bit: int
+    value: int
+    body: List
+    reserve: int = 0
+
+
+def stream_wait_cycles(items) -> int:
+    """Total unconditional wait cycles in a stream (diagnostics)."""
+    total = 0
+    for item in items:
+        if isinstance(item, Wait):
+            total += item.cycles
+        elif isinstance(item, (SyncN, SyncR)):
+            total += item.gap
+        elif isinstance(item, Cond):
+            total += item.reserve
+    return total
+
+
+def append_wait(items: List, cycles: int) -> None:
+    """Append (or merge into a trailing) wait of ``cycles``."""
+    if cycles <= 0:
+        return
+    if items and isinstance(items[-1], Wait):
+        items[-1].cycles += cycles
+    else:
+        items.append(Wait(cycles))

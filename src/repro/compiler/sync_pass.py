@@ -1,0 +1,127 @@
+"""BISP booking pass: hoist sync instructions ahead of their sync points.
+
+"As long as there are deterministic tasks with sufficient duration to
+cover communication latency, we can book a synchronization point in
+advance.  This allows us to insert a sync instruction ahead of the
+synchronization point, rather than placing it immediately before it as
+done in QubiC." (paper section 4.2, Figure 6)
+
+The pass moves each sync item backwards across *deterministic* items
+(waits and codeword emissions), stopping at non-deterministic boundaries
+(measurements/receives, conditional blocks, other syncs, stream start).
+
+* Nearby syncs must keep the synchronous operation at the *same* offset
+  after the sync on both controllers, so the hoist amount is the pairwise
+  minimum of the two sides' headrooms, and the post-sync gap is
+  ``max(N - hoist, 0)`` — the residual synchronization overhead.
+* Region syncs tolerate per-controller offsets (each books its own
+  absolute time-point ``T_i = B_i + delta_i``), so each side hoists by its
+  own maximum headroom.
+
+The *demand* scheme (QubiC-style, used as an ablation) simply skips this
+pass: every sync then pays its full communication latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .codegen import LoweredProgram
+from .streams import Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR, Wait
+
+
+def _headroom(stream: List, index: int) -> int:
+    """Deterministic wait cycles available before ``stream[index]``."""
+    cycles = 0
+    for j in range(index - 1, -1, -1):
+        item = stream[j]
+        if isinstance(item, Wait):
+            cycles += item.cycles
+        elif isinstance(item, Cw):
+            continue
+        else:
+            break
+    return cycles
+
+
+def _apply_hoist(stream: List, index: int, hoist: int, gap: int) -> None:
+    """Move ``stream[index]`` back across ``hoist`` wait cycles; set gap."""
+    sync = stream.pop(index)
+    if isinstance(sync, SyncN):
+        sync.gap = gap
+    else:
+        sync.delta = hoist + gap
+        sync.gap = gap
+    pos = index
+    remaining = hoist
+    while remaining > 0 and pos > 0:
+        item = stream[pos - 1]
+        if isinstance(item, Wait):
+            if item.cycles <= remaining:
+                remaining -= item.cycles
+                pos -= 1
+            else:
+                # Split the wait: the sync lands inside it.
+                item.cycles -= remaining
+                stream.insert(pos, Wait(remaining))
+                remaining = 0
+        else:
+            pos -= 1
+    stream.insert(pos, sync)
+
+
+def hoist_bookings(lowered: LoweredProgram,
+                   neighbor_countdown: int) -> Dict[str, int]:
+    """Run the booking pass in place; returns hoisting statistics."""
+    # Phase 1: collect headrooms for every sync item.
+    headrooms: Dict[Tuple[int, int], int] = {}
+    pair_sides: Dict[tuple, List[Tuple[int, int]]] = {}
+    for controller, stream in lowered.streams.items():
+        for index, item in enumerate(stream):
+            if isinstance(item, (SyncN, SyncR)):
+                headrooms[(controller, index)] = _headroom(stream, index)
+                if isinstance(item, SyncN):
+                    pair_sides.setdefault(item.pair_key, []).append(
+                        (controller, index))
+
+    # Phase 2: decide the hoist per sync.
+    decided: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for key, sides in pair_sides.items():
+        hoist = min(headrooms[s] for s in sides)
+        gap = max(neighbor_countdown - hoist, 0)
+        for side in sides:
+            decided[side] = (hoist, gap)
+    for loc, room in headrooms.items():
+        if loc in decided:
+            continue
+        hoist = room
+        gap = max(1 - hoist, 0)  # region delta >= 1 (ISA convention)
+        decided[loc] = (hoist, gap)
+
+    # Phase 3: rewrite streams, right-to-left so indices stay valid.
+    stats = {"syncs": 0, "hoisted_cycles": 0, "residual_gap_cycles": 0}
+    for controller, stream in lowered.streams.items():
+        sync_indices = [i for i, item in enumerate(stream)
+                        if isinstance(item, (SyncN, SyncR))]
+        for index in reversed(sync_indices):
+            hoist, gap = decided[(controller, index)]
+            _apply_hoist(stream, index, hoist, gap)
+            stats["syncs"] += 1
+            stats["hoisted_cycles"] += hoist
+            stats["residual_gap_cycles"] += gap
+    return stats
+
+
+def demand_gaps(lowered: LoweredProgram, neighbor_countdown: int) -> None:
+    """QubiC-style placement: no hoisting, full latency gap on every sync.
+
+    Code generation already emits unhoisted gaps, so this is a no-op kept
+    for symmetry/explicitness in the driver.
+    """
+    for stream in lowered.streams.values():
+        for item in stream:
+            if isinstance(item, SyncN):
+                item.gap = neighbor_countdown
+            elif isinstance(item, SyncR):
+                item.delta = 1
+                item.gap = 1

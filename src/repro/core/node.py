@@ -1,0 +1,520 @@
+"""The HISQ core: classical pipeline + TCU + SyncU + MsgU (Figure 3a).
+
+Execution model
+---------------
+The classical pipeline executes RV32I instructions at ``classical_cpi``
+cycles each and *runs ahead* of real time, pushing timed items (codeword
+emissions, syncs, message transmissions) into the TCU's item queue tagged
+with their timeline position (``wait`` advances the position cursor).  The
+TCU issues items at precise wall-clock times through an
+:class:`~repro.core.timer.AbsoluteTimer` that maps positions to wall-clock;
+sync stalls and feedback triggers shift the mapping forward.
+
+The only pipeline-blocking operations are ``recv`` (feedback) and a full
+codeword queue; the only TCU-blocking operations are the two BISP
+conditions (countdown + neighbor signal, or booked time-point + router Tm).
+
+The core talks to the outside world through a *fabric* object provided by
+the system builder (:mod:`repro.sim.system`) with four methods:
+``sync_signal``, ``send_booking``, ``send_message``, ``emit_codeword``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ExecutionError, TimingViolation
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..isa.registers import RegisterFile, to_signed
+from .config import CENTRAL_ADDRESS, CoreConfig
+from .message_unit import MessageUnit
+from .queues import (EmitCodeword, ItemQueue, Resync, SendMessage,
+                     SyncNearby, SyncRegion)
+from .sync_unit import SyncUnit
+from .timer import AbsoluteTimer
+
+
+class HISQCore:
+    """One control or readout board's digital part."""
+
+    def __init__(self, name: str, address: int, engine, telf,
+                 config: Optional[CoreConfig] = None,
+                 program: Optional[Program] = None,
+                 strict_timing: bool = False):
+        self.name = name
+        self.address = address
+        self.engine = engine
+        self.telf = telf
+        self.config = config or CoreConfig()
+        self.program = program or Program(name=name)
+        #: Raise TimingViolation instead of counting it (used in tests).
+        self.strict_timing = strict_timing
+
+        self.regs = RegisterFile()
+        self.memory = {}
+        self.pc = 0
+        self.position = 0  # pipeline-side timeline cursor (cycles)
+        self.timer = AbsoluteTimer()
+        self.sync_unit = SyncUnit(name)
+        self.message_unit = MessageUnit(name)
+        self.fabric = None  # wired by the system builder
+
+        self._queue = ItemQueue(self.config.event_queue_depth)
+        self._tcu_busy = False
+        self._sync_state = None
+        self._halted = False
+        self._pipeline_blocked = False
+        self._started = False
+
+        # Statistics.
+        self.instructions_executed = 0
+        self.codewords_emitted = 0
+        self.syncs_completed = 0
+        self.messages_sent = 0
+        self.timing_violations = 0
+        self.pipeline_stall_cycles = 0
+        self.last_event_time = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def load(self, program: Program) -> None:
+        """Install a program and reset execution state."""
+        self.program = program
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset registers, cursors and statistics (program retained)."""
+        self.regs.reset()
+        self.memory.clear()
+        self.pc = 0
+        self.position = 0
+        self.timer = AbsoluteTimer()
+        self._halted = False
+        self._pipeline_blocked = False
+        self._started = False
+
+    def start(self, at: int = 0) -> None:
+        """Schedule the pipeline to begin executing at cycle ``at``."""
+        if self._started:
+            raise ExecutionError("{}: already started".format(self.name))
+        self._started = True
+        self.engine.at(at, self._pipeline_run)
+
+    @property
+    def halted(self) -> bool:
+        """True once the pipeline has stopped fetching."""
+        return self._halted
+
+    @property
+    def drained(self) -> bool:
+        """True when the pipeline halted and the TCU has no pending work."""
+        return self._halted and len(self._queue) == 0 and \
+            self._sync_state is None
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total wall-clock cycles the TCU timer spent paused."""
+        return self.timer.stall_cycles
+
+    def counters(self) -> dict:
+        """Per-core statistics snapshot."""
+        return {
+            "instructions": self.instructions_executed,
+            "codewords": self.codewords_emitted,
+            "syncs": self.syncs_completed,
+            "sync_stall": self.timer.stall_cycles,
+            "messages": self.messages_sent,
+            "violations": self.timing_violations,
+            "pipeline_stall": self.pipeline_stall_cycles,
+            "last_event": self.last_event_time,
+        }
+
+    # ------------------------------------------------------------------
+    # Classical pipeline
+    # ------------------------------------------------------------------
+
+    def _pipeline_run(self) -> None:
+        if self._halted or self._pipeline_blocked:
+            return
+        cost = 0
+        for _ in range(self.config.batch_limit):
+            if not 0 <= self.pc < len(self.program.instructions):
+                self._halted = True
+                self._tcu_kick()
+                break
+            instr = self.program.instructions[self.pc]
+            if instr.mnemonic.startswith("cw.") and self._queue.full:
+                # Pipeline stalls until the TCU drains one entry.
+                self._pipeline_blocked = True
+                stall_from = self.engine.now + cost
+
+                def resume(stall_from=stall_from):
+                    self._pipeline_blocked = False
+                    self.pipeline_stall_cycles += max(
+                        0, self.engine.now - stall_from)
+                    self._pipeline_run()
+
+                self._queue.wait_for_space(
+                    lambda: self.engine.after(0, resume))
+                if cost:
+                    pass  # cost is folded into the stall accounting
+                return
+            if instr.mnemonic == "recv":
+                # Flush accumulated cost, then block on the message unit.
+                self.engine.after(cost + self.config.classical_cpi,
+                                  lambda i=instr: self._do_recv(i))
+                self.pc += 1
+                self.instructions_executed += 1
+                self._pipeline_blocked = True
+                return
+            self._execute(instr)
+            cost += self.config.classical_cpi
+            self.instructions_executed += 1
+            if self._halted:
+                self._tcu_kick()
+                return
+        else:
+            self.engine.after(max(cost, 1), self._pipeline_run)
+            return
+
+    def _do_recv(self, instr: Instruction) -> None:
+        def delivered(source, value):
+            self.regs.write(instr.rd, value)
+            # External trigger: the TCU timer may not pass the current
+            # position before the trigger arrival plus re-arm latency.
+            # Broadcasts from the lock-step central controller re-arm the
+            # timer *exactly* (common time base for all controllers).
+            exact = instr.imm == CENTRAL_ADDRESS
+            self._tcu_enqueue(Resync(
+                self.position,
+                self.engine.now + self.config.feedback_resync_cycles,
+                exact=exact))
+            self._pipeline_blocked = False
+            self.engine.after(self.config.classical_cpi, self._pipeline_run)
+
+        self.message_unit.receive(instr.imm, delivered)
+
+    def _execute(self, instr: Instruction) -> None:
+        m = instr.mnemonic
+        regs = self.regs
+        next_pc = self.pc + 1
+        if m == "nop":
+            pass
+        elif m == "halt":
+            self._halted = True
+        elif m == "addi":
+            regs.write(instr.rd, regs.read(instr.rs1) + instr.imm)
+        elif m == "add":
+            regs.write(instr.rd, regs.read(instr.rs1) + regs.read(instr.rs2))
+        elif m == "sub":
+            regs.write(instr.rd, regs.read(instr.rs1) - regs.read(instr.rs2))
+        elif m == "and":
+            regs.write(instr.rd, regs.read(instr.rs1) & regs.read(instr.rs2))
+        elif m == "or":
+            regs.write(instr.rd, regs.read(instr.rs1) | regs.read(instr.rs2))
+        elif m == "xor":
+            regs.write(instr.rd, regs.read(instr.rs1) ^ regs.read(instr.rs2))
+        elif m == "andi":
+            regs.write(instr.rd, regs.read(instr.rs1) & (instr.imm & 0xFFFFFFFF))
+        elif m == "ori":
+            regs.write(instr.rd, regs.read(instr.rs1) | (instr.imm & 0xFFFFFFFF))
+        elif m == "xori":
+            regs.write(instr.rd, regs.read(instr.rs1) ^ (instr.imm & 0xFFFFFFFF))
+        elif m == "slt":
+            regs.write(instr.rd, int(regs.read_signed(instr.rs1) <
+                                     regs.read_signed(instr.rs2)))
+        elif m == "sltu":
+            regs.write(instr.rd, int(regs.read(instr.rs1) <
+                                     regs.read(instr.rs2)))
+        elif m == "slti":
+            regs.write(instr.rd, int(regs.read_signed(instr.rs1) < instr.imm))
+        elif m == "sltiu":
+            regs.write(instr.rd, int(regs.read(instr.rs1) <
+                                     (instr.imm & 0xFFFFFFFF)))
+        elif m == "sll":
+            regs.write(instr.rd,
+                       regs.read(instr.rs1) << (regs.read(instr.rs2) & 0x1F))
+        elif m == "srl":
+            regs.write(instr.rd,
+                       regs.read(instr.rs1) >> (regs.read(instr.rs2) & 0x1F))
+        elif m == "sra":
+            regs.write(instr.rd, regs.read_signed(instr.rs1) >>
+                       (regs.read(instr.rs2) & 0x1F))
+        elif m == "slli":
+            regs.write(instr.rd, regs.read(instr.rs1) << (instr.imm & 0x1F))
+        elif m == "srli":
+            regs.write(instr.rd, regs.read(instr.rs1) >> (instr.imm & 0x1F))
+        elif m == "srai":
+            regs.write(instr.rd,
+                       regs.read_signed(instr.rs1) >> (instr.imm & 0x1F))
+        elif m == "lui":
+            regs.write(instr.rd, instr.imm << 12)
+        elif m == "auipc":
+            regs.write(instr.rd, (instr.imm << 12) + self.pc * 4)
+        elif m == "lw":
+            addr = (regs.read(instr.rs1) + instr.imm) & 0xFFFFFFFF
+            if addr % 4:
+                raise ExecutionError("{}: misaligned load at {:#x}".format(
+                    self.name, addr))
+            regs.write(instr.rd, self.memory.get(addr, 0))
+        elif m == "sw":
+            addr = (regs.read(instr.rs1) + instr.imm) & 0xFFFFFFFF
+            if addr % 4:
+                raise ExecutionError("{}: misaligned store at {:#x}".format(
+                    self.name, addr))
+            self.memory[addr] = regs.read(instr.rs2)
+        elif m == "beq":
+            if regs.read(instr.rs1) == regs.read(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "bne":
+            if regs.read(instr.rs1) != regs.read(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "blt":
+            if regs.read_signed(instr.rs1) < regs.read_signed(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "bge":
+            if regs.read_signed(instr.rs1) >= regs.read_signed(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "bltu":
+            if regs.read(instr.rs1) < regs.read(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "bgeu":
+            if regs.read(instr.rs1) >= regs.read(instr.rs2):
+                next_pc = self.pc + instr.imm
+        elif m == "jal":
+            regs.write(instr.rd, self.pc + 1)
+            next_pc = self.pc + instr.imm
+        elif m == "jalr":
+            regs.write(instr.rd, self.pc + 1)
+            next_pc = (regs.read(instr.rs1) + instr.imm) & 0xFFFFFFFF
+        elif m == "waiti":
+            self.position += instr.imm
+        elif m == "waitr":
+            self.position += to_signed(regs.read(instr.rs1))
+        elif m == "cw.i.i":
+            self._tcu_enqueue(EmitCodeword(self.position, instr.imm,
+                                           instr.imm2))
+        elif m == "cw.i.r":
+            self._tcu_enqueue(EmitCodeword(self.position, instr.imm,
+                                           regs.read(instr.rs2)))
+        elif m == "cw.r.i":
+            self._tcu_enqueue(EmitCodeword(self.position,
+                                           regs.read(instr.rs1), instr.imm2))
+        elif m == "cw.r.r":
+            self._tcu_enqueue(EmitCodeword(self.position,
+                                           regs.read(instr.rs1),
+                                           regs.read(instr.rs2)))
+        elif m == "sync":
+            if instr.imm2:
+                self._tcu_enqueue(SyncRegion(self.position, instr.imm,
+                                             instr.imm2))
+            else:
+                self._tcu_enqueue(SyncNearby(self.position, instr.imm))
+        elif m == "send":
+            self._tcu_enqueue(SendMessage(self.position, instr.imm,
+                                          regs.read(instr.rs1)))
+        elif m == "send.i":
+            self._tcu_enqueue(SendMessage(self.position, instr.imm,
+                                          instr.imm2))
+        else:
+            raise ExecutionError("{}: cannot execute {!r}".format(self.name,
+                                                                  m))
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    # Timing control unit
+    # ------------------------------------------------------------------
+
+    def _tcu_enqueue(self, item) -> None:
+        self._queue.push(item)
+        self._tcu_kick()
+
+    def _tcu_kick(self) -> None:
+        if self._tcu_busy:
+            return
+        self._tcu_busy = True
+        self._tcu_loop()
+
+    def _clamped_position(self, position: int) -> int:
+        """Clamp an item position that fell behind the cursor (violation).
+
+        Happens only when the compiled timing contract is broken, e.g. a
+        codeword scheduled between a sync booking and its sync point on a
+        path the compiler failed to pad.
+        """
+        if position < self.timer.position:
+            self._violation(
+                "item at position {} is behind the timer cursor {}".format(
+                    position, self.timer.position))
+            return self.timer.position
+        return position
+
+    def _action_wall(self, position: int) -> int:
+        """Wall-clock at which a timed item at ``position`` may act."""
+        target = self.timer.wall_of(position)
+        if target < self.engine.now:
+            self._violation("item at position {} is {} cycles late".format(
+                position, self.engine.now - target))
+            target = self.engine.now
+        return target
+
+    def _violation(self, why: str) -> None:
+        if self.strict_timing:
+            raise TimingViolation("{}: {}".format(self.name, why))
+        self.timing_violations += 1
+
+    def _tcu_loop(self) -> None:
+        """Drain timed items in order, respecting an active sync fence.
+
+        While a sync is in flight (booked but not completed), the timer
+        keeps advancing and items *below* the fence position — the
+        deterministic tasks hoisted over (Insight #1) — are emitted at
+        their nominal times.  Items at or beyond the fence wait for the
+        sync to resolve; the resolution shifts the position->wall mapping
+        by the stall, which is exactly BISP's synchronization overhead.
+        """
+        engine = self.engine
+        while True:
+            item = self._queue.peek()
+            if item is None:
+                self._tcu_busy = False
+                return
+            position = self._clamped_position(item.position)
+            if self._sync_state is not None:
+                fence = self._sync_state["fence"]
+                if position >= fence or isinstance(item, (SyncNearby,
+                                                          SyncRegion)):
+                    # Blocked until the in-flight sync resolves.
+                    self._tcu_busy = False
+                    return
+            if isinstance(item, Resync):
+                self._queue.pop()
+                if item.exact:
+                    self.timer.realign_to(position, item.earliest_wall)
+                else:
+                    target = max(self.timer.wall_of(position),
+                                 item.earliest_wall)
+                    self.timer.advance_to(position, target)
+                continue
+            target = self._action_wall(position)
+            if target > engine.now:
+                engine.at(target, self._tcu_loop)
+                return
+            if isinstance(item, EmitCodeword):
+                self._queue.pop()
+                self.timer.advance_to(position, target)
+                self.codewords_emitted += 1
+                self.last_event_time = target
+                self.telf.log(target, self.name, "cw", port=item.port,
+                              value=item.codeword)
+                if self.fabric is not None:
+                    self.fabric.emit_codeword(self, item.port, item.codeword)
+                continue
+            if isinstance(item, SendMessage):
+                self._queue.pop()
+                self.timer.advance_to(position, target)
+                self.messages_sent += 1
+                self.last_event_time = target
+                self.telf.log(target, self.name, "msg_tx",
+                              port=item.destination, value=item.value)
+                self.fabric.send_message(self, item.destination, item.value)
+                continue
+            if isinstance(item, SyncNearby):
+                self._queue.pop()
+                self._book_nearby_sync(item, position, target)
+                continue
+            if isinstance(item, SyncRegion):
+                self._queue.pop()
+                self._book_region_sync(item, position, target)
+                continue
+            raise ExecutionError("{}: unknown TCU item {!r}".format(
+                self.name, item))
+
+    # -- BISP nearby (booking + two conditions, Figure 4) ------------------
+
+    def _book_nearby_sync(self, item: SyncNearby, position: int,
+                          booking_wall: int) -> None:
+        self.timer.advance_to(position, booking_wall)
+        countdown = self.fabric.sync_signal(self, item.target)
+        self.telf.log(booking_wall, self.name, "sync_book", port=item.target,
+                      value=countdown)
+        self._sync_state = {
+            "kind": "nearby",
+            "item": item,
+            "fence": position + countdown,
+            "booking_wall": booking_wall,
+            "booked_time": booking_wall + countdown,
+        }
+        # Condition I: the N-cycle countdown completes.
+        self.engine.at(booking_wall + countdown, self._nearby_count_done)
+
+    def _nearby_count_done(self) -> None:
+        # Condition II: the neighbor's signal must have been received.
+        item = self._sync_state["item"]
+        self.sync_unit.wait_for_signal(item.target, self._finish_sync)
+
+    # -- BISP region (booked time-point + router Tm, section 4.3) ----------
+
+    def _book_region_sync(self, item: SyncRegion, position: int,
+                          booking_wall: int) -> None:
+        self.timer.advance_to(position, booking_wall)
+        booked_time = booking_wall + item.delta
+        self.fabric.send_booking(self, item.group, booked_time)
+        self.telf.log(booking_wall, self.name, "sync_book", port=item.group,
+                      value=booked_time)
+        self._sync_state = {
+            "kind": "region",
+            "item": item,
+            "fence": position + item.delta,
+            "booking_wall": booking_wall,
+            "booked_time": booked_time,
+        }
+        self.sync_unit.wait_for_time_point(self._region_tm_received)
+
+    def _region_tm_received(self, tm: int) -> None:
+        state = self._sync_state
+        arrival = self.engine.now
+        if tm < state["booked_time"]:
+            self._violation(
+                "router Tm {} earlier than booked time {}".format(
+                    tm, state["booked_time"]))
+            tm = state["booked_time"]
+        if arrival > tm:
+            self._violation(
+                "router Tm notification arrived at {} after Tm {}".format(
+                    arrival, tm))
+        resume = max(tm, arrival)
+        if resume > self.engine.now:
+            self.engine.at(resume, self._finish_sync)
+        else:
+            self._finish_sync()
+
+    # -- shared completion ---------------------------------------------------
+
+    def _finish_sync(self) -> None:
+        state = self._sync_state
+        self._sync_state = None
+        resume = self.engine.now
+        target_port = (state["item"].target
+                       if state["kind"] == "nearby" else state["item"].group)
+        self.timer.advance_to(state["fence"], resume)
+        self.syncs_completed += 1
+        self.last_event_time = resume
+        self.telf.log(resume, self.name, "sync_done", port=target_port,
+                      value=resume - state["booked_time"])
+        self._tcu_kick()
+
+    # ------------------------------------------------------------------
+
+    def deliver_message(self, source: int, value: int) -> None:
+        """Entry point used by the fabric to hand a message to the MsgU."""
+        self.telf.log(self.engine.now, self.name, "msg_rx", port=source,
+                      value=value)
+        self.message_unit.deliver(source, value)
+
+    def __repr__(self):
+        return "HISQCore({!r}, addr={}, pc={}, pos={})".format(
+            self.name, self.address, self.pc, self.position)

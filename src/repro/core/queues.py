@@ -1,0 +1,103 @@
+"""Timed items flowing from the classical pipeline into the TCU.
+
+The pipeline runs ahead of real time and enqueues items tagged with their
+*timeline position*; the TCU issues them at precise wall-clock times
+(QuMA-style queue-based event timing, paper section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class EmitCodeword:
+    """Send ``codeword`` to ``port`` when the timeline reaches ``position``."""
+
+    position: int
+    port: int
+    codeword: int
+
+
+@dataclass(frozen=True)
+class SyncNearby:
+    """Book neighbor-level synchronization with controller ``target``."""
+
+    position: int
+    target: int
+
+
+@dataclass(frozen=True)
+class SyncRegion:
+    """Book region-level synchronization through sync group ``group``.
+
+    ``delta`` is the compile-time distance, in cycles, from the booking
+    position to the synchronization point (paper section 4.3).
+    """
+
+    position: int
+    group: int
+    delta: int
+
+
+@dataclass(frozen=True)
+class SendMessage:
+    """Transmit ``value`` to controller ``destination`` at ``position``."""
+
+    position: int
+    destination: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Resync:
+    """External-trigger resynchronization after a blocking feedback receive.
+
+    The TCU timer may not pass ``position`` before wall-clock
+    ``earliest_wall`` (the trigger arrival plus re-arm latency).  With
+    ``exact`` set (lock-step central-trigger), the timer re-arms so that
+    ``position`` maps to exactly ``earliest_wall`` — the broadcast arrival
+    becomes the common time base of all controllers.
+    """
+
+    position: int
+    earliest_wall: int
+    exact: bool = False
+
+
+class ItemQueue:
+    """Bounded FIFO between pipeline and TCU with a stall callback."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self._items = deque()
+        self._space_waiter: Optional[Callable[[], None]] = None
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    def push(self, item) -> None:
+        """Append an item (caller must check :attr:`full` first)."""
+        self._items.append(item)
+
+    def peek(self):
+        """Return the head item or None."""
+        return self._items[0] if self._items else None
+
+    def pop(self):
+        """Remove and return the head item; wake a pipeline space-waiter."""
+        item = self._items.popleft()
+        if self._space_waiter is not None and not self.full:
+            waiter, self._space_waiter = self._space_waiter, None
+            waiter()
+        return item
+
+    def wait_for_space(self, callback: Callable[[], None]) -> None:
+        """Register a callback invoked once space becomes available."""
+        self._space_waiter = callback

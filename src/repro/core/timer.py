@@ -1,0 +1,64 @@
+"""Absolute timer of the timing control unit.
+
+The timer maps *timeline positions* (cycles of deterministic program time,
+advanced by ``wait`` instructions) to *wall-clock* simulation time.  Sync
+stalls and feedback pauses shift the mapping forward; the accumulated shift
+is the total stall time, an important evaluation statistic.
+"""
+
+from __future__ import annotations
+
+from ..errors import TimingViolation
+
+
+class AbsoluteTimer:
+    """Tracks the position -> wall-clock mapping of one TCU."""
+
+    def __init__(self):
+        self.position = 0      # timeline cycles at the cursor
+        self.wall = 0          # wall-clock cycles of the cursor
+        self.stall_cycles = 0  # total pause time accumulated
+
+    def wall_of(self, position: int) -> int:
+        """Wall-clock time at which ``position`` is reached (no new stalls)."""
+        if position < self.position:
+            raise TimingViolation(
+                "position {} is behind the cursor {}".format(position,
+                                                             self.position))
+        return self.wall + (position - self.position)
+
+    def advance_to(self, position: int, wall: int) -> None:
+        """Move the cursor to ``position`` at wall-clock ``wall``.
+
+        Any excess of ``wall`` over the nominal arrival time counts as stall.
+        """
+        nominal = self.wall_of(position)
+        if wall < nominal:
+            raise TimingViolation(
+                "cursor cannot move backwards in wall-clock: {} < {}".format(
+                    wall, nominal))
+        self.stall_cycles += wall - nominal
+        self.position = position
+        self.wall = wall
+
+    def realign_to(self, position: int, wall: int) -> None:
+        """Re-arm the timer so ``position`` maps exactly to ``wall``.
+
+        Used for central-trigger realignment in the lock-step baseline:
+        unlike :meth:`advance_to`, the mapping may move *backwards* (the
+        broadcast arrival defines the new common time base).  Only forward
+        movement counts as stall.
+        """
+        if position < self.position:
+            raise TimingViolation(
+                "cannot realign to position {} behind cursor {}".format(
+                    position, self.position))
+        nominal = self.wall_of(position)
+        if wall > nominal:
+            self.stall_cycles += wall - nominal
+        self.position = position
+        self.wall = wall
+
+    def __repr__(self):
+        return "AbsoluteTimer(position={}, wall={}, stall={})".format(
+            self.position, self.wall, self.stall_cycles)

@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the Distributed-HISQ reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class AssemblyError(ReproError):
+    """Raised when HISQ assembly text cannot be parsed or resolved."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to / decoded from 32 bits."""
+
+
+class ExecutionError(ReproError):
+    """Raised on an illegal action during program execution."""
+
+
+class TimingViolation(ReproError):
+    """Raised when the compiled timing contract is violated at run time.
+
+    Examples: a codeword scheduled inside a sync countdown window, or the
+    classical pipeline falling behind the timing-control unit.
+    """
+
+
+class SynchronizationError(ReproError):
+    """Raised when the synchronization protocol is used inconsistently."""
+
+
+class CompilationError(ReproError):
+    """Raised when a quantum circuit cannot be lowered to HISQ programs."""
+
+
+class TopologyError(ReproError):
+    """Raised when a control-network topology is malformed."""
+
+
+class QuantumStateError(ReproError):
+    """Raised on illegal operations against a quantum state simulator."""
+
+
+class CalibrationError(ReproError):
+    """Raised when an analog calibration experiment cannot be fitted."""

@@ -1,0 +1,14 @@
+"""Decoherence and fidelity metrics (Figure 16)."""
+
+from .decoherence import (circuit_fidelity, circuit_infidelity,
+                          infidelity_sweep, reduction_ratio,
+                          survival_probability)
+from .metrics import (arithmetic_mean, geometric_mean, normalized_runtime,
+                      runtime_reduction_percent, summarize_lifetimes)
+
+__all__ = [
+    "arithmetic_mean", "circuit_fidelity", "circuit_infidelity",
+    "geometric_mean", "infidelity_sweep", "normalized_runtime",
+    "reduction_ratio", "runtime_reduction_percent", "summarize_lifetimes",
+    "survival_probability",
+]

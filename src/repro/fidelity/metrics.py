@@ -1,0 +1,45 @@
+"""Aggregate fidelity/runtime metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+
+def normalized_runtime(baseline_cycles: int, scheme_cycles: int) -> float:
+    """Scheme runtime normalized to the baseline (Figure 15's y-axis)."""
+    if baseline_cycles <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return scheme_cycles / baseline_cycles
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (robust average for normalized runtimes)."""
+    if not values:
+        raise ValueError("no values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain mean (the paper's Figure 15 'avg' bar is arithmetic)."""
+    if not values:
+        raise ValueError("no values")
+    return sum(values) / len(values)
+
+
+def runtime_reduction_percent(normalized: Sequence[float]) -> float:
+    """Average runtime reduction in percent (paper: 22.8%)."""
+    return 100.0 * (1.0 - arithmetic_mean(list(normalized)))
+
+
+def summarize_lifetimes(lifetimes_ns: Mapping[int, float]) -> Dict[str, float]:
+    """Descriptive statistics of per-qubit activity windows."""
+    if not lifetimes_ns:
+        return {"count": 0, "total_ns": 0.0, "max_ns": 0.0, "mean_ns": 0.0}
+    values = list(lifetimes_ns.values())
+    return {
+        "count": len(values),
+        "total_ns": sum(values),
+        "max_ns": max(values),
+        "mean_ns": sum(values) / len(values),
+    }

@@ -1,0 +1,12 @@
+"""FPGA hardware cost models (Table 1)."""
+
+from .resources import (CONTROL_BOARD, EVENT_QUEUE, QUEUE_DEPTH,
+                        QUEUE_WIDTH_BITS, READOUT_BOARD, SYNC_UNIT,
+                        BoardConfig, ResourceEstimate, board_cost,
+                        custom_board, event_queue_cost, table1)
+
+__all__ = [
+    "BoardConfig", "CONTROL_BOARD", "EVENT_QUEUE", "QUEUE_DEPTH",
+    "QUEUE_WIDTH_BITS", "READOUT_BOARD", "ResourceEstimate", "SYNC_UNIT",
+    "board_cost", "custom_board", "event_queue_cost", "table1",
+]

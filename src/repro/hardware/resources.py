@@ -1,0 +1,155 @@
+"""FPGA resource-consumption model (Table 1, section 6.1).
+
+A structural cost model: each microarchitectural unit contributes
+LUTs/FFs/BRAM as a function of its configuration (channel count, queue
+geometry).  The per-unit coefficients are calibrated so the model
+reproduces the published Table 1 exactly for the two shipped boards:
+
+* control board — 8 XY + 20 Z channels (28 codeword queues):
+  4,155 LUTs, 75 BRAM blocks (32 Kb each), 6,392 FFs
+* readout board — 4 RI + 4 RO channels (8 codeword queues):
+  2,435 LUTs, 45 BRAM blocks, 3,192 FFs
+* one event queue (38 bit x 1024 entries): 86 LUTs, 1.5 BRAM, 160 FFs
+* SyncU: 13 LUTs (section 4.1)
+
+and then extrapolates to other configurations (the Table-1 ablation
+benchmarks sweep channel count and queue depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/FF/BRAM usage of one unit or board."""
+
+    luts: float
+    brams: float  # 32 Kb blocks
+    ffs: float
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(self.luts + other.luts,
+                                self.brams + other.brams,
+                                self.ffs + other.ffs)
+
+    def scaled(self, factor: float) -> "ResourceEstimate":
+        return ResourceEstimate(self.luts * factor, self.brams * factor,
+                                self.ffs * factor)
+
+    @property
+    def bram_mb(self) -> float:
+        """Block RAM in megabits (32 Kb per block)."""
+        return self.brams * 32.0 / 1024.0
+
+
+#: Reference event queue geometry (38-bit entries, 1024 deep).
+QUEUE_WIDTH_BITS = 38
+QUEUE_DEPTH = 1024
+
+#: Calibrated per-unit costs.
+EVENT_QUEUE = ResourceEstimate(luts=86.0, brams=1.5, ffs=160.0)
+SYNC_UNIT = ResourceEstimate(luts=13.0, brams=0.0, ffs=26.0)
+
+
+def event_queue_cost(width_bits: int = QUEUE_WIDTH_BITS,
+                     depth: int = QUEUE_DEPTH) -> ResourceEstimate:
+    """Event-queue cost scaled from the reference 38b x 1024 geometry.
+
+    BRAM scales with capacity; LUT/FF control logic scales with width and
+    (logarithmically negligible here) with depth-pointer width.
+    """
+    capacity_ratio = (width_bits * depth) / (QUEUE_WIDTH_BITS * QUEUE_DEPTH)
+    width_ratio = width_bits / QUEUE_WIDTH_BITS
+    return ResourceEstimate(luts=EVENT_QUEUE.luts * width_ratio,
+                            brams=EVENT_QUEUE.brams * capacity_ratio,
+                            ffs=EVENT_QUEUE.ffs * width_ratio)
+
+
+@dataclass(frozen=True)
+class BoardConfig:
+    """Digital configuration of one HISQ board."""
+
+    name: str
+    channels: int
+    #: memory blocks for instruction/waveform storage beyond the queues
+    base_brams: float
+    #: pipeline + decoder + TCU control logic
+    base_luts: float
+    base_ffs: float
+    has_sync_unit: bool = True
+
+
+def _solve_base(total: ResourceEstimate, channels: int,
+                sync_unit: bool) -> ResourceEstimate:
+    """Back out the base (non-queue) cost from a published board total."""
+    queues = EVENT_QUEUE.scaled(channels)
+    base = ResourceEstimate(total.luts - queues.luts,
+                            total.brams - queues.brams,
+                            total.ffs - queues.ffs)
+    if sync_unit:
+        base = ResourceEstimate(base.luts - SYNC_UNIT.luts, base.brams,
+                                base.ffs - SYNC_UNIT.ffs)
+    return base
+
+
+#: Published totals (Table 1).
+CONTROL_BOARD_TOTAL = ResourceEstimate(luts=4155.0, brams=75.0, ffs=6392.0)
+READOUT_BOARD_TOTAL = ResourceEstimate(luts=2435.0, brams=45.0, ffs=3192.0)
+
+_CONTROL_BASE = _solve_base(CONTROL_BOARD_TOTAL, 28, True)
+_READOUT_BASE = _solve_base(READOUT_BOARD_TOTAL, 8, True)
+
+CONTROL_BOARD = BoardConfig("control", channels=28,
+                            base_luts=_CONTROL_BASE.luts,
+                            base_brams=_CONTROL_BASE.brams,
+                            base_ffs=_CONTROL_BASE.ffs)
+READOUT_BOARD = BoardConfig("readout", channels=8,
+                            base_luts=_READOUT_BASE.luts,
+                            base_brams=_READOUT_BASE.brams,
+                            base_ffs=_READOUT_BASE.ffs)
+
+
+def board_cost(config: BoardConfig,
+               queue_width_bits: int = QUEUE_WIDTH_BITS,
+               queue_depth: int = QUEUE_DEPTH) -> ResourceEstimate:
+    """Total digital-part cost of a board configuration."""
+    total = ResourceEstimate(config.base_luts, config.base_brams,
+                             config.base_ffs)
+    total = total + event_queue_cost(queue_width_bits,
+                                     queue_depth).scaled(config.channels)
+    if config.has_sync_unit:
+        total = total + SYNC_UNIT
+    return total
+
+
+def custom_board(name: str, channels: int,
+                 like: BoardConfig = CONTROL_BOARD) -> BoardConfig:
+    """Board with a different channel count, reusing a reference base."""
+    return BoardConfig(name, channels=channels, base_luts=like.base_luts,
+                       base_brams=like.base_brams, base_ffs=like.base_ffs,
+                       has_sync_unit=like.has_sync_unit)
+
+
+def table1() -> List[Dict[str, object]]:
+    """Regenerate Table 1 (model values; calibrated to match exactly)."""
+    rows = []
+    for config in (CONTROL_BOARD, READOUT_BOARD):
+        cost = board_cost(config)
+        rows.append({
+            "type": "{} board".format(config.name).title(),
+            "luts": round(cost.luts),
+            "brams": round(cost.brams, 1),
+            "ffs": round(cost.ffs),
+            "bram_mb": round(cost.bram_mb, 2),
+        })
+    rows.append({
+        "type": "Event Queue (38bit x 1024)",
+        "luts": round(EVENT_QUEUE.luts),
+        "brams": EVENT_QUEUE.brams,
+        "ffs": round(EVENT_QUEUE.ffs),
+        "bram_mb": round(EVENT_QUEUE.bram_mb, 3),
+    })
+    return rows

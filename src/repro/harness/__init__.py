@@ -1,0 +1,16 @@
+"""Evaluation harness: benchmark suites and table/figure reproduction."""
+
+from .figures import (T1_SWEEP_US, figure5_nearby, figure7_overhead_sweep,
+                      figure13_waveforms, figure14_depths, figure16_sweep)
+from .runner import (BenchmarkOutcome, BenchmarkSpec, fig15_suite, run_spec,
+                     run_suite)
+from .tables import (ascii_bar_chart, format_table, render_figure15,
+                     render_figure16, render_table1)
+
+__all__ = [
+    "BenchmarkOutcome", "BenchmarkSpec", "T1_SWEEP_US", "ascii_bar_chart",
+    "fig15_suite", "figure13_waveforms", "figure14_depths",
+    "figure16_sweep", "figure5_nearby", "figure7_overhead_sweep",
+    "format_table", "render_figure15", "render_figure16", "render_table1",
+    "run_spec", "run_suite",
+]

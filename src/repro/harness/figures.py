@@ -1,0 +1,184 @@
+"""Figure-specific experiment drivers (Figures 5, 7, 13, 14, 16)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.driver import run_circuit
+from ..fidelity.decoherence import infidelity_sweep, reduction_ratio
+from ..isa.assembler import assemble
+from ..quantum.teleport import (build_long_range_cnot_circuit,
+                                build_swap_cnot_circuit)
+from ..sim.config import SimulationConfig
+from ..sim.system import ControlSystem
+from ..sync.analysis import Participant, sync_overhead, timing_diagram
+
+#: Default Figure-16 sweep: T1 = T2 from 30 us to 300 us.
+T1_SWEEP_US = (30, 60, 90, 120, 150, 180, 210, 240, 270, 300)
+
+
+def figure5_nearby(booking_lead: int = 30,
+                   config: Optional[SimulationConfig] = None
+                   ) -> Dict[str, int]:
+    """Figure 5a: two neighbors, booked sync, zero-cycle overhead.
+
+    Runs the event-level simulation and the analytic model; returns both
+    so callers (and tests) can check they agree.
+    """
+    config = config or SimulationConfig()
+    n = config.neighbor_link_cycles
+    system = ControlSystem(2, config=config, mesh_kind="line")
+    b0, b1 = 10, 40
+    for address, booking in ((0, b0), (1, b1)):
+        system.load_program(address, assemble(
+            "waiti {}\nsync {}\nwaiti {}\ncw.i.i 0,7\nhalt".format(
+                booking, 1 - address, booking_lead),
+            name="c{}".format(address)))
+    system.run()
+    task_times = [system.telf.emissions("C{}".format(a))[0].time
+                  for a in (0, 1)]
+    participants = [Participant(b0, booking_lead, n),
+                    Participant(b1, booking_lead, n)]
+    return {
+        "task_time_c0": task_times[0],
+        "task_time_c1": task_times[1],
+        "aligned": int(task_times[0] == task_times[1]),
+        "simulated_overhead": task_times[0] - (max(b0, b1) + booking_lead),
+        "analytic_overhead": sync_overhead(participants),
+    }
+
+
+def figure7_overhead_sweep(leads: Sequence[int],
+                           config: Optional[SimulationConfig] = None
+                           ) -> List[Tuple[int, int, int]]:
+    """Figure 7: region sync overhead vs booking lead D.
+
+    Returns (lead, simulated overhead, analytic overhead) per point; the
+    overhead falls linearly to zero once the lead covers the booking
+    round-trip (section 4.4's condition).
+    """
+    config = config or SimulationConfig()
+    rows = []
+    bookings = {0: 10, 1: 25, 2: 60}
+    group = 0x77
+    round_trip = (config.router_hop_cycles + config.router_process_cycles +
+                  config.router_hop_cycles)
+    for lead in leads:
+        system = ControlSystem(3, config=config, mesh_kind="line")
+        system.register_sync_group(group, [0, 1, 2])
+        delta = max(lead, 1)
+        for address, booking in bookings.items():
+            system.load_program(address, assemble(
+                "waiti {}\nsync {}, {}\nwaiti {}\ncw.i.i 0,9\nhalt".format(
+                    booking, group, delta, delta),
+                name="c{}".format(address)))
+        system.run()
+        start = system.telf.emissions("C0")[0].time
+        theoretical = max(b + delta for b in bookings.values())
+        participants = [Participant(b, delta, round_trip)
+                        for b in bookings.values()]
+        rows.append((lead, start - theoretical,
+                     sync_overhead(participants)))
+    return rows
+
+
+def figure13_waveforms(iterations: int = 3,
+                       config: Optional[SimulationConfig] = None):
+    """Figure 12/13: the paper's two board programs, TELF waveforms.
+
+    The control board's ``waitr $1`` ramps by 30 cycles (120 ns) per inner
+    iteration; the sync'd pulses (control port 7, readout port 5) must stay
+    cycle-aligned regardless.  Returns (system, aligned pulse time pairs).
+    """
+    config = config or SimulationConfig()
+    horizon = 40000
+    system = ControlSystem(2, config=config, mesh_kind="line")
+    # Figure 12, with cycle counts preserved (4 ns grid: 120 ns = 30 cycles).
+    control_src = """
+    addi $2,$0,120
+    outer:
+    addi $1,$0,0
+    inner:
+    waiti 1
+    cw.i.i 21,2
+    addi $1,$1,40
+    cw.i.i 20,2
+    waitr $1
+    sync 1
+    waiti 8
+    cw.i.i 7,1
+    waiti 50
+    bne $1,$2,inner
+    jal $0,outer
+    """
+    readout_src = """
+    loop:
+    waiti 2
+    sync 0
+    waiti 6
+    waiti 57
+    cw.i.i 5,1
+    jal $0,loop
+    """
+    system.load_program(0, assemble(control_src, name="control"))
+    system.load_program(1, assemble(readout_src, name="readout"))
+    system.start_all()
+    system.engine.run(until=horizon)
+    control_pulses = [r.time for r in system.telf.emissions("C0")
+                      if r.port == 7]
+    readout_pulses = [r.time for r in system.telf.emissions("C1")
+                      if r.port == 5]
+    # The readout pulse fires 63 - 8 = 55 cycles after the control pulse's
+    # offset from the common sync point (the paper's 57-cycle trigger-delay
+    # compensation); alignment means a constant offset across iterations.
+    pairs = list(zip(control_pulses, readout_pulses))
+    return system, pairs
+
+
+def figure14_depths(distances: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Figure 14's caption claim: teleported CNOT depth is constant while
+    the SWAP ladder's grows linearly.  Returns (distance, dyn, swap)."""
+    rows = []
+    for distance in distances:
+        dynamic = build_long_range_cnot_circuit(distance).depth()
+        swap = build_swap_cnot_circuit(distance).depth()
+        rows.append((distance, dynamic, swap))
+    return rows
+
+
+def figure16_sweep(distance: int = 41,
+                   t1_values_us: Sequence[float] = T1_SWEEP_US,
+                   config: Optional[SimulationConfig] = None,
+                   data_qubits_only: bool = True) -> Dict:
+    """Figure 16: infidelity of the long-range CNOT circuit vs T1.
+
+    Runs the Figure-14 circuit under both schemes, derives per-qubit
+    activity windows from the device model, and applies the decoherence
+    model across the T1 sweep.  ``data_qubits_only`` restricts the
+    fidelity to the two qubits that carry the produced entangled pair
+    (the ancillas are measured and discarded); the baseline's serialized
+    feedback chain stretches exactly those qubits' idle windows.
+    """
+    circuit = build_long_range_cnot_circuit(distance)
+    # Final data measurements so every qubit's window closes.
+    circuit.measure(0, circuit.num_clbits - 2)
+    circuit.measure(distance, circuit.num_clbits - 1)
+    sweeps = {}
+    makespans = {}
+    for scheme in ("bisp", "lockstep"):
+        result = run_circuit(circuit, scheme=scheme, config=config,
+                             backend=None, device_seed=5,
+                             record_gate_log=False)
+        lifetimes = result.system.device.lifetimes_ns()
+        if data_qubits_only:
+            lifetimes = {q: lifetimes[q] for q in (0, distance)}
+        sweeps[scheme] = infidelity_sweep(lifetimes, t1_values_us)
+        makespans[scheme] = result.makespan_cycles
+    ratio = reduction_ratio(sweeps["lockstep"], sweeps["bisp"])
+    return {
+        "t1_values_us": list(t1_values_us),
+        "baseline": sweeps["lockstep"],
+        "hisq": sweeps["bisp"],
+        "reduction_ratio": ratio,
+        "makespans": makespans,
+    }

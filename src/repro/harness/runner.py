@@ -1,0 +1,169 @@
+"""Evaluation harness: the paper's benchmark suite (section 6.4).
+
+Builds the thirteen Figure-15 workloads (dynamic circuits obtained by
+substituting long-range CNOTs into QASMBench-style families, plus the two
+logical-T QEC instances), runs each under any subset of the three
+synchronization schemes, and collects runtime/fidelity data.
+
+Workload sizes default to the paper's (adder_n577 ... w_state_n1000); a
+``scale`` argument shrinks every instance proportionally for quick runs
+(the *shape* of the comparison is scale-invariant — the tests check a
+scaled suite, the benchmark harness runs the full one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits.adder import build_adder
+from ..circuits.bv import build_bv
+from ..circuits.dynamic import count_feedback_ops, to_dynamic
+from ..circuits.logical_t import build_logical_t
+from ..circuits.qft import build_qft
+from ..circuits.w_state import build_w_state
+from ..compiler.driver import RunResult, run_circuit
+from ..quantum.circuit import QuantumCircuit
+from ..sim.config import SimulationConfig
+
+
+@dataclass
+class BenchmarkSpec:
+    """One Figure-15 workload."""
+
+    name: str
+    build: Callable[[], QuantumCircuit]
+    #: probability that an eligible distant CNOT is substituted
+    substitution_fraction: float = 1.0
+    #: linear-layout distance above which a CNOT is "long-range"
+    distance_threshold: int = 1
+    #: skip the dynamic-circuit conversion (logical_t is already dynamic)
+    already_dynamic: bool = False
+    #: intra-layer mesh: "line" for 1D devices, "interaction" to mirror the
+    #: actual coupling map (2D lattice for the surface-code workloads)
+    mesh_kind: str = "line"
+
+    def circuit(self) -> QuantumCircuit:
+        base = self.build()
+        if self.already_dynamic:
+            return base
+        return to_dynamic(base,
+                          distance_threshold=self.distance_threshold,
+                          substitution_fraction=self.substitution_fraction)
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def fig15_suite(scale: float = 1.0,
+                substitution_fraction: float = 0.25) -> List[BenchmarkSpec]:
+    """The paper's thirteen benchmarks, optionally scaled down.
+
+    ``substitution_fraction`` controls how many eligible distant CNOTs
+    become teleportation gadgets ("randomly substituting", section 6.4.2).
+    """
+    specs = [
+        BenchmarkSpec("adder_n577",
+                      lambda n=_scaled(577, scale, 9): build_adder(
+                          n, measure=False),
+                      substitution_fraction=substitution_fraction,
+                      distance_threshold=2),
+        BenchmarkSpec("adder_n1153",
+                      lambda n=_scaled(1153, scale, 9): build_adder(
+                          n, measure=False),
+                      substitution_fraction=substitution_fraction,
+                      distance_threshold=2),
+        BenchmarkSpec("bv_n400",
+                      lambda n=_scaled(400, scale, 6): build_bv(n),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("bv_n1000",
+                      lambda n=_scaled(1000, scale, 6): build_bv(n),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("logical_t_n432",
+                      lambda d=max(3, int(round(7 * scale ** 0.5))):
+                      build_logical_t(d, parallel_pairs=2),
+                      already_dynamic=True, mesh_kind="interaction"),
+        BenchmarkSpec("logical_t_n864",
+                      lambda d=max(3, int(round(7 * scale ** 0.5))):
+                      build_logical_t(d, parallel_pairs=4),
+                      already_dynamic=True, mesh_kind="interaction"),
+        BenchmarkSpec("qft_n30",
+                      lambda n=_scaled(30, scale, 5): build_qft(
+                          n, max_interaction_distance=8),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("qft_n100",
+                      lambda n=_scaled(100, scale, 5): build_qft(
+                          n, max_interaction_distance=8),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("qft_n200",
+                      lambda n=_scaled(200, scale, 5): build_qft(
+                          n, max_interaction_distance=8),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("qft_n300",
+                      lambda n=_scaled(300, scale, 5): build_qft(
+                          n, max_interaction_distance=8),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("w_state_n800",
+                      lambda n=_scaled(800, scale, 5): build_w_state(n),
+                      substitution_fraction=substitution_fraction),
+        BenchmarkSpec("w_state_n1000",
+                      lambda n=_scaled(1000, scale, 5): build_w_state(n),
+                      substitution_fraction=substitution_fraction),
+    ]
+    return specs
+
+
+@dataclass
+class BenchmarkOutcome:
+    """Per-workload results across schemes."""
+
+    name: str
+    num_qubits: int
+    num_ops: int
+    feedback_ops: int
+    makespan_cycles: Dict[str, int] = field(default_factory=dict)
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+    lifetimes_ns: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def normalized(self, scheme: str = "bisp",
+                   baseline: str = "lockstep") -> float:
+        """Runtime of ``scheme`` normalized to ``baseline`` (Figure 15)."""
+        return self.makespan_cycles[scheme] / self.makespan_cycles[baseline]
+
+
+def run_spec(spec: BenchmarkSpec,
+             schemes: Sequence[str] = ("bisp", "lockstep"),
+             config: Optional[SimulationConfig] = None,
+             device_seed: int = 1234) -> BenchmarkOutcome:
+    """Run one workload under each scheme (timing-only, no state backend)."""
+    circuit = spec.circuit()
+    outcome = BenchmarkOutcome(
+        name=spec.name, num_qubits=circuit.num_qubits,
+        num_ops=len(circuit), feedback_ops=count_feedback_ops(circuit))
+    for scheme in schemes:
+        result = run_circuit(circuit, scheme=scheme, config=config,
+                             backend=None, device_seed=device_seed,
+                             mesh_kind=spec.mesh_kind,
+                             record_gate_log=False)
+        outcome.makespan_cycles[scheme] = result.makespan_cycles
+        outcome.stall_cycles[scheme] = result.stats.sync_stall_cycles
+        outcome.lifetimes_ns[scheme] = result.system.device.lifetimes_ns()
+    return outcome
+
+
+def run_suite(specs: Optional[List[BenchmarkSpec]] = None,
+              schemes: Sequence[str] = ("bisp", "lockstep"),
+              config: Optional[SimulationConfig] = None,
+              verbose: bool = False) -> List[BenchmarkOutcome]:
+    """Run the whole suite; returns one outcome per workload."""
+    specs = specs if specs is not None else fig15_suite()
+    outcomes = []
+    for spec in specs:
+        outcome = run_spec(spec, schemes=schemes, config=config)
+        if verbose:
+            print("{:>16s}: ".format(spec.name) + "  ".join(
+                "{}={}".format(s, outcome.makespan_cycles[s])
+                for s in schemes))
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,90 @@
+"""Text renderings of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..fidelity.metrics import arithmetic_mean, runtime_reduction_percent
+from ..hardware.resources import table1
+from .runner import BenchmarkOutcome
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]
+                 ) -> str:
+    """Simple fixed-width table renderer."""
+    columns = [[str(h)] + [str(row[i]) for row in rows]
+               for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1: FPGA resource consumption."""
+    rows = [(r["type"], r["luts"], r["brams"], r["ffs"]) for r in table1()]
+    return format_table(["Type", "#LUTs", "#Block RAM (32Kb)", "#FF"], rows)
+
+
+def render_figure15(outcomes: List[BenchmarkOutcome],
+                    scheme: str = "bisp",
+                    baseline: str = "lockstep") -> str:
+    """Figure 15: normalized runtime per benchmark + average."""
+    rows = []
+    normals = []
+    for outcome in outcomes:
+        normalized = outcome.normalized(scheme, baseline)
+        normals.append(normalized)
+        rows.append((outcome.name, outcome.num_qubits,
+                     outcome.feedback_ops,
+                     outcome.makespan_cycles[baseline],
+                     outcome.makespan_cycles[scheme],
+                     "{:.3f}".format(normalized)))
+    rows.append(("avg", "", "", "", "",
+                 "{:.3f}".format(arithmetic_mean(normals))))
+    table = format_table(
+        ["benchmark", "qubits", "feedback",
+         "{} (cycles)".format(baseline), "{} (cycles)".format(scheme),
+         "normalized"], rows)
+    reduction = runtime_reduction_percent(normals)
+    footer = ("\naverage runtime reduction: {:.1f}%  "
+              "(paper: 22.8%, avg normalized 0.772)").format(reduction)
+    return table + footer
+
+
+def render_figure16(t1_values_us: Sequence[float],
+                    baseline_infidelity: Mapping[float, float],
+                    hisq_infidelity: Mapping[float, float]) -> str:
+    """Figure 16: infidelity vs relaxation time with reduction ratio."""
+    rows = []
+    for t1 in t1_values_us:
+        base = baseline_infidelity[t1]
+        ours = hisq_infidelity[t1]
+        rows.append((t1, "{:.3e}".format(base), "{:.3e}".format(ours),
+                     "{:.2f}x".format(base / ours if ours else float("inf"))))
+    table = format_table(
+        ["T1=T2 (us)", "baseline infidelity", "Distributed-HISQ",
+         "reduction"], rows)
+    return table + "\n(paper: ~5x constant reduction across 30-300 us)"
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float],
+                    width: int = 50, reference: Optional[float] = None
+                    ) -> str:
+    """Horizontal ASCII bar chart (used for figure renderings)."""
+    peak = max(max(values), reference or 0.0, 1e-12)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append("{:>16s} |{:<{w}s}| {:.3f}".format(
+            label, bar, value, w=width))
+    if reference is not None:
+        mark = int(round(width * reference / peak))
+        lines.append("{:>16s}  {}^ reference {:.3f}".format(
+            "", " " * mark, reference))
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""HISQ instruction set architecture: instructions, assembler, encoding."""
+
+from .assembler import Assembler, assemble
+from .encoding import decode, decode_program, encode, encode_program
+from .instructions import (Instruction, add, addi, beq, bne, cw_ii, cw_ir,
+                           cw_ri, cw_rr, halt, jal, lui, nop, recv, send,
+                           send_i, sync, waiti, waitr)
+from .program import Program
+from .registers import ABI_NAMES, NUM_REGISTERS, RegisterFile
+
+__all__ = [
+    "ABI_NAMES", "Assembler", "Instruction", "NUM_REGISTERS", "Program",
+    "RegisterFile", "add", "addi", "assemble", "beq", "bne", "cw_ii",
+    "cw_ir", "cw_ri", "cw_rr", "decode", "decode_program", "encode",
+    "encode_program", "halt", "jal", "lui", "nop", "recv", "send", "send_i",
+    "sync", "waiti", "waitr",
+]

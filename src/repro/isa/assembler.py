@@ -1,0 +1,215 @@
+"""Two-pass assembler for HISQ assembly text.
+
+Accepted syntax follows the paper's listings (Figure 6 / Figure 12):
+
+.. code-block:: text
+
+    # Control board
+    addi $2,$0,120
+    loop:
+    waiti 1
+    cw.i.i 21,2
+    waitr $1
+    sync 2
+    bne $1,$2,loop      # label, or numeric byte offset such as -28
+    jal $0,-44
+
+Registers are written ``$N``, ``xN`` or with RISC-V ABI names (``t0`` ...).
+Branch/jump numeric offsets are byte offsets (RISC-V convention; one
+instruction = 4 bytes); labels are also accepted.  Immediates may be
+decimal, hex (``0x..``) or binary (``0b..``).  Comments start with ``#`` or
+``//``; labels end with ``:`` and may share a line with an instruction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .instructions import Instruction
+from .opcodes import FORMATS, Fmt
+from .program import Program
+from .registers import ABI_NAMES, NUM_REGISTERS
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.][\w.]*$")
+_MEM_RE = re.compile(r"^(-?\w+)\((.+)\)$")
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip()
+    name = token.lstrip("$")
+    if name.startswith("x") and name[1:].isdigit():
+        name = name[1:]
+    if name.isdigit():
+        index = int(name)
+        if index >= NUM_REGISTERS:
+            raise AssemblyError("no such register {!r}".format(token), line)
+        return index
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    raise AssemblyError("expected register, got {!r}".format(token), line)
+
+
+def _parse_imm(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError("expected immediate, got {!r}".format(token), line)
+
+
+def _split_operands(rest: str) -> list:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class Assembler:
+    """Assemble HISQ source text into a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self):
+        self._labels = {}
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` and return the resulting program."""
+        statements = self._first_pass(source)
+        instructions = []
+        for index, (line_no, mnemonic, operands, label) in enumerate(statements):
+            instructions.append(
+                self._encode_statement(index, line_no, mnemonic, operands, label))
+        return Program(name=name, instructions=instructions,
+                       labels=dict(self._labels))
+
+    # -- pass 1: strip comments, collect labels ----------------------------
+
+    def _first_pass(self, source: str):
+        self._labels = {}
+        statements = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            while text:
+                if ":" in text:
+                    head, _, tail = text.partition(":")
+                    if _LABEL_RE.match(head.strip()) and not head.strip() in FORMATS:
+                        label = head.strip()
+                        if label in self._labels:
+                            raise AssemblyError(
+                                "duplicate label {!r}".format(label), line_no)
+                        self._labels[label] = len(statements)
+                        text = tail.strip()
+                        continue
+                break
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            if mnemonic not in FORMATS:
+                raise AssemblyError("unknown mnemonic {!r}".format(mnemonic),
+                                    line_no)
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            statements.append((line_no, mnemonic, operands, ""))
+        return statements
+
+    # -- pass 2: operand encoding ------------------------------------------
+
+    def _branch_target(self, token: str, index: int, line: int) -> int:
+        """Resolve a label or byte offset to an instruction-count offset."""
+        token = token.strip()
+        if token in self._labels:
+            return self._labels[token] - index
+        try:
+            byte_off = int(token, 0)
+        except ValueError:
+            raise AssemblyError("undefined label {!r}".format(token), line)
+        if byte_off % 4 != 0:
+            raise AssemblyError(
+                "branch offset must be a multiple of 4 bytes: {}".format(token),
+                line)
+        return byte_off // 4
+
+    def _encode_statement(self, index, line, mnemonic, ops, label) -> Instruction:
+        fmt = FORMATS[mnemonic]
+        need = {
+            Fmt.R: 3, Fmt.I: 3, Fmt.LOAD: 2, Fmt.STORE: 2, Fmt.B: 3,
+            Fmt.U: 2, Fmt.J: 2, Fmt.WAIT_I: 1, Fmt.WAIT_R: 1, Fmt.CW: 2,
+            Fmt.SEND: 2, Fmt.RECV: 2, Fmt.NONE: 0,
+        }
+        if fmt is Fmt.SYNC:
+            if len(ops) not in (1, 2):
+                raise AssemblyError("sync takes 1 or 2 operands", line)
+        elif len(ops) != need[fmt]:
+            raise AssemblyError(
+                "{} expects {} operands, got {}".format(mnemonic, need[fmt],
+                                                        len(ops)), line)
+        if fmt is Fmt.R:
+            return Instruction(mnemonic, rd=_parse_register(ops[0], line),
+                               rs1=_parse_register(ops[1], line),
+                               rs2=_parse_register(ops[2], line), label=label)
+        if fmt is Fmt.I:
+            return Instruction(mnemonic, rd=_parse_register(ops[0], line),
+                               rs1=_parse_register(ops[1], line),
+                               imm=_parse_imm(ops[2], line), label=label)
+        if fmt in (Fmt.LOAD, Fmt.STORE):
+            match = _MEM_RE.match(ops[1])
+            if not match:
+                raise AssemblyError(
+                    "expected imm(reg) operand, got {!r}".format(ops[1]), line)
+            imm = _parse_imm(match.group(1), line)
+            base = _parse_register(match.group(2), line)
+            reg = _parse_register(ops[0], line)
+            if fmt is Fmt.LOAD:
+                return Instruction(mnemonic, rd=reg, rs1=base, imm=imm,
+                                   label=label)
+            return Instruction(mnemonic, rs2=reg, rs1=base, imm=imm,
+                               label=label)
+        if fmt is Fmt.B:
+            return Instruction(mnemonic, rs1=_parse_register(ops[0], line),
+                               rs2=_parse_register(ops[1], line),
+                               imm=self._branch_target(ops[2], index, line),
+                               label=label)
+        if fmt is Fmt.U:
+            return Instruction(mnemonic, rd=_parse_register(ops[0], line),
+                               imm=_parse_imm(ops[1], line), label=label)
+        if fmt is Fmt.J:
+            return Instruction(mnemonic, rd=_parse_register(ops[0], line),
+                               imm=self._branch_target(ops[1], index, line),
+                               label=label)
+        if fmt is Fmt.WAIT_I:
+            return Instruction(mnemonic, imm=_parse_imm(ops[0], line),
+                               label=label)
+        if fmt is Fmt.WAIT_R:
+            return Instruction(mnemonic, rs1=_parse_register(ops[0], line),
+                               label=label)
+        if fmt is Fmt.CW:
+            port_is_reg = mnemonic[3] == "r"
+            cw_is_reg = mnemonic[5] == "r"
+            kwargs = {}
+            if port_is_reg:
+                kwargs["rs1"] = _parse_register(ops[0], line)
+            else:
+                kwargs["imm"] = _parse_imm(ops[0], line)
+            if cw_is_reg:
+                kwargs["rs2"] = _parse_register(ops[1], line)
+            else:
+                kwargs["imm2"] = _parse_imm(ops[1], line)
+            return Instruction(mnemonic, label=label, **kwargs)
+        if fmt is Fmt.SYNC:
+            delta = _parse_imm(ops[1], line) if len(ops) == 2 else 0
+            return Instruction("sync", imm=_parse_imm(ops[0], line),
+                               imm2=delta, label=label)
+        if fmt is Fmt.SEND:
+            if mnemonic == "send.i":
+                return Instruction(mnemonic, imm=_parse_imm(ops[0], line),
+                                   imm2=_parse_imm(ops[1], line), label=label)
+            return Instruction(mnemonic, imm=_parse_imm(ops[0], line),
+                               rs1=_parse_register(ops[1], line), label=label)
+        if fmt is Fmt.RECV:
+            return Instruction(mnemonic, rd=_parse_register(ops[0], line),
+                               imm=_parse_imm(ops[1], line), label=label)
+        return Instruction(mnemonic, label=label)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler().assemble(source, name=name)

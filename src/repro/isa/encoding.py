@@ -1,0 +1,279 @@
+"""32-bit binary encoding for HISQ instructions.
+
+The RV32I subset uses the standard RISC-V encodings.  The quantum extension
+occupies the two RISC-V *custom* opcode slots, mirroring how the FPGA
+implementation extends a PicoRV32 pipeline (paper section 6.1):
+
+============  =======  ======  =====================================
+mnemonic      opcode   funct3  operand fields
+============  =======  ======  =====================================
+waiti         0x0B     0       imm20 in [31:15]<<5 | [11:7]
+waitr         0x0B     1       rs1 in bits[19:15]
+cw.i.i        0x0B     2       port10 in [24:15], cw12 in [31:25]<<5|[11:7]
+cw.i.r        0x0B     3       rs2 in [24:20],  port12 in [31:25]<<5|[11:7]
+cw.r.i        0x0B     4       rs1 in [19:15],  cw12  in [31:25]<<5|[11:7]
+cw.r.r        0x0B     5       rs1 in [19:15],  rs2 in [24:20]
+sync          0x2B     0       tgt10 in [24:15], delta12 in [31:25]<<5|[11:7]
+send          0x2B     1       rs1 in [19:15], dst12 in [31:25]<<5|[11:7]
+send.i        0x2B     2       val10 in [24:15], dst12 in [31:25]<<5|[11:7]
+recv          0x2B     3       rd in [11:7], src12 in [31:20]
+halt          0x2B     7       (none)
+============  =======  ======  =====================================
+
+Field-width limits (port < 1024, codeword < 4096, ...) reflect the 38-bit
+event-queue entries of the FPGA implementation (Table 1); exceeding them
+raises :class:`~repro.errors.EncodingError`.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError
+from .instructions import Instruction
+
+OP_QUANTUM0 = 0x0B  # RISC-V custom-0
+OP_QUANTUM1 = 0x2B  # RISC-V custom-1
+
+_OP_ALU_R = 0x33
+_OP_ALU_I = 0x13
+_OP_LOAD = 0x03
+_OP_STORE = 0x23
+_OP_BRANCH = 0x63
+_OP_LUI = 0x37
+_OP_AUIPC = 0x17
+_OP_JAL = 0x6F
+_OP_JALR = 0x67
+
+_R_FUNCT = {
+    "add": (0, 0x00), "sub": (0, 0x20), "sll": (1, 0x00), "slt": (2, 0x00),
+    "sltu": (3, 0x00), "xor": (4, 0x00), "srl": (5, 0x00), "sra": (5, 0x20),
+    "or": (6, 0x00), "and": (7, 0x00),
+}
+_I_FUNCT = {
+    "addi": 0, "slli": 1, "slti": 2, "sltiu": 3, "xori": 4,
+    "srli": 5, "srai": 5, "ori": 6, "andi": 7,
+}
+_B_FUNCT = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+_Q0_FUNCT = {"waiti": 0, "waitr": 1, "cw.i.i": 2, "cw.i.r": 3,
+             "cw.r.i": 4, "cw.r.r": 5}
+_Q1_FUNCT = {"sync": 0, "send": 1, "send.i": 2, "recv": 3, "halt": 7}
+
+
+def _check(value: int, bits: int, what: str, signed: bool = False) -> int:
+    """Validate that ``value`` fits in ``bits`` bits; return it masked."""
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(
+            "{} = {} does not fit in {}{} bits".format(
+                what, value, "signed " if signed else "", bits))
+    return value & ((1 << bits) - 1)
+
+
+def _split12(value: int) -> tuple:
+    """Split a 12-bit field into ([31:25], [11:7]) sub-fields."""
+    return (value >> 5) & 0x7F, value & 0x1F
+
+
+def _join12(hi7: int, lo5: int) -> int:
+    return (hi7 << 5) | lo5
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction into a 32-bit word."""
+    m = instr.mnemonic
+    if m == "nop":
+        return encode(Instruction("addi"))
+    if m in _R_FUNCT:
+        funct3, funct7 = _R_FUNCT[m]
+        return (funct7 << 25 | instr.rs2 << 20 | instr.rs1 << 15 |
+                funct3 << 12 | instr.rd << 7 | _OP_ALU_R)
+    if m in _I_FUNCT or m == "jalr":
+        if m == "jalr":
+            opcode, funct3 = _OP_JALR, 0
+            imm = _check(instr.imm, 12, "jalr offset", signed=True)
+        else:
+            opcode, funct3 = _OP_ALU_I, _I_FUNCT[m]
+            if m in ("slli", "srli", "srai"):
+                imm = _check(instr.imm, 5, "shift amount")
+                if m == "srai":
+                    imm |= 0x20 << 5
+            else:
+                imm = _check(instr.imm, 12, "immediate", signed=True)
+        return (imm << 20 | instr.rs1 << 15 | funct3 << 12 |
+                instr.rd << 7 | opcode)
+    if m == "lw":
+        imm = _check(instr.imm, 12, "load offset", signed=True)
+        return imm << 20 | instr.rs1 << 15 | 2 << 12 | instr.rd << 7 | _OP_LOAD
+    if m == "sw":
+        imm = _check(instr.imm, 12, "store offset", signed=True)
+        hi, lo = imm >> 5, imm & 0x1F
+        return (hi << 25 | instr.rs2 << 20 | instr.rs1 << 15 | 2 << 12 |
+                lo << 7 | _OP_STORE)
+    if m in _B_FUNCT:
+        # Branch offsets are stored in instruction units; scale to bytes.
+        off = _check(instr.imm * 4, 13, "branch offset", signed=True)
+        b12 = (off >> 12) & 1
+        b11 = (off >> 11) & 1
+        b10_5 = (off >> 5) & 0x3F
+        b4_1 = (off >> 1) & 0xF
+        return (b12 << 31 | b10_5 << 25 | instr.rs2 << 20 | instr.rs1 << 15 |
+                _B_FUNCT[m] << 12 | b4_1 << 8 | b11 << 7 | _OP_BRANCH)
+    if m in ("lui", "auipc"):
+        imm = _check(instr.imm, 20, "upper immediate")
+        opcode = _OP_LUI if m == "lui" else _OP_AUIPC
+        return imm << 12 | instr.rd << 7 | opcode
+    if m == "jal":
+        off = _check(instr.imm * 4, 21, "jump offset", signed=True)
+        b20 = (off >> 20) & 1
+        b19_12 = (off >> 12) & 0xFF
+        b11 = (off >> 11) & 1
+        b10_1 = (off >> 1) & 0x3FF
+        return (b20 << 31 | b10_1 << 21 | b11 << 20 | b19_12 << 12 |
+                instr.rd << 7 | _OP_JAL)
+    if m in _Q0_FUNCT:
+        funct3 = _Q0_FUNCT[m]
+        word = funct3 << 12 | OP_QUANTUM0
+        if m == "waiti":
+            imm = _check(instr.imm, 20, "wait duration")
+            return (imm >> 5) << 15 | word | (imm & 0x1F) << 7
+        if m == "waitr":
+            return instr.rs1 << 15 | word
+        if m == "cw.i.i":
+            hi, lo = _split12(_check(instr.imm2, 12, "codeword"))
+            port = _check(instr.imm, 10, "port")
+            return hi << 25 | port << 15 | word | lo << 7
+        if m == "cw.i.r":
+            hi, lo = _split12(_check(instr.imm, 12, "port"))
+            return hi << 25 | instr.rs2 << 20 | word | lo << 7
+        if m == "cw.r.i":
+            hi, lo = _split12(_check(instr.imm2, 12, "codeword"))
+            return hi << 25 | instr.rs1 << 15 | word | lo << 7
+        return instr.rs2 << 20 | instr.rs1 << 15 | word  # cw.r.r
+    if m in _Q1_FUNCT:
+        funct3 = _Q1_FUNCT[m]
+        word = funct3 << 12 | OP_QUANTUM1
+        if m == "sync":
+            hi, lo = _split12(_check(instr.imm2, 12, "sync delta"))
+            tgt = _check(instr.imm, 10, "sync target")
+            return hi << 25 | tgt << 15 | word | lo << 7
+        if m == "send":
+            hi, lo = _split12(_check(instr.imm, 12, "send destination"))
+            return hi << 25 | instr.rs1 << 15 | word | lo << 7
+        if m == "send.i":
+            hi, lo = _split12(_check(instr.imm, 12, "send destination"))
+            val = _check(instr.imm2, 10, "send value")
+            return hi << 25 | val << 15 | word | lo << 7
+        if m == "recv":
+            return (_check(instr.imm, 12, "recv source") << 20 |
+                    word | instr.rd << 7)
+        return word  # halt
+    raise EncodingError("cannot encode mnemonic {!r}".format(m))
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    if opcode == _OP_ALU_R:
+        for m, (f3, f7) in _R_FUNCT.items():
+            if (f3, f7) == (funct3, funct7):
+                return Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        raise EncodingError("bad R-type funct: {:#x}".format(word))
+    if opcode == _OP_ALU_I:
+        imm = _sign_extend(word >> 20, 12)
+        for m, f3 in _I_FUNCT.items():
+            if f3 != funct3:
+                continue
+            if funct3 == 5:
+                m = "srai" if (imm >> 5) & 0x20 else "srli"
+                return Instruction(m, rd=rd, rs1=rs1, imm=imm & 0x1F)
+            if funct3 == 1:
+                return Instruction("slli", rd=rd, rs1=rs1, imm=imm & 0x1F)
+            if (m, rd, rs1, imm) == ("addi", 0, 0, 0):
+                return Instruction("nop")
+            return Instruction(m, rd=rd, rs1=rs1, imm=imm)
+        raise EncodingError("bad I-type funct: {:#x}".format(word))
+    if opcode == _OP_JALR:
+        return Instruction("jalr", rd=rd, rs1=rs1,
+                           imm=_sign_extend(word >> 20, 12))
+    if opcode == _OP_LOAD:
+        return Instruction("lw", rd=rd, rs1=rs1,
+                           imm=_sign_extend(word >> 20, 12))
+    if opcode == _OP_STORE:
+        imm = _sign_extend((funct7 << 5) | rd, 12)
+        return Instruction("sw", rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _OP_BRANCH:
+        off = (((word >> 31) & 1) << 12 | ((word >> 7) & 1) << 11 |
+               ((word >> 25) & 0x3F) << 5 | ((word >> 8) & 0xF) << 1)
+        off = _sign_extend(off, 13)
+        for m, f3 in _B_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(m, rs1=rs1, rs2=rs2, imm=off // 4)
+        raise EncodingError("bad branch funct3: {:#x}".format(word))
+    if opcode in (_OP_LUI, _OP_AUIPC):
+        m = "lui" if opcode == _OP_LUI else "auipc"
+        return Instruction(m, rd=rd, imm=word >> 12)
+    if opcode == _OP_JAL:
+        off = (((word >> 31) & 1) << 20 | ((word >> 12) & 0xFF) << 12 |
+               ((word >> 20) & 1) << 11 | ((word >> 21) & 0x3FF) << 1)
+        off = _sign_extend(off, 21)
+        return Instruction("jal", rd=rd, imm=off // 4)
+    if opcode == OP_QUANTUM0:
+        field12 = _join12(funct7, rd)
+        if funct3 == 0:
+            return Instruction("waiti", imm=(word >> 15) << 5 | rd)
+        if funct3 == 1:
+            return Instruction("waitr", rs1=rs1)
+        if funct3 == 2:
+            return Instruction("cw.i.i", imm=(word >> 15) & 0x3FF,
+                               imm2=field12)
+        if funct3 == 3:
+            return Instruction("cw.i.r", imm=field12, rs2=rs2)
+        if funct3 == 4:
+            return Instruction("cw.r.i", rs1=rs1, imm2=field12)
+        if funct3 == 5:
+            return Instruction("cw.r.r", rs1=rs1, rs2=rs2)
+        raise EncodingError("bad custom-0 funct3: {:#x}".format(word))
+    if opcode == OP_QUANTUM1:
+        field12 = _join12(funct7, rd)
+        if funct3 == 0:
+            return Instruction("sync", imm=(word >> 15) & 0x3FF, imm2=field12)
+        if funct3 == 1:
+            return Instruction("send", imm=field12, rs1=rs1)
+        if funct3 == 2:
+            return Instruction("send.i", imm=field12, imm2=(word >> 15) & 0x3FF)
+        if funct3 == 3:
+            return Instruction("recv", rd=rd, imm=word >> 20)
+        if funct3 == 7:
+            return Instruction("halt")
+        raise EncodingError("bad custom-1 funct3: {:#x}".format(word))
+    raise EncodingError("unknown opcode {:#x} in word {:#010x}".format(opcode,
+                                                                       word))
+
+
+def encode_program(program) -> bytes:
+    """Encode a whole program to little-endian machine code bytes."""
+    out = bytearray()
+    for instr in program:
+        out.extend(encode(instr).to_bytes(4, "little"))
+    return bytes(out)
+
+
+def decode_program(blob: bytes):
+    """Decode little-endian machine code bytes into instructions."""
+    if len(blob) % 4:
+        raise EncodingError("machine code length must be a multiple of 4")
+    return [decode(int.from_bytes(blob[i:i + 4], "little"))
+            for i in range(0, len(blob), 4)]

@@ -1,0 +1,201 @@
+"""Instruction objects for HISQ programs.
+
+An :class:`Instruction` is a decoded, executable representation: mnemonic
+plus resolved integer operands.  The assembler produces these from text and
+the encoder maps them to/from 32-bit words.  Convenience constructors are
+provided for programmatic code generation (the compiler uses them heavily).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AssemblyError
+from .opcodes import FORMATS, Fmt, is_branch, is_quantum
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One HISQ instruction with fully resolved operands.
+
+    Attributes
+    ----------
+    mnemonic:
+        Lower-case mnemonic, e.g. ``"addi"`` or ``"cw.i.i"``.
+    rd, rs1, rs2:
+        Register indices (0-31) where applicable.
+    imm:
+        Immediate operand: ALU immediate, branch/jump offset (in
+        instructions), wait duration (cycles), codeword/port immediates,
+        sync target, or message source/destination.
+    imm2:
+        Second immediate where needed: ``cw.i.i`` codeword, ``sync`` delta.
+    label:
+        Optional source label this instruction carried (for listings).
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    imm2: int = 0
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.mnemonic not in FORMATS:
+            raise AssemblyError("unknown mnemonic {!r}".format(self.mnemonic))
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < 32:
+                raise AssemblyError(
+                    "{} out of range in {}: {}".format(name, self.mnemonic, value))
+
+    @property
+    def fmt(self) -> Fmt:
+        """Operand format of this instruction."""
+        return FORMATS[self.mnemonic]
+
+    @property
+    def is_quantum(self) -> bool:
+        """True if executed through the timing control unit."""
+        return is_quantum(self.mnemonic)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branches and jumps."""
+        return is_branch(self.mnemonic)
+
+    def text(self) -> str:
+        """Render back to canonical assembly text."""
+        fmt = self.fmt
+        m = self.mnemonic
+        if fmt is Fmt.R:
+            return "{} ${},${},${}".format(m, self.rd, self.rs1, self.rs2)
+        if fmt is Fmt.I:
+            return "{} ${},${},{}".format(m, self.rd, self.rs1, self.imm)
+        if fmt is Fmt.LOAD:
+            return "{} ${},{}(${})".format(m, self.rd, self.imm, self.rs1)
+        if fmt is Fmt.STORE:
+            return "{} ${},{}(${})".format(m, self.rs2, self.imm, self.rs1)
+        if fmt is Fmt.B:
+            return "{} ${},${},{}".format(m, self.rs1, self.rs2, self.imm)
+        if fmt is Fmt.U:
+            return "{} ${},{}".format(m, self.rd, self.imm)
+        if fmt is Fmt.J:
+            return "{} ${},{}".format(m, self.rd, self.imm)
+        if fmt is Fmt.WAIT_I:
+            return "{} {}".format(m, self.imm)
+        if fmt is Fmt.WAIT_R:
+            return "{} ${}".format(m, self.rs1)
+        if fmt is Fmt.CW:
+            port = "${}".format(self.rs1) if m[3] == "r" else str(self.imm)
+            cw = "${}".format(self.rs2) if m[5] == "r" else str(self.imm2)
+            return "{} {},{}".format(m, port, cw)
+        if fmt is Fmt.SYNC:
+            if self.imm2:
+                return "sync {},{}".format(self.imm, self.imm2)
+            return "sync {}".format(self.imm)
+        if fmt is Fmt.SEND:
+            if m == "send.i":
+                return "send.i {},{}".format(self.imm, self.imm2)
+            return "send {},${}".format(self.imm, self.rs1)
+        if fmt is Fmt.RECV:
+            return "recv ${},{}".format(self.rd, self.imm)
+        return m
+
+    def __str__(self):
+        return self.text()
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (used by the compiler's code generator).
+# ---------------------------------------------------------------------------
+
+def nop() -> Instruction:
+    """No-operation (encoded as addi $0,$0,0)."""
+    return Instruction("nop")
+
+
+def halt() -> Instruction:
+    """Stop the classical pipeline."""
+    return Instruction("halt")
+
+
+def addi(rd: int, rs1: int, imm: int) -> Instruction:
+    return Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+
+
+def add(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction("add", rd=rd, rs1=rs1, rs2=rs2)
+
+
+def lui(rd: int, imm: int) -> Instruction:
+    return Instruction("lui", rd=rd, imm=imm)
+
+
+def beq(rs1: int, rs2: int, off: int) -> Instruction:
+    return Instruction("beq", rs1=rs1, rs2=rs2, imm=off)
+
+
+def bne(rs1: int, rs2: int, off: int) -> Instruction:
+    return Instruction("bne", rs1=rs1, rs2=rs2, imm=off)
+
+
+def jal(rd: int, off: int) -> Instruction:
+    return Instruction("jal", rd=rd, imm=off)
+
+
+def waiti(cycles: int) -> Instruction:
+    """Advance the timeline cursor by ``cycles`` (immediate)."""
+    return Instruction("waiti", imm=cycles)
+
+
+def waitr(rs1: int) -> Instruction:
+    """Advance the timeline cursor by the value of register ``rs1``."""
+    return Instruction("waitr", rs1=rs1)
+
+
+def cw_ii(port: int, codeword: int) -> Instruction:
+    """Send immediate codeword to immediate port at the current position."""
+    return Instruction("cw.i.i", imm=port, imm2=codeword)
+
+
+def cw_ir(port: int, rs2: int) -> Instruction:
+    """Send register codeword to immediate port."""
+    return Instruction("cw.i.r", imm=port, rs2=rs2)
+
+
+def cw_ri(rs1: int, codeword: int) -> Instruction:
+    """Send immediate codeword to register-selected port."""
+    return Instruction("cw.r.i", rs1=rs1, imm2=codeword)
+
+
+def cw_rr(rs1: int, rs2: int) -> Instruction:
+    """Send register codeword to register-selected port."""
+    return Instruction("cw.r.r", rs1=rs1, rs2=rs2)
+
+
+def sync(tgt: int, delta: int = 0) -> Instruction:
+    """Book a synchronization point with neighbor/router ``tgt``.
+
+    ``delta`` is only meaningful for router (region) targets: the
+    compile-time deterministic distance, in cycles, from the booking
+    position to the synchronization point (paper section 4.3).
+    """
+    return Instruction("sync", imm=tgt, imm2=delta)
+
+
+def send(dst: int, rs1: int) -> Instruction:
+    """Send the value of ``rs1`` to controller ``dst`` via the message unit."""
+    return Instruction("send", imm=dst, rs1=rs1)
+
+
+def send_i(dst: int, value: int) -> Instruction:
+    """Send an immediate value to controller ``dst``."""
+    return Instruction("send.i", imm=dst, imm2=value)
+
+
+def recv(rd: int, src: int) -> Instruction:
+    """Block until a message from ``src`` arrives; write it to ``rd``."""
+    return Instruction("recv", rd=rd, imm=src)

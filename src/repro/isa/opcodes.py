@@ -1,0 +1,87 @@
+"""Mnemonic and operand-format tables for the HISQ instruction set.
+
+HISQ (Hardware Instruction Set for Quantum computing) is an extension of the
+RISC-V 32I base integer instruction set (paper section 3.1).  The base set is
+stripped of interrupt and fence functionality; the quantum extension adds:
+
+``waiti`` / ``waitr``
+    Advance the timing-control-unit timeline cursor by an immediate /
+    register-specified number of cycles (QuMA-style queue-based timing).
+
+``cw.x.y <port>, <codeword>``
+    Enqueue "send codeword to port" at the current timeline position, where
+    ``x``/``y`` are each ``i`` (immediate) or ``r`` (register).
+
+``sync <tgt>`` / ``sync <tgt>, <delta>``
+    Book a synchronization point with a nearest-neighbor controller (no
+    delta) or with an ancestor router (delta = deterministic distance, in
+    cycles, from the booking position to the synchronization point).
+
+``send <dst>, <rs>`` / ``recv <rd>, <src>``
+    Classical messaging between controllers, executed by the message unit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Fmt(enum.Enum):
+    """Operand formats used by the assembler and encoder."""
+
+    R = "rd,rs1,rs2"          # register-register ALU
+    I = "rd,rs1,imm"          # register-immediate ALU / jalr
+    LOAD = "rd,imm(rs1)"      # lw
+    STORE = "rs2,imm(rs1)"    # sw
+    B = "rs1,rs2,off"         # branches
+    U = "rd,imm"              # lui / auipc
+    J = "rd,off"              # jal
+    WAIT_I = "imm"            # waiti
+    WAIT_R = "rs1"            # waitr
+    CW = "port,codeword"      # cw.{i,r}.{i,r}
+    SYNC = "tgt[,delta]"      # sync
+    SEND = "dst,rs"           # send / send.i
+    RECV = "rd,src"           # recv
+    NONE = ""                 # halt / nop
+
+
+#: RV32I subset retained by HISQ (fence / ecall / csr excluded, section 3.1.1).
+RV32I_R = ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and")
+RV32I_I = ("addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli",
+           "srai", "jalr")
+RV32I_B = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+RV32I_U = ("lui", "auipc")
+
+#: Quantum-control extension mnemonics.
+CW_MNEMONICS = ("cw.i.i", "cw.i.r", "cw.r.i", "cw.r.r")
+WAIT_MNEMONICS = ("waiti", "waitr")
+
+#: Mnemonic -> operand format for every legal HISQ instruction.
+FORMATS: dict[str, Fmt] = {}
+FORMATS.update({m: Fmt.R for m in RV32I_R})
+FORMATS.update({m: Fmt.I for m in RV32I_I})
+FORMATS.update({m: Fmt.B for m in RV32I_B})
+FORMATS.update({m: Fmt.U for m in RV32I_U})
+FORMATS["lw"] = Fmt.LOAD
+FORMATS["sw"] = Fmt.STORE
+FORMATS["jal"] = Fmt.J
+FORMATS["waiti"] = Fmt.WAIT_I
+FORMATS["waitr"] = Fmt.WAIT_R
+FORMATS.update({m: Fmt.CW for m in CW_MNEMONICS})
+FORMATS["sync"] = Fmt.SYNC
+FORMATS["send"] = Fmt.SEND
+FORMATS["send.i"] = Fmt.SEND
+FORMATS["recv"] = Fmt.RECV
+FORMATS["halt"] = Fmt.NONE
+FORMATS["nop"] = Fmt.NONE
+
+
+def is_quantum(mnemonic: str) -> bool:
+    """Return True for instructions handled by the timing control unit."""
+    return mnemonic in WAIT_MNEMONICS or mnemonic in CW_MNEMONICS or (
+        mnemonic in ("sync", "send", "send.i"))
+
+
+def is_branch(mnemonic: str) -> bool:
+    """Return True for control-flow instructions (branches and jumps)."""
+    return mnemonic in RV32I_B or mnemonic in ("jal", "jalr")

@@ -1,0 +1,74 @@
+"""General-purpose register file for the HISQ classical pipeline (RV32I)."""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError
+
+#: Number of general-purpose registers (RV32I).
+NUM_REGISTERS = 32
+
+#: 32-bit wrap mask.
+MASK32 = 0xFFFFFFFF
+
+#: RISC-V ABI register aliases accepted by the assembler.
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Interpret an integer as a 32-bit unsigned pattern."""
+    return value & MASK32
+
+
+class RegisterFile:
+    """32 x 32-bit registers; register 0 is hard-wired to zero."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self):
+        self._regs = [0] * NUM_REGISTERS
+
+    def read(self, index: int) -> int:
+        """Return the (unsigned 32-bit) value of register ``index``."""
+        if not 0 <= index < NUM_REGISTERS:
+            raise ExecutionError("register index out of range: {}".format(index))
+        return self._regs[index]
+
+    def read_signed(self, index: int) -> int:
+        """Return the value of register ``index`` as a signed integer."""
+        return to_signed(self.read(index))
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` (wrapped to 32 bits) to register ``index``."""
+        if not 0 <= index < NUM_REGISTERS:
+            raise ExecutionError("register index out of range: {}".format(index))
+        if index == 0:
+            return
+        self._regs[index] = value & MASK32
+
+    def reset(self) -> None:
+        """Zero every register."""
+        for i in range(NUM_REGISTERS):
+            self._regs[i] = 0
+
+    def snapshot(self) -> list:
+        """Return a copy of the register values (for debugging/tests)."""
+        return list(self._regs)
+
+    def __repr__(self):
+        nonzero = {i: v for i, v in enumerate(self._regs) if v}
+        return "RegisterFile({})".format(nonzero)

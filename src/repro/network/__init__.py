@@ -1,0 +1,10 @@
+"""Distributed control network: hybrid topology, routers, messages."""
+
+from .messages import BookingMessage, DataMessage, TimePointMessage
+from .router import Router, SyncGroupInfo
+from .topology import Topology, build_topology, grid_dimensions
+
+__all__ = [
+    "BookingMessage", "DataMessage", "Router", "SyncGroupInfo",
+    "TimePointMessage", "Topology", "build_topology", "grid_dimensions",
+]

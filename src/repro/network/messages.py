@@ -1,0 +1,40 @@
+"""Message types exchanged on the control network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BookingMessage:
+    """A controller's booked time-point traveling up the router tree.
+
+    ``origin`` is the booking controller (or the child router that
+    aggregated a subtree), ``group`` identifies the sync group, ``epoch``
+    counts syncs on that group so that repeated synchronizations (one per
+    program repetition, section 2.1.4) never mix, and ``time_point`` is the
+    (partial) maximum of booked start times.
+    """
+
+    group: int
+    epoch: int
+    origin: int
+    time_point: int
+
+
+@dataclass(frozen=True)
+class TimePointMessage:
+    """The common start time Tm broadcast down the router tree."""
+
+    group: int
+    epoch: int
+    time_point: int
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """A classical payload (measurement result, syndrome, ...) between cores."""
+
+    source: int
+    destination: int
+    value: int

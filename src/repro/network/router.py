@@ -1,0 +1,125 @@
+"""Router for region-level BISP synchronization (paper section 5.2, Figure 8).
+
+Router actions on receiving a booking message:
+
+1. If the message comes from a child, buffer its time-point; once reports
+   from *all* children owning group members have arrived, compute the
+   maximum time-point.
+2. If this router is the sync group's destination, broadcast the common
+   start time Tm down to the member children; otherwise forward the
+   partial maximum to the parent.
+
+To guarantee the broadcast reaches every member *before* Tm (the meeting
+analogy's precondition), the destination router raises Tm to at least
+``now + processing + max downstream latency`` — the pre-configured
+``down_bound`` of the group.  Any excess over ``max_i T_i`` is exactly the
+synchronization overhead of section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import SynchronizationError
+from .messages import BookingMessage, TimePointMessage
+
+
+@dataclass
+class SyncGroupInfo:
+    """Static per-router knowledge about one sync group.
+
+    ``expected`` lists the child addresses (controllers or child routers)
+    this router must hear from; ``is_destination`` marks the group's target
+    ancestor router; ``down_bound`` bounds broadcast latency to the deepest
+    member below this router.
+    """
+
+    group: int
+    expected: List[int]
+    member_children: List[int]
+    is_destination: bool
+    down_bound: int
+
+
+class Router:
+    """One node of the inter-layer tree."""
+
+    def __init__(self, name: str, address: int, engine, telf,
+                 process_cycles: int = 2):
+        self.name = name
+        self.address = address
+        self.engine = engine
+        self.telf = telf
+        self.process_cycles = process_cycles
+        self.parent_address: Optional[int] = None
+        self.groups: Dict[int, SyncGroupInfo] = {}
+        self.fabric = None  # wired by the system builder
+        self._pending: Dict[tuple, Dict[int, int]] = {}
+        self.bookings_handled = 0
+        self.broadcasts_sent = 0
+
+    def configure_group(self, info: SyncGroupInfo) -> None:
+        """Register static routing data for one sync group."""
+        self.groups[info.group] = info
+
+    def receive_booking(self, msg: BookingMessage) -> None:
+        """Handle a booking message from a child (Figure 8, left path)."""
+        info = self.groups.get(msg.group)
+        if info is None:
+            raise SynchronizationError(
+                "{}: booking for unknown group {}".format(self.name,
+                                                          msg.group))
+        if msg.origin not in info.expected:
+            raise SynchronizationError(
+                "{}: unexpected booking origin {} for group {}".format(
+                    self.name, msg.origin, msg.group))
+        key = (msg.group, msg.epoch)
+        bucket = self._pending.setdefault(key, {})
+        if msg.origin in bucket:
+            raise SynchronizationError(
+                "{}: duplicate booking from {} in group {} epoch {}".format(
+                    self.name, msg.origin, msg.group, msg.epoch))
+        bucket[msg.origin] = msg.time_point
+        self.bookings_handled += 1
+        if len(bucket) < len(info.expected):
+            return
+        del self._pending[key]
+        partial_max = max(bucket.values())
+        ready = self.engine.now + self.process_cycles
+        if info.is_destination:
+            tm = max(partial_max, ready + info.down_bound)
+            self.telf.log(self.engine.now, self.name, "sync_done",
+                          port=msg.group, value=tm,
+                          note="Tm (overhead {})".format(tm - partial_max))
+            self._broadcast(msg.group, msg.epoch, tm, info)
+        else:
+            if self.parent_address is None:
+                raise SynchronizationError(
+                    "{}: non-destination router without parent".format(
+                        self.name))
+            self.engine.after(self.process_cycles, lambda: (
+                self.fabric.router_to_parent(
+                    self, BookingMessage(msg.group, msg.epoch, self.address,
+                                         partial_max))))
+
+    def receive_time_point(self, msg: TimePointMessage) -> None:
+        """Handle a Tm broadcast from the parent (Figure 8, right path)."""
+        info = self.groups.get(msg.group)
+        if info is None:
+            raise SynchronizationError(
+                "{}: time-point for unknown group {}".format(self.name,
+                                                             msg.group))
+        self._broadcast(msg.group, msg.epoch, msg.time_point, info)
+
+    def _broadcast(self, group: int, epoch: int, tm: int,
+                   info: SyncGroupInfo) -> None:
+        self.broadcasts_sent += 1
+        message = TimePointMessage(group, epoch, tm)
+        self.engine.after(self.process_cycles, lambda: (
+            self.fabric.router_to_children(self, info.member_children,
+                                           message)))
+
+    def __repr__(self):
+        return "Router({!r}, addr={}, groups={})".format(
+            self.name, self.address, sorted(self.groups))

@@ -1,0 +1,234 @@
+"""Quantum circuit intermediate representation with dynamic-circuit support.
+
+A :class:`QuantumCircuit` is an ordered list of operations over ``n``
+qubits and ``m`` classical bits.  Besides unitary gates it supports
+measurement into classical bits and *classically conditioned* gates
+(``condition=(bit, value)``), which is what makes a circuit *dynamic*
+(feedback, paper section 2.1).  This is the compiler's input format and
+the quantum simulators' execution format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import QuantumStateError
+from .gates import gate_arity, is_clifford
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One circuit operation.
+
+    ``name`` is a gate name, ``"measure"`` or ``"barrier"``; ``qubits`` the
+    target qubits; ``cbit`` the classical destination (measure only);
+    ``condition`` an optional ``(cbit, value)`` pair gating execution.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+    cbit: Optional[int] = None
+    condition: Optional[Tuple[int, int]] = None
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_reset(self) -> bool:
+        return self.name == "reset"
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.name == "barrier"
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.condition is not None
+
+    def conditioned_on(self, cbit: int, value: int = 1) -> "Operation":
+        """Return a copy gated on classical bit ``cbit`` == ``value``."""
+        return replace(self, condition=(cbit, value))
+
+    def __str__(self):
+        text = self.name
+        if self.params:
+            text += "(" + ",".join("{:g}".format(p) for p in self.params) + ")"
+        text += " " + ",".join("q{}".format(q) for q in self.qubits)
+        if self.cbit is not None:
+            text += " -> c{}".format(self.cbit)
+        if self.condition:
+            text += " if c{}=={}".format(*self.condition)
+        return text
+
+
+class QuantumCircuit:
+    """Mutable circuit builder and container."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0,
+                 name: str = "circuit"):
+        if num_qubits < 1:
+            raise QuantumStateError("circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.operations: List[Operation] = []
+        self.metadata: dict = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _check_qubits(self, qubits: Tuple[int, ...]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise QuantumStateError(
+                    "qubit {} out of range (n={})".format(q, self.num_qubits))
+        if len(set(qubits)) != len(qubits):
+            raise QuantumStateError("duplicate qubits {}".format(qubits))
+
+    def add(self, op: Operation) -> "QuantumCircuit":
+        """Append a pre-built operation."""
+        self._check_qubits(op.qubits)
+        if not (op.is_measurement or op.is_barrier or op.is_reset):
+            expected = gate_arity(op.name)
+            if len(op.qubits) != expected:
+                raise QuantumStateError(
+                    "{} expects {} qubits, got {}".format(op.name, expected,
+                                                          len(op.qubits)))
+        if op.cbit is not None and not 0 <= op.cbit < self.num_clbits:
+            raise QuantumStateError("classical bit {} out of range".format(
+                op.cbit))
+        if op.condition is not None and not (
+                0 <= op.condition[0] < self.num_clbits):
+            raise QuantumStateError(
+                "condition bit {} out of range".format(op.condition[0]))
+        self.operations.append(op)
+        return self
+
+    def gate(self, name: str, *qubits: int, params: Tuple[float, ...] = (),
+             condition: Optional[Tuple[int, int]] = None) -> "QuantumCircuit":
+        """Append gate ``name`` on ``qubits``."""
+        return self.add(Operation(name.lower(), tuple(qubits), tuple(params),
+                                  condition=condition))
+
+    def measure(self, qubit: int, cbit: int) -> "QuantumCircuit":
+        """Measure ``qubit`` in the Z basis into classical bit ``cbit``."""
+        return self.add(Operation("measure", (qubit,), cbit=cbit))
+
+    def reset_qubit(self, qubit: int) -> "QuantumCircuit":
+        """Reset ``qubit`` to |0> (measurement + conditional flip)."""
+        return self.add(Operation("reset", (qubit,)))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Scheduling barrier over ``qubits`` (all qubits if none given)."""
+        targets = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        return self.add(Operation("barrier", targets))
+
+    # Gate shorthands used heavily by the benchmark generators.
+    def h(self, q):
+        return self.gate("h", q)
+
+    def x(self, q, condition=None):
+        return self.gate("x", q, condition=condition)
+
+    def y(self, q):
+        return self.gate("y", q)
+
+    def z(self, q, condition=None):
+        return self.gate("z", q, condition=condition)
+
+    def s(self, q):
+        return self.gate("s", q)
+
+    def sdg(self, q):
+        return self.gate("sdg", q)
+
+    def t(self, q):
+        return self.gate("t", q)
+
+    def tdg(self, q):
+        return self.gate("tdg", q)
+
+    def rz(self, theta, q):
+        return self.gate("rz", q, params=(theta,))
+
+    def rx(self, theta, q):
+        return self.gate("rx", q, params=(theta,))
+
+    def ry(self, theta, q):
+        return self.gate("ry", q, params=(theta,))
+
+    def cx(self, c, t, condition=None):
+        return self.gate("cx", c, t, condition=condition)
+
+    def cz(self, c, t, condition=None):
+        return self.gate("cz", c, t, condition=condition)
+
+    def cp(self, theta, c, t):
+        return self.gate("cp", c, t, params=(theta,))
+
+    def swap(self, a, b):
+        return self.gate("swap", a, b)
+
+    # -- analysis -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @property
+    def has_feedback(self) -> bool:
+        """True if any operation is classically conditioned (dynamic)."""
+        return any(op.is_conditional for op in self.operations)
+
+    @property
+    def is_clifford(self) -> bool:
+        """True if every gate is Clifford (stabilizer-simulable)."""
+        return all(op.is_measurement or op.is_barrier or op.is_reset or
+                   is_clifford(op.name, op.params)
+                   for op in self.operations)
+
+    def count_ops(self) -> dict:
+        """Histogram of operation names."""
+        out = {}
+        for op in self.operations:
+            out[op.name] = out.get(op.name, 0) + 1
+        return out
+
+    def two_qubit_ops(self) -> List[Operation]:
+        """All operations touching two or more qubits."""
+        return [op for op in self.operations
+                if len(op.qubits) >= 2 and not op.is_barrier]
+
+    def depth(self) -> int:
+        """Circuit depth counting gates and measurements (barriers free)."""
+        level = [0] * self.num_qubits
+        for op in self.operations:
+            if op.is_barrier:
+                joined = max(level[q] for q in op.qubits)
+                for q in op.qubits:
+                    level[q] = joined
+                continue
+            start = max(level[q] for q in op.qubits)
+            for q in op.qubits:
+                level[q] = start + 1
+        return max(level) if level else 0
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Deep-enough copy (operations are immutable)."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits,
+                             name or self.name)
+        out.operations = list(self.operations)
+        return out
+
+    def __str__(self):
+        lines = ["{}: {} qubits, {} clbits, {} ops".format(
+            self.name, self.num_qubits, self.num_clbits,
+            len(self.operations))]
+        lines.extend("  " + str(op) for op in self.operations[:50])
+        if len(self.operations) > 50:
+            lines.append("  ... ({} more)".format(len(self.operations) - 50))
+        return "\n".join(lines)

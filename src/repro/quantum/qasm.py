@@ -1,0 +1,118 @@
+"""Minimal OpenQASM 2 subset: emit and parse dynamic circuits.
+
+Covers what the evaluation pipeline needs (Figure 1b shows OpenQASM-style
+snippets): one ``qreg``/``creg``, the native gate set, ``measure``,
+``reset``, ``barrier`` and single-bit ``if (c[k]==v)`` conditions.  This
+is an interchange format for the benchmark circuits, not a full frontend.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from ..errors import CompilationError
+from .circuit import Operation, QuantumCircuit
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+_PARAM_GATES = {"rx", "ry", "rz", "u1", "cp", "crz"}
+_IF_RE = re.compile(r"^if\s*\(\s*c\[(\d+)\]\s*==\s*(\d+)\s*\)\s*(.*)$")
+_ARG_RE = re.compile(r"q\[(\d+)\]")
+_MEAS_RE = re.compile(r"^measure\s+q\[(\d+)\]\s*->\s*c\[(\d+)\]$")
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2 text."""
+    lines = [_HEADER + "qreg q[{}];".format(circuit.num_qubits)]
+    if circuit.num_clbits:
+        lines.append("creg c[{}];".format(circuit.num_clbits))
+    for op in circuit:
+        prefix = ""
+        if op.condition is not None:
+            prefix = "if (c[{}]=={}) ".format(op.condition[0],
+                                              op.condition[1])
+        if op.is_measurement:
+            lines.append("{}measure q[{}] -> c[{}];".format(
+                prefix, op.qubits[0], op.cbit))
+            continue
+        if op.is_barrier:
+            lines.append("barrier {};".format(
+                ",".join("q[{}]".format(q) for q in op.qubits)))
+            continue
+        if op.is_reset:
+            lines.append("{}reset q[{}];".format(prefix, op.qubits[0]))
+            continue
+        name = op.name
+        if op.params:
+            name += "(" + ",".join(repr(p) for p in op.params) + ")"
+        args = ",".join("q[{}]".format(q) for q in op.qubits)
+        lines.append("{}{} {};".format(prefix, name, args))
+    return "\n".join(lines) + "\n"
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a parameter expression (numbers, pi, + - * /)."""
+    allowed = set("0123456789.eE+-*/() pi")
+    if not set(text) <= allowed:
+        raise CompilationError("bad parameter expression {!r}".format(text))
+    return float(eval(text, {"__builtins__": {}}, {"pi": math.pi}))
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2 text (the subset produced by :func:`to_qasm`)."""
+    num_qubits = 0
+    num_clbits = 0
+    ops: List[Operation] = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        for statement in filter(None,
+                                (s.strip() for s in line.split(";"))):
+            condition = None
+            match = _IF_RE.match(statement)
+            if match:
+                condition = (int(match.group(1)), int(match.group(2)))
+                statement = match.group(3).strip()
+            if statement.startswith("qreg"):
+                num_qubits = int(re.search(r"\[(\d+)\]", statement).group(1))
+                continue
+            if statement.startswith("creg"):
+                num_clbits = int(re.search(r"\[(\d+)\]", statement).group(1))
+                continue
+            meas = _MEAS_RE.match(statement)
+            if meas:
+                ops.append(Operation("measure", (int(meas.group(1)),),
+                                     cbit=int(meas.group(2)),
+                                     condition=condition))
+                continue
+            if statement.startswith("barrier"):
+                qubits = tuple(int(q) for q in _ARG_RE.findall(statement))
+                ops.append(Operation("barrier", qubits))
+                continue
+            if statement.startswith("reset"):
+                qubit = int(_ARG_RE.search(statement).group(1))
+                ops.append(Operation("reset", (qubit,), condition=condition))
+                continue
+            head = statement.split()[0]
+            params: tuple = ()
+            if "(" in head:
+                name = head[:head.index("(")]
+                param_text = statement[statement.index("(") + 1:
+                                       statement.index(")")]
+                params = tuple(_eval_param(p) for p in param_text.split(","))
+            else:
+                name = head
+            if name not in _PARAM_GATES and params:
+                raise CompilationError(
+                    "gate {!r} takes no parameters".format(name))
+            qubits = tuple(int(q) for q in _ARG_RE.findall(statement))
+            ops.append(Operation(name.lower(), qubits, params,
+                                 condition=condition))
+    if num_qubits == 0:
+        raise CompilationError("no qreg declaration found")
+    circuit = QuantumCircuit(num_qubits, num_clbits, name="from_qasm")
+    for op in ops:
+        circuit.add(op)
+    return circuit

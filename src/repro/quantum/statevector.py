@@ -1,0 +1,173 @@
+"""Dense statevector simulator (small circuits, exact verification).
+
+Used to verify logical correctness of compiled HISQ programs on up to
+~14 qubits — e.g. that a teleportation-based long-range CNOT produces the
+same state as a direct CNOT (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QuantumStateError
+from .circuit import QuantumCircuit
+from .gates import gate_matrix
+
+_MAX_QUBITS = 22
+
+
+class StatevectorBackend:
+    """State-vector simulation with mid-circuit measurement.
+
+    Qubit 0 is the least-significant bit of the basis-state index.
+    """
+
+    def __init__(self, num_qubits: int, seed: Optional[int] = None):
+        if not 1 <= num_qubits <= _MAX_QUBITS:
+            raise QuantumStateError(
+                "statevector backend supports 1..{} qubits, got {}".format(
+                    _MAX_QUBITS, num_qubits))
+        self.num_qubits = num_qubits
+        self.rng = np.random.default_rng(seed)
+        self.state = np.zeros(1 << num_qubits, dtype=complex)
+        self.state[0] = 1.0
+
+    # -- core operations ------------------------------------------------------
+
+    def apply_gate(self, name: str, qubits: Sequence[int],
+                   params: Tuple[float, ...] = ()) -> None:
+        """Apply gate ``name`` to ``qubits`` (control first for 2q gates)."""
+        if name.lower() == "delay":
+            return
+        matrix = gate_matrix(name, params)
+        if len(qubits) == 1:
+            self._apply_1q(matrix, qubits[0])
+        elif len(qubits) == 2:
+            self._apply_2q(matrix, qubits[0], qubits[1])
+        else:
+            raise QuantumStateError(
+                "gates on {} qubits unsupported".format(len(qubits)))
+
+    def _apply_1q(self, matrix: np.ndarray, qubit: int) -> None:
+        self._check(qubit)
+        psi = self.state.reshape(-1, 1 << (qubit + 1))
+        lo = psi[:, :1 << qubit]
+        hi = psi[:, 1 << qubit:]
+        new_lo = matrix[0, 0] * lo + matrix[0, 1] * hi
+        new_hi = matrix[1, 0] * lo + matrix[1, 1] * hi
+        psi[:, :1 << qubit] = new_lo
+        psi[:, 1 << qubit:] = new_hi
+
+    def _apply_2q(self, matrix: np.ndarray, control: int, target: int) -> None:
+        self._check(control)
+        self._check(target)
+        if control == target:
+            raise QuantumStateError("control equals target")
+        n = self.num_qubits
+        psi = self.state.reshape([2] * n)
+        # numpy axes are ordered from the most significant qubit down.
+        axis_c = n - 1 - control
+        axis_t = n - 1 - target
+        moved = np.moveaxis(psi, (axis_c, axis_t), (0, 1))
+        flat = np.ascontiguousarray(moved).reshape(4, -1)
+        flat = matrix @ flat
+        restored = np.moveaxis(flat.reshape([2, 2] + [2] * (n - 2)),
+                               (0, 1), (axis_c, axis_t))
+        self.state = np.ascontiguousarray(restored).reshape(-1)
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise QuantumStateError("qubit {} out of range".format(qubit))
+
+    def probability_one(self, qubit: int) -> float:
+        """P(measuring |1>) on ``qubit``."""
+        self._check(qubit)
+        psi = self.state.reshape(-1, 1 << (qubit + 1))
+        hi = psi[:, 1 << qubit:]
+        return float(np.sum(np.abs(hi) ** 2))
+
+    def measure(self, qubit: int, forced: Optional[int] = None) -> int:
+        """Projectively measure ``qubit``; collapse and return the outcome.
+
+        ``forced`` post-selects an outcome (must have nonzero probability).
+        """
+        p1 = self.probability_one(qubit)
+        if forced is None:
+            outcome = int(self.rng.random() < p1)
+        else:
+            outcome = int(forced)
+            prob = p1 if outcome else 1.0 - p1
+            if prob < 1e-12:
+                raise QuantumStateError(
+                    "cannot post-select outcome {} with probability 0".format(
+                        outcome))
+        psi = self.state.reshape(-1, 1 << (qubit + 1))
+        if outcome:
+            psi[:, :1 << qubit] = 0.0
+            norm = np.sqrt(p1)
+        else:
+            psi[:, 1 << qubit:] = 0.0
+            norm = np.sqrt(1.0 - p1)
+        self.state /= norm
+        return outcome
+
+    def reset(self, qubit: int) -> int:
+        """Measure then flip to |0> if needed; returns the measured bit."""
+        outcome = self.measure(qubit)
+        if outcome:
+            self.apply_gate("x", (qubit,))
+        return outcome
+
+    # -- convenience ----------------------------------------------------------
+
+    def run_circuit(self, circuit: QuantumCircuit,
+                    forced_outcomes: Optional[Dict[int, list]] = None) -> list:
+        """Execute a (possibly dynamic) circuit; return classical bits.
+
+        ``forced_outcomes`` maps qubit -> list of outcomes consumed FIFO
+        (useful for deterministic tests of feedback paths).
+        """
+        if circuit.num_qubits != self.num_qubits:
+            raise QuantumStateError("circuit/backend qubit count mismatch")
+        cbits = [0] * circuit.num_clbits
+        forced = {q: list(v) for q, v in (forced_outcomes or {}).items()}
+        for op in circuit:
+            if op.is_barrier:
+                continue
+            if op.is_conditional:
+                bit, value = op.condition
+                if cbits[bit] != value:
+                    continue
+            if op.is_reset:
+                self.reset(op.qubits[0])
+                continue
+            if op.is_measurement:
+                qubit = op.qubits[0]
+                want = forced.get(qubit)
+                outcome = self.measure(
+                    qubit, forced=want.pop(0) if want else None)
+                if op.cbit is not None:
+                    cbits[op.cbit] = outcome
+            else:
+                self.apply_gate(op.name, op.qubits, op.params)
+        return cbits
+
+    def fidelity(self, other: "StatevectorBackend") -> float:
+        """|<self|other>|^2."""
+        if other.num_qubits != self.num_qubits:
+            raise QuantumStateError("qubit count mismatch")
+        return float(abs(np.vdot(self.state, other.state)) ** 2)
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.state) ** 2
+
+
+def run_statevector(circuit: QuantumCircuit, seed: Optional[int] = None,
+                    forced_outcomes: Optional[Dict[int, list]] = None):
+    """Run ``circuit`` on a fresh backend; return (backend, classical bits)."""
+    backend = StatevectorBackend(circuit.num_qubits, seed=seed)
+    cbits = backend.run_circuit(circuit, forced_outcomes=forced_outcomes)
+    return backend, cbits

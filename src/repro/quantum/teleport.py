@@ -1,0 +1,151 @@
+"""Long-range CNOT via gate teleportation (Figure 14, after [Baumer 2024]).
+
+A CNOT between two distant qubits on a coupling map normally needs a SWAP
+ladder whose depth grows linearly with distance.  Using ancillas, Bell
+pairs, mid-circuit measurement and classically conditioned Pauli
+corrections, the same CNOT is realized in *constant* depth — this is the
+workhorse that turns the static QASMBench circuits into the dynamic
+benchmarks of section 6.4.2.
+
+Construction (ancillas ``a_1 .. a_m`` between control ``c`` and target
+``t``):
+
+* ``m == 0`` — direct CX.
+* ``m == 1`` — single-ancilla gadget: ``CX(c,a1); CX(a1,t); x = MX(a1);
+  Z(c) if x``.
+* ``m >= 2`` (even) — Bell pairs ``(a1,a2), (a3,a4), ...``; entanglement
+  swapping by Bell measurements on ``(a2,a3), (a4,a5), ...``; then the
+  teleported-CNOT gadget ``CX(c,a1); CX(am,t); z1 = MZ(a1); xm = MX(am)``
+  with corrections ``X(t) if z1 XOR V`` and ``Z(c) if xm XOR U`` where
+  ``U``/``V`` are the X-/Z-outcome parities of the Bell measurements.
+
+Odd ``m >= 3`` uses ``m - 1`` ancillas (one idles).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import CompilationError
+from .circuit import Operation, QuantumCircuit
+
+
+def append_long_range_cnot(circuit: QuantumCircuit, control: int,
+                           ancillas: Sequence[int], target: int,
+                           cbit_base: int) -> int:
+    """Append a teleportation-based CNOT(control -> target) to ``circuit``.
+
+    ``ancillas`` must be fresh |0> qubits (they are measured and left
+    collapsed; reuse requires an explicit reset).  Classical bits
+    ``cbit_base ..`` receive the measurement outcomes; the number of
+    classical bits consumed is returned.
+    """
+    ancillas = list(ancillas)
+    if control == target:
+        raise CompilationError("control equals target")
+    if len(ancillas) >= 3 and len(ancillas) % 2 == 1:
+        ancillas = ancillas[:-1]
+    m = len(ancillas)
+    if m == 0:
+        circuit.cx(control, target)
+        return 0
+    if m == 1:
+        a = ancillas[0]
+        c0 = cbit_base
+        circuit.cx(control, a)
+        circuit.cx(a, target)
+        circuit.h(a)
+        circuit.measure(a, c0)
+        circuit.z(control, condition=(c0, 1))
+        return 1
+    # Bell pairs (a1,a2), (a3,a4), ... -- one layer of H + one of CX.
+    for j in range(0, m, 2):
+        circuit.h(ancillas[j])
+    for j in range(0, m, 2):
+        circuit.cx(ancillas[j], ancillas[j + 1])
+    # Teleported-CNOT gadget entangling the end ancillas with c and t.
+    circuit.cx(control, ancillas[0])
+    circuit.cx(ancillas[m - 1], target)
+    # Bell measurements on (a2,a3), (a4,a5), ... for entanglement swapping.
+    next_cbit = cbit_base
+    u_bits: List[int] = []
+    v_bits: List[int] = []
+    for j in range(1, m - 1, 2):
+        first, second = ancillas[j], ancillas[j + 1]
+        circuit.cx(first, second)
+        circuit.h(first)
+        circuit.measure(first, next_cbit)
+        u_bits.append(next_cbit)
+        next_cbit += 1
+        circuit.measure(second, next_cbit)
+        v_bits.append(next_cbit)
+        next_cbit += 1
+    # Gadget measurements: a1 in Z, am in X.
+    z1_bit = next_cbit
+    circuit.measure(ancillas[0], z1_bit)
+    next_cbit += 1
+    xm_bit = next_cbit
+    circuit.h(ancillas[m - 1])
+    circuit.measure(ancillas[m - 1], xm_bit)
+    next_cbit += 1
+    # Conditional Pauli corrections; parities are applied bit by bit
+    # (each conditional Pauli is its own feedback operation, which is
+    # exactly the control-plane load the evaluation stresses).
+    for bit in [z1_bit] + v_bits:
+        circuit.x(target, condition=(bit, 1))
+    for bit in [xm_bit] + u_bits:
+        circuit.z(control, condition=(bit, 1))
+    return next_cbit - cbit_base
+
+
+def classical_bits_needed(num_ancillas: int) -> int:
+    """Classical bits consumed by :func:`append_long_range_cnot`."""
+    if num_ancillas >= 3 and num_ancillas % 2 == 1:
+        num_ancillas -= 1
+    if num_ancillas == 0:
+        return 0
+    if num_ancillas == 1:
+        return 1
+    return 2 + (num_ancillas - 2)
+
+
+def build_long_range_cnot_circuit(distance: int,
+                                  prepare: str = "plus-zero"
+                                  ) -> QuantumCircuit:
+    """Standalone Figure-14 circuit: CNOT across ``distance`` hops.
+
+    Qubit 0 is the control, qubit ``distance`` the target, qubits
+    ``1..distance-1`` the ancilla chain.  ``prepare`` sets the input state:
+    ``"plus-zero"`` (control |+>, target |0> — produces a Bell pair, the
+    paper's long-range entanglement use case) or ``"none"``.
+    """
+    if distance < 1:
+        raise CompilationError("distance must be >= 1")
+    num_qubits = distance + 1
+    ancillas = list(range(1, distance))
+    circuit = QuantumCircuit(
+        num_qubits, classical_bits_needed(len(ancillas)) + 2,
+        name="long_range_cnot_d{}".format(distance))
+    if prepare == "plus-zero":
+        circuit.h(0)
+    elif prepare != "none":
+        raise CompilationError("unknown preparation {!r}".format(prepare))
+    append_long_range_cnot(circuit, 0, ancillas, distance, cbit_base=0)
+    return circuit
+
+
+def build_swap_cnot_circuit(distance: int,
+                            prepare: str = "plus-zero") -> QuantumCircuit:
+    """Unitary baseline for Figure 14: route with SWAPs (linear depth)."""
+    if distance < 1:
+        raise CompilationError("distance must be >= 1")
+    circuit = QuantumCircuit(distance + 1, 2,
+                             name="swap_cnot_d{}".format(distance))
+    if prepare == "plus-zero":
+        circuit.h(0)
+    for q in range(distance - 1):
+        circuit.swap(q, q + 1)
+    circuit.cx(distance - 1, distance)
+    for q in reversed(range(distance - 1)):
+        circuit.swap(q, q + 1)
+    return circuit

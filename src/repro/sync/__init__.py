@@ -1,0 +1,12 @@
+"""Synchronization protocol analysis (BISP, sections 4.2-4.4)."""
+
+from .analysis import (Participant, actual_start, bisp_feedback_cost,
+                       is_zero_overhead, lockstep_feedback_cost,
+                       nearby_sync_times, sync_overhead,
+                       theoretical_earliest, timing_diagram)
+
+__all__ = [
+    "Participant", "actual_start", "bisp_feedback_cost", "is_zero_overhead",
+    "lockstep_feedback_cost", "nearby_sync_times", "sync_overhead",
+    "theoretical_earliest", "timing_diagram",
+]

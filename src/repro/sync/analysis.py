@@ -1,0 +1,112 @@
+"""Analytic model of BISP synchronization overhead (sections 4.2-4.4).
+
+These closed-form results mirror what the simulator produces event by
+event; the test suite checks the two agree, and the Figure 5/7 benchmarks
+print both.
+
+Notation: controller ``i`` books at wall-clock ``B_i``, has ``D_i`` cycles
+of deterministic work between booking and the synchronization point
+(``T_i = B_i + D_i``), and its booking round-trip latency is ``L_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One controller's view of a synchronization."""
+
+    booking_time: int      # B_i
+    deterministic: int     # D_i
+    latency: int           # L_i (round-trip for region, one-way for nearby)
+
+    @property
+    def sync_point(self) -> int:
+        """T_i = B_i + D_i, the earliest time this controller is ready."""
+        return self.booking_time + self.deterministic
+
+
+def theoretical_earliest(participants: Sequence[Participant]) -> int:
+    """max_i T_i — the earliest time the synchronous task could start."""
+    return max(p.sync_point for p in participants)
+
+
+def actual_start(participants: Sequence[Participant]) -> int:
+    """When the synchronous task actually starts under BISP.
+
+    ``max(max_i(B_i + L_i), max_i(T_i))`` — communication must complete
+    (every booking delivered and the decision distributed) and every
+    controller must have finished its deterministic work.
+    """
+    ready = max(p.booking_time + p.latency for p in participants)
+    return max(ready, theoretical_earliest(participants))
+
+
+def sync_overhead(participants: Sequence[Participant]) -> int:
+    """Section 4.4's overhead: actual start minus theoretical earliest."""
+    return actual_start(participants) - theoretical_earliest(participants)
+
+
+def is_zero_overhead(participants: Sequence[Participant]) -> bool:
+    """Zero-cycle condition: max_i(B_i + L_i) <= max_i(T_i)."""
+    return sync_overhead(participants) == 0
+
+
+def nearby_sync_times(b0: int, b1: int, latency: int,
+                      delta: int) -> Tuple[int, int]:
+    """Timer-resume walls for two neighbors booking at ``b0``/``b1``.
+
+    Both controllers' position ``P_sync + N`` maps to
+    ``max(B0, B1) + L``; a synchronous operation placed ``delta >= N``
+    cycles after the sync lands at ``max(B0, B1) + delta`` on both.
+    Returns (resume_wall, task_wall).
+    """
+    resume = max(b0, b1) + latency
+    return resume, max(b0, b1) + max(delta, latency)
+
+
+def lockstep_feedback_cost(num_feedback: int, broadcast: int,
+                           reserve: int) -> int:
+    """Serialized cost of ``num_feedback`` feedback operations in lock-step.
+
+    Every feedback pays the central broadcast plus its reserved slot, and
+    feedbacks cannot overlap (shared program flow).
+    """
+    return num_feedback * (broadcast + reserve)
+
+
+def bisp_feedback_cost(feedback_groups: List[List[Tuple[int, int]]]) -> int:
+    """Cost of the same feedbacks under BISP.
+
+    ``feedback_groups`` is a list of concurrency groups; feedbacks inside
+    one group run on disjoint controllers and overlap perfectly, so each
+    group costs only its maximum (latency + duration).
+    """
+    total = 0
+    for group in feedback_groups:
+        if group:
+            total += max(latency + duration for latency, duration in group)
+    return total
+
+
+def timing_diagram(participants: Sequence[Participant],
+                   labels: Sequence[str], width: int = 72) -> str:
+    """ASCII rendition of a Figure 5/7-style timing diagram."""
+    start = actual_start(participants)
+    horizon = start + 4
+    scale = max(1, -(-horizon // width))
+    lines = []
+    for label, p in zip(labels, participants):
+        row = [" "] * (horizon // scale + 1)
+        for t in range(p.booking_time, p.sync_point):
+            row[t // scale] = "="  # deterministic tasks
+        row[p.booking_time // scale] = "B"
+        row[min(p.sync_point, horizon) // scale] = "T"
+        row[start // scale] = "S"
+        lines.append("{:>4s} |{}|".format(label, "".join(row)))
+    lines.append("      B=booking  ==deterministic  T=ready  S=sync start "
+                 "(overhead {})".format(sync_overhead(participants)))
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Curve fits used by the calibration experiments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog.fitting import (fit_circle, fit_exponential_decay,
+                                  fit_lorentzian, fit_rabi)
+from repro.errors import CalibrationError
+
+
+class TestFits:
+    def test_lorentzian_recovers_center(self):
+        f = np.linspace(4.0, 4.2, 61)
+        y = 0.9 * 0.01**2 / ((f - 4.13)**2 + 0.01**2) + 0.02
+        fit = fit_lorentzian(f, y)
+        assert fit.center_ghz == pytest.approx(4.13, abs=1e-4)
+        assert fit.width_ghz == pytest.approx(0.01, rel=0.05)
+
+    def test_lorentzian_needs_points(self):
+        with pytest.raises(CalibrationError):
+            fit_lorentzian([1, 2], [0, 1])
+
+    def test_rabi_recovers_pi_amplitude(self):
+        a = np.linspace(0, 3, 61)
+        y = 0.95 * np.sin(math.pi * a / (2 * 1.2))**2 + 0.03
+        fit = fit_rabi(a, y)
+        assert fit.pi_amplitude == pytest.approx(1.2, rel=0.02)
+
+    def test_exponential_recovers_t1(self):
+        t = np.linspace(0, 40_000, 41)
+        y = 0.9 * np.exp(-t / 9_900.0) + 0.05
+        fit = fit_exponential_decay(t, y)
+        assert fit.t1_us == pytest.approx(9.9, rel=0.02)
+
+    def test_circle_fit(self):
+        theta = np.linspace(0, 2 * math.pi, 36, endpoint=False)
+        points = 0.2 + 0.1j + 1.5 * np.exp(1j * theta)
+        fit = fit_circle(points)
+        assert fit.center == pytest.approx(0.2 + 0.1j, abs=1e-9)
+        assert fit.radius == pytest.approx(1.5, abs=1e-9)
+        assert fit.rms_deviation == pytest.approx(0.0, abs=1e-9)
+
+    def test_circle_fit_reports_deviation(self):
+        theta = np.linspace(0, 2 * math.pi, 36, endpoint=False)
+        points = np.exp(1j * theta) + 0.08 * np.exp(3j * theta)
+        fit = fit_circle(points)
+        assert fit.rms_deviation > 0.01

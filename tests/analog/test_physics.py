@@ -1,0 +1,76 @@
+"""Closed-form qubit response models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog.qubit_physics import QubitModel
+
+
+class TestRabi:
+    def test_zero_amplitude_no_excitation(self):
+        assert QubitModel().rabi_probability(0.0, 20.0) == 0.0
+
+    def test_pi_pulse_full_excitation(self):
+        qubit = QubitModel(rabi_mhz_per_amp=12.5)
+        amp_pi = 1000.0 / (2 * 12.5 * 20.0)
+        assert qubit.rabi_probability(amp_pi, 20.0) == pytest.approx(1.0)
+
+    def test_detuning_reduces_contrast(self):
+        qubit = QubitModel()
+        on_res = qubit.rabi_probability(1.0, 200.0)
+        detuned_peak = max(
+            qubit.rabi_probability(1.0, t, qubit.frequency_ghz + 0.05)
+            for t in np.linspace(1, 400, 200))
+        assert detuned_peak < 0.2
+
+    def test_lineshape_peaks_at_resonance(self):
+        qubit = QubitModel()
+        freqs = np.linspace(qubit.frequency_ghz - 0.02,
+                            qubit.frequency_ghz + 0.02, 41)
+        response = [qubit.rabi_probability(0.1, 400.0, f) for f in freqs]
+        assert abs(freqs[int(np.argmax(response))] -
+                   qubit.frequency_ghz) < 1e-3
+
+
+class TestRelaxation:
+    def test_t1_decay_exponential(self):
+        qubit = QubitModel(t1_us=10.0)
+        assert qubit.t1_decay(1.0, 10_000.0) == pytest.approx(math.exp(-1))
+
+    def test_no_decay_at_zero_delay(self):
+        assert QubitModel().t1_decay(0.7, 0.0) == pytest.approx(0.7)
+
+
+class TestReadout:
+    def test_circle_rotation(self):
+        qubit = QubitModel(readout_noise=0.0, feedline_interference=0.0)
+        rng = np.random.default_rng(0)
+        iq0, _ = qubit.readout_iq(0.0, 0.0, rng=rng, sample_state=False)
+        iq90, _ = qubit.readout_iq(0.0, math.pi / 2, rng=rng,
+                                   sample_state=False)
+        assert iq0 == pytest.approx(qubit.iq_ground)
+        assert iq90 == pytest.approx(qubit.iq_ground * 1j)
+
+    def test_interference_distorts_circle(self):
+        qubit = QubitModel(readout_noise=0.0, feedline_interference=0.1)
+        rng = np.random.default_rng(0)
+        radii = []
+        for k in range(16):
+            iq, _ = qubit.readout_iq(0.0, 2 * math.pi * k / 16, rng=rng,
+                                     sample_state=False)
+            radii.append(abs(iq))
+        assert max(radii) - min(radii) > 0.05  # not an ideal circle
+
+    def test_state_sampling_probability(self):
+        qubit = QubitModel(readout_noise=0.0)
+        rng = np.random.default_rng(1)
+        states = [qubit.readout_iq(0.8, 0.0, rng=rng)[1]
+                  for _ in range(500)]
+        assert sum(states) / 500 == pytest.approx(0.8, abs=0.07)
+
+    def test_discrimination(self):
+        qubit = QubitModel()
+        assert qubit.discriminate(qubit.iq_ground) == 0
+        assert qubit.discriminate(qubit.iq_excited) == 1

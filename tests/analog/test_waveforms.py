@@ -1,0 +1,71 @@
+"""Waveform primitives: envelopes, NCO, IQ chain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog.waveforms import (NCO, gaussian_envelope, iq_demodulate,
+                                    iq_modulate, square_envelope)
+from repro.errors import ReproError
+
+
+class TestEnvelopes:
+    def test_gaussian_length_and_peak(self):
+        env = gaussian_envelope(40.0, amplitude=0.5)
+        assert len(env) == 40
+        assert env.max() == pytest.approx(0.5, rel=1e-2)
+
+    def test_gaussian_symmetry(self):
+        env = gaussian_envelope(21.0)
+        assert np.allclose(env, env[::-1])
+
+    def test_square_flat_top(self):
+        env = square_envelope(20.0, amplitude=0.8)
+        assert np.allclose(env, 0.8)
+
+    def test_square_with_rise(self):
+        env = square_envelope(20.0, amplitude=1.0, rise_ns=5.0)
+        assert env[0] < 0.5
+        assert env[10] == pytest.approx(1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ReproError):
+            gaussian_envelope(0.0)
+
+
+class TestNCO:
+    def test_phase_wraps(self):
+        nco = NCO()
+        nco.set_phase(2 * math.pi + 0.25)
+        assert nco.phase_rad == pytest.approx(0.25)
+
+    def test_samples_unit_magnitude(self):
+        nco = NCO(0.1, 0.3)
+        samples = nco.samples(64)
+        assert np.allclose(np.abs(samples), 1.0)
+
+    def test_frequency_advances_phase(self):
+        nco = NCO(0.25)  # quarter cycle per ns
+        samples = nco.samples(5)
+        assert samples[4] == pytest.approx(samples[0], abs=1e-9)
+
+
+class TestIQChain:
+    def test_modulate_demodulate_recovers_mean(self):
+        nco = NCO(0.05, 0.7)
+        env = square_envelope(100.0, amplitude=0.6)
+        signal = iq_modulate(env, nco)
+        point = iq_demodulate(signal, nco)
+        assert point == pytest.approx(0.6, abs=1e-9)
+
+    def test_demodulation_phase_sensitivity(self):
+        tx = NCO(0.05, 0.0)
+        rx = NCO(0.05, math.pi)  # opposite reference phase
+        env = square_envelope(100.0)
+        point = iq_demodulate(iq_modulate(env, tx), rx)
+        assert point.real == pytest.approx(-1.0, abs=1e-9)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ReproError):
+            iq_demodulate(np.array([]), NCO())

@@ -1,0 +1,202 @@
+"""Benchmark circuit generators: functional correctness."""
+
+import math
+
+import pytest
+
+from repro.circuits import (build_adder, build_bv, build_ghz,
+                            build_logical_t, build_memory_experiment,
+                            build_patch, build_qft, build_w_state,
+                            register_size, secret_of)
+from repro.quantum.statevector import run_statevector
+from repro.quantum.stabilizer import run_stabilizer
+
+
+class TestAdder:
+    def test_register_size_conventions(self):
+        assert register_size(10) == 4   # even: (n-2)/2
+        assert register_size(9) == 4    # odd: (n-1)/2, no carry-out
+        assert register_size(577) == 288
+        assert register_size(1153) == 576
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 5), (7, 7), (2, 6)])
+    def test_addition_is_correct(self, a, b):
+        # 3-bit operands (n=8 -> k=3 with carry-out).
+        circuit = build_adder(8, a_value=a, b_value=b)
+        _, cbits = run_statevector(circuit, seed=0)
+        total = sum(bit << i for i, bit in enumerate(cbits))
+        assert total == a + b
+
+    def test_no_carry_out_when_odd(self):
+        circuit = build_adder(9, a_value=7, b_value=8)
+        _, cbits = run_statevector(circuit, seed=0)
+        total = sum(bit << i for i, bit in enumerate(cbits))
+        assert total == (7 + 8) % 16  # carry dropped
+
+    def test_operands_restored(self):
+        # CDKM restores the a register; check via extra measurements.
+        circuit = build_adder(8, a_value=5, b_value=2, measure=False)
+        backend, _ = run_statevector(circuit, seed=0)
+        a_qubits = [1, 3, 5]
+        restored = sum(int(round(backend.probability_one(q))) << i
+                       for i, q in enumerate(a_qubits))
+        assert restored == 5
+
+    def test_minimum_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_adder(3)
+
+
+class TestBV:
+    def test_secret_recovered(self):
+        for n, secret in ((6, 0b10110), (8, 0b1010101)):
+            circuit = build_bv(n, secret=secret)
+            _, cbits = run_statevector(circuit, seed=1)
+            assert sum(bit << i for i, bit in enumerate(cbits)) == secret
+
+    def test_default_secret(self):
+        n = 8
+        circuit = build_bv(n)
+        _, cbits = run_statevector(circuit, seed=1)
+        assert sum(bit << i for i, bit in enumerate(cbits)) == secret_of(n)
+
+    def test_cx_count_equals_secret_weight(self):
+        circuit = build_bv(7, secret=0b10101)
+        assert circuit.count_ops()["cx"] == 3
+
+
+class TestQFT:
+    def test_gate_count_full(self):
+        n = 6
+        circuit = build_qft(n, with_swaps=False)
+        counts = circuit.count_ops()
+        assert counts["h"] == n
+        assert counts["cp"] == n * (n - 1) // 2
+
+    def test_approximation_drops_small_rotations(self):
+        full = build_qft(20, with_swaps=False)
+        approx = build_qft(20, with_swaps=False, max_interaction_distance=4)
+        assert approx.count_ops()["cp"] < full.count_ops()["cp"]
+
+    def test_qft_of_zero_is_uniform(self):
+        circuit = build_qft(4)
+        backend, _ = run_statevector(circuit, seed=0)
+        probs = backend.probabilities()
+        assert probs == pytest.approx([1 / 16.0] * 16)
+
+    def test_qft_frequency_state(self):
+        # QFT|1> has uniform magnitudes with linear phase ramp.
+        import numpy as np
+        circuit = build_qft(3)
+        from repro.quantum.statevector import StatevectorBackend
+        backend = StatevectorBackend(3)
+        backend.apply_gate("x", (0,))
+        backend.run_circuit(circuit)
+        probs = backend.probabilities()
+        assert probs == pytest.approx([1 / 8.0] * 8)
+
+
+class TestWState:
+    def test_single_excitation_uniform(self):
+        n = 5
+        circuit = build_w_state(n)
+        backend, _ = run_statevector(circuit, seed=0)
+        probs = backend.probabilities()
+        for q in range(n):
+            assert probs[1 << q] == pytest.approx(1.0 / n)
+        assert sum(probs[1 << q] for q in range(n)) == pytest.approx(1.0)
+
+    def test_measurement_has_exactly_one_excitation(self):
+        circuit = build_w_state(6, measure=True)
+        for seed in range(5):
+            _, cbits = run_statevector(circuit, seed=seed)
+            assert sum(cbits) == 1
+
+
+class TestGHZ:
+    def test_stabilizer_scale(self):
+        backend, _ = run_stabilizer(build_ghz(64), seed=0)
+        assert len(set(backend.measure_all())) == 1
+
+
+class TestSurfaceCode:
+    def test_patch_qubit_count(self):
+        for d in (2, 3, 5, 7):
+            patch = build_patch(d)
+            assert patch.num_qubits == 2 * d * d - 1
+            assert len(patch.data) == d * d
+            assert len(patch.x_ancillas) + len(patch.z_ancillas) == d * d - 1
+
+    def test_stabilizer_weights(self):
+        patch = build_patch(3)
+        for coords in list(patch.x_ancillas.values()) + \
+                list(patch.z_ancillas.values()):
+            assert len(coords) in (2, 4)
+
+    def test_logical_operators_span_patch(self):
+        patch = build_patch(5)
+        assert len(patch.logical_z_qubits()) == 5
+        assert len(patch.logical_x_qubits()) == 5
+
+    def test_memory_z_syndromes_trivial(self):
+        """On a noise-free logical |0>, every Z syndrome is 0 and the data
+        readout satisfies all Z-plaquette parities and logical-Z = +1."""
+        circuit = build_memory_experiment(3, rounds=2)
+        patch = circuit.metadata["patch"]
+        for seed in (3, 11, 17):
+            backend, cbits = run_stabilizer(circuit, seed=seed)
+            ancillas = sorted(list(patch.x_ancillas) +
+                              list(patch.z_ancillas))
+            z_positions = [i for i, a in enumerate(ancillas)
+                           if a in patch.z_ancillas]
+            num_anc = len(ancillas)
+            for round_index in range(2):
+                for pos in z_positions:
+                    assert cbits[round_index * num_anc + pos] == 0
+            data = dict(zip(patch.data_qubits, cbits[2 * num_anc:]))
+            for coords in patch.z_ancillas.values():
+                parity = sum(data[patch.data[c]] for c in coords) % 2
+                assert parity == 0
+            logical = sum(data[q] for q in patch.logical_z_qubits()) % 2
+            assert logical == 0
+
+    def test_difference_syndrome_trivial_without_reset(self):
+        """Without ancilla reset, round 2 reports s2 XOR m1 = 0 noiselessly
+        (the QND property in difference form)."""
+        circuit = build_memory_experiment(3, rounds=2)
+        patch = circuit.metadata["patch"]
+        backend, cbits = run_stabilizer(circuit, seed=11)
+        num_anc = len(patch.x_ancillas) + len(patch.z_ancillas)
+        assert cbits[num_anc:2 * num_anc] == [0] * num_anc
+
+    def test_absolute_syndromes_repeat_with_reset(self):
+        """With active reset, X outcomes are random but repeat each round
+        (projective stabilizer measurement is QND)."""
+        circuit = build_memory_experiment(3, rounds=2, active_reset=True)
+        patch = circuit.metadata["patch"]
+        backend, cbits = run_stabilizer(circuit, seed=11)
+        num_anc = len(patch.x_ancillas) + len(patch.z_ancillas)
+        assert cbits[:num_anc] == cbits[num_anc:2 * num_anc]
+        assert any(cbits[:num_anc])  # X outcomes genuinely random
+
+
+class TestLogicalT:
+    def test_feedback_structure(self):
+        circuit = build_logical_t(3, parallel_pairs=2)
+        conditionals = [op for op in circuit if op.is_conditional]
+        assert len(conditionals) > 0
+        s_gates = [op for op in conditionals if op.name == "s"]
+        cz_gates = [op for op in conditionals if op.name == "cz"]
+        assert len(s_gates) == 2 * 3      # d per pair
+        assert len(cz_gates) == 2 * 3     # d(d-1)/2 per pair
+
+    def test_named_instances(self):
+        from repro.circuits.logical_t import build_named
+        circuit = build_named("logical_t_n432")
+        assert circuit.name == "logical_t_n432"
+        assert circuit.metadata["parallel_pairs"] == 2
+
+    def test_qubit_counts_scale_with_pairs(self):
+        one = build_logical_t(3, parallel_pairs=1)
+        two = build_logical_t(3, parallel_pairs=2)
+        assert two.num_qubits == 2 * one.num_qubits

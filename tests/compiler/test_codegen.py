@@ -1,0 +1,174 @@
+"""Circuit lowering to per-controller streams (BISP/demand shape)."""
+
+import pytest
+
+from repro.compiler.codegen import lower_circuit
+from repro.compiler.mapping import QubitMap
+from repro.compiler.streams import (Cond, Cw, Measure, RecvBit, SendBit,
+                                    SyncN, SyncR, Wait)
+from repro.errors import CompilationError
+from repro.network.topology import build_topology
+from repro.quantum.circuit import QuantumCircuit
+from repro.sim.config import SimulationConfig
+
+
+def lower(circuit, n=None, mesh="line"):
+    n = n if n is not None else circuit.num_qubits
+    qmap = QubitMap(circuit.num_qubits, 1)
+    topo = build_topology(qmap.num_controllers, mesh_kind=mesh)
+    return lower_circuit(circuit, qmap, topo, SimulationConfig())
+
+
+class TestSingleQubitOps:
+    def test_gate_goes_to_owner(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(1)
+        lowered = lower(circuit)
+        assert any(isinstance(i, Cw) for i in lowered.streams[1])
+        assert not lowered.streams[0]
+        assert not lowered.streams[2]
+
+    def test_gate_followed_by_duration_wait(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        lowered = lower(circuit)
+        items = lowered.streams[0]
+        assert isinstance(items[0], Cw)
+        assert isinstance(items[1], Wait)
+        assert items[1].cycles == SimulationConfig().single_qubit_gate_cycles
+
+    def test_distinct_gates_distinct_codewords(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0).h(0)
+        lowered = lower(circuit)
+        cws = [i.codeword for i in lowered.streams[0]
+               if isinstance(i, Cw)]
+        assert cws[0] == cws[2] != cws[1]
+
+    def test_delay_becomes_wait(self):
+        circuit = QuantumCircuit(1)
+        circuit.gate("delay", 0, params=(400.0,))
+        lowered = lower(circuit)
+        assert isinstance(lowered.streams[0][0], Wait)
+        assert lowered.streams[0][0].cycles == 100  # 400 ns at 4 ns
+
+
+class TestTwoQubitOps:
+    def test_neighbors_use_nearby_sync(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        lowered = lower(circuit)
+        assert any(isinstance(i, SyncN) for i in lowered.streams[0])
+        assert any(isinstance(i, SyncN) for i in lowered.streams[1])
+        assert not lowered.sync_groups
+
+    def test_distant_pair_uses_region_sync(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        lowered = lower(circuit)
+        assert any(isinstance(i, SyncR) for i in lowered.streams[0])
+        assert len(lowered.sync_groups) == 1
+        (members,) = lowered.sync_groups.values()
+        assert members == [0, 4]
+
+    def test_pair_group_reused(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4).cx(0, 4)
+        lowered = lower(circuit)
+        assert len(lowered.sync_groups) == 1
+
+    def test_gate_halves_assigned(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        lowered = lower(circuit)
+        actions = [a for table in
+                   (lowered.allocators[0].table, lowered.allocators[1].table)
+                   for a in table.values()]
+        halves = sorted(a.half for a in actions)
+        assert halves == [0, 1]
+        assert all(a.total_halves == 2 for a in actions)
+
+    def test_same_controller_two_qubit_gate_single_action(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        qmap = QubitMap(4, 2)  # both qubits on controller 0
+        topo = build_topology(2, mesh_kind="line")
+        lowered = lower_circuit(circuit, qmap, topo, SimulationConfig())
+        assert not any(isinstance(i, (SyncN, SyncR))
+                       for i in lowered.streams[0])
+
+
+class TestFeedback:
+    def test_measure_produces_measure_item(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        lowered = lower(circuit)
+        assert isinstance(lowered.streams[0][0], Measure)
+
+    def test_measure_without_cbit_rejected(self):
+        from repro.quantum.circuit import Operation
+        circuit = QuantumCircuit(1, 0)
+        circuit.operations.append(Operation("measure", (0,)))
+        with pytest.raises(CompilationError):
+            lower(circuit)
+
+    def test_local_condition_no_messages(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0).x(0, condition=(0, 1))
+        lowered = lower(circuit)
+        assert lowered.num_messages == 0
+        assert any(isinstance(i, Cond) for i in lowered.streams[0])
+
+    def test_remote_condition_sends_bit(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure(0, 0).x(2, condition=(0, 1))
+        lowered = lower(circuit)
+        assert any(isinstance(i, SendBit) and i.dst == 2
+                   for i in lowered.streams[0])
+        assert any(isinstance(i, RecvBit) and i.src == 0
+                   for i in lowered.streams[2])
+        assert lowered.num_messages == 1
+
+    def test_bit_sent_once_per_consumer(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure(0, 0)
+        circuit.x(2, condition=(0, 1))
+        circuit.z(2, condition=(0, 1))
+        lowered = lower(circuit)
+        sends = [i for i in lowered.streams[0] if isinstance(i, SendBit)]
+        assert len(sends) == 1  # second use reads local memory
+
+    def test_remeasure_invalidates_cached_copies(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure(0, 0)
+        circuit.x(2, condition=(0, 1))
+        circuit.measure(0, 0)
+        circuit.z(2, condition=(0, 1))
+        lowered = lower(circuit)
+        sends = [i for i in lowered.streams[0] if isinstance(i, SendBit)]
+        assert len(sends) == 2
+
+    def test_use_before_measure_rejected(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.x(1, condition=(0, 1))
+        with pytest.raises(CompilationError):
+            lower(circuit)
+
+    def test_conditional_two_qubit_syncs_inside_branch(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure(0, 0).cz(1, 2, condition=(0, 1))
+        lowered = lower(circuit)
+        for controller in (1, 2):
+            conds = [i for i in lowered.streams[controller]
+                     if isinstance(i, Cond)]
+            assert len(conds) == 1
+            assert any(isinstance(i, SyncN) for i in conds[0].body)
+
+    def test_reset_is_measure_plus_local_feedback(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset_qubit(0)
+        lowered = lower(circuit)
+        kinds = [type(i).__name__ for i in lowered.streams[0]]
+        assert kinds[0] == "Measure"
+        assert "Cond" in kinds
+        assert lowered.num_feedback_ops == 1

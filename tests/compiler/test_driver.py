@@ -1,0 +1,101 @@
+"""Driver-level options: meshes, multi-qubit controllers, strictness."""
+
+import pytest
+
+from repro.circuits import build_ghz
+from repro.compiler import compile_circuit, run_circuit
+from repro.errors import CompilationError
+from repro.quantum import QuantumCircuit, build_long_range_cnot_circuit
+from repro.quantum.statevector import StatevectorBackend
+
+
+class TestSchemeSelection:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_circuit(build_ghz(3), scheme="magic")
+
+    def test_all_schemes_compile(self):
+        for scheme in ("bisp", "demand", "lockstep"):
+            compilation = compile_circuit(build_ghz(3), scheme=scheme)
+            assert compilation.scheme == scheme
+            assert len(compilation.programs) == 3
+
+
+class TestMeshKinds:
+    def test_interaction_mesh_makes_pairs_neighbors(self):
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 5)
+        compilation = compile_circuit(circuit, mesh_kind="interaction")
+        assert compilation.topology.are_neighbors(0, 5)
+        # Interaction mesh -> nearby sync, no region groups.
+        assert not compilation.sync_groups
+
+    def test_line_mesh_distant_pair_gets_region_group(self):
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 5)
+        compilation = compile_circuit(circuit, mesh_kind="line")
+        assert len(compilation.sync_groups) == 1
+
+    def test_interaction_mesh_correctness(self):
+        circuit = build_long_range_cnot_circuit(4)
+        backend = StatevectorBackend(5, seed=2)
+        result = run_circuit(circuit, scheme="bisp",
+                             mesh_kind="interaction", backend=backend)
+        assert result.system.device.gate_skew_events == 0
+        assert backend.measure(0) == backend.measure(4)
+
+
+class TestMultiQubitControllers:
+    def test_fewer_controllers(self):
+        compilation = compile_circuit(build_ghz(6),
+                                      qubits_per_controller=2)
+        assert compilation.qmap.num_controllers == 3
+        assert len(compilation.programs) == 3
+
+    def test_correctness_with_grouped_qubits(self):
+        from repro.quantum.stabilizer import StabilizerBackend
+        backend = StabilizerBackend(6, seed=4)
+        result = run_circuit(build_ghz(6), scheme="bisp",
+                             qubits_per_controller=2, backend=backend)
+        assert result.system.device.gate_skew_events == 0
+        assert len(set(backend.measure_all())) == 1
+
+    def test_intra_controller_gates_need_no_sync(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)  # both pairs co-located at qpc=2
+        compilation = compile_circuit(circuit, qubits_per_controller=2)
+        assert compilation.stats["syncs"] == 0
+
+    def test_feedback_with_grouped_qubits(self):
+        circuit = QuantumCircuit(4, 1)
+        circuit.h(0).measure(0, 0).x(3, condition=(0, 1))
+        backend = StatevectorBackend(4, seed=1)
+        result = run_circuit(circuit, scheme="bisp",
+                             qubits_per_controller=2, backend=backend)
+        p3 = backend.probability_one(3)
+        p0 = backend.probability_one(0)
+        assert p3 == pytest.approx(p0)
+
+
+class TestRunResult:
+    def test_makespan_units(self):
+        result = run_circuit(build_ghz(3), scheme="bisp")
+        assert result.makespan_ns == pytest.approx(
+            result.makespan_cycles * 4.0)
+
+    def test_strict_timing_clean_run(self):
+        compilation = compile_circuit(build_ghz(4), scheme="bisp")
+        system = compilation.build_system(strict_timing=True)
+        stats = system.run()
+        assert stats.timing_violations == 0
+
+    def test_stall_statistics_collected(self):
+        circuit = build_long_range_cnot_circuit(5)
+        result = run_circuit(circuit, scheme="demand")
+        assert result.stats.sync_stall_cycles > 0
+
+    def test_empty_controllers_excluded(self):
+        circuit = QuantumCircuit(5)
+        circuit.h(0)
+        compilation = compile_circuit(circuit)
+        assert list(compilation.programs) == [0]

@@ -1,0 +1,103 @@
+"""Stream -> HISQ instruction expansion."""
+
+import pytest
+
+from repro.compiler.emit import (VALUE_REG, emit_program, emit_wait,
+                                 expand_items, load_bit, store_bit)
+from repro.compiler.streams import (Cond, Cw, Measure, RecvBit, SendBit,
+                                    SyncN, SyncR, Wait)
+from repro.core.config import ACQ_ADDRESS
+from repro.errors import CompilationError
+
+
+class TestBasics:
+    def test_wait_expansion(self):
+        out = []
+        emit_wait(57, out)
+        assert len(out) == 1 and out[0].imm == 57
+
+    def test_long_wait_splits(self):
+        out = []
+        emit_wait((1 << 20) + 5, out)
+        assert len(out) == 2
+        assert sum(i.imm for i in out) == (1 << 20) + 5
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(CompilationError):
+            emit_wait(-1, [])
+
+    def test_cw(self):
+        (instr,) = expand_items([Cw(3, 9)])
+        assert instr.mnemonic == "cw.i.i"
+        assert (instr.imm, instr.imm2) == (3, 9)
+
+    def test_sync_nearby_with_gap(self):
+        out = expand_items([SyncN(peer=1, pair_key=(0,), gap=4)])
+        assert out[0].mnemonic == "sync" and out[0].imm2 == 0
+        assert out[1].mnemonic == "waiti" and out[1].imm == 4
+
+    def test_sync_region_delta(self):
+        out = expand_items([SyncR(group=0x100, delta=20, gap=0)])
+        assert out[0].imm == 0x100 and out[0].imm2 == 20
+
+    def test_region_delta_zero_rejected(self):
+        with pytest.raises(CompilationError):
+            expand_items([SyncR(group=1, delta=0, gap=0)])
+
+    def test_program_ends_with_halt(self):
+        program = emit_program("c0", [Cw(0, 1)])
+        assert program.instructions[-1].mnemonic == "halt"
+
+
+class TestBitSpills:
+    def test_small_address_direct(self):
+        (instr,) = store_bit(5)
+        assert instr.mnemonic == "sw" and instr.imm == 20
+
+    def test_large_address_uses_lui(self):
+        ops = store_bit(10_000)  # address 40000 > 2047
+        assert ops[0].mnemonic == "lui"
+        assert ops[-1].mnemonic == "sw"
+
+    def test_load_store_symmetry(self):
+        assert len(load_bit(3)) == len(store_bit(3)) == 1
+        assert len(load_bit(10_000)) == len(store_bit(10_000))
+
+    def test_measure_expansion(self):
+        out = expand_items([Measure(port=1, codeword=2, bit=0)])
+        assert [i.mnemonic for i in out] == ["cw.i.i", "recv", "sw"]
+        assert out[1].imm == ACQ_ADDRESS
+
+    def test_send_recv_bits(self):
+        out = expand_items([SendBit(dst=3, bit=1), RecvBit(src=5, bit=2)])
+        mnems = [i.mnemonic for i in out]
+        assert mnems == ["lw", "send", "recv", "sw"]
+
+
+class TestConditionals:
+    def test_branch_skips_body(self):
+        body = [Cw(0, 1), Wait(5)]
+        out = expand_items([Cond(bit=0, value=1, body=body)])
+        branch = next(i for i in out if i.mnemonic == "beq")
+        assert branch.imm == 3  # cw + waiti + 1
+
+    def test_value_zero_uses_bne(self):
+        out = expand_items([Cond(bit=0, value=0, body=[Cw(0, 1)])])
+        assert any(i.mnemonic == "bne" for i in out)
+
+    def test_reserve_wait_unconditional(self):
+        out = expand_items([Cond(bit=0, value=1, body=[Cw(0, 1)],
+                                 reserve=9)])
+        assert out[-1].mnemonic == "waiti" and out[-1].imm == 9
+        branch = next(i for i in out if i.mnemonic == "beq")
+        assert branch.imm == 2  # jumps over the cw only, not the reserve
+
+    def test_bad_condition_value_rejected(self):
+        with pytest.raises(CompilationError):
+            expand_items([Cond(bit=0, value=2, body=[])])
+
+    def test_nested_items_in_body(self):
+        body = [SyncN(peer=1, pair_key=(1,), gap=4), Cw(0, 1), Wait(10)]
+        out = expand_items([Cond(bit=2, value=1, body=body)])
+        branch = next(i for i in out if i.mnemonic == "beq")
+        assert branch.imm == 5  # sync + waiti + cw + waiti + 1

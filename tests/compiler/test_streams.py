@@ -1,0 +1,36 @@
+"""Stream IR utilities."""
+
+from repro.compiler.streams import (Cond, Cw, SyncN, SyncR, Wait,
+                                    append_wait, stream_wait_cycles)
+
+
+class TestAppendWait:
+    def test_appends_new(self):
+        items = []
+        append_wait(items, 5)
+        assert len(items) == 1 and items[0].cycles == 5
+
+    def test_merges_trailing(self):
+        items = [Wait(5)]
+        append_wait(items, 3)
+        assert len(items) == 1 and items[0].cycles == 8
+
+    def test_ignores_nonpositive(self):
+        items = []
+        append_wait(items, 0)
+        append_wait(items, -2)
+        assert items == []
+
+    def test_no_merge_across_other_items(self):
+        items = [Wait(5), Cw(0, 1)]
+        append_wait(items, 3)
+        assert len(items) == 3
+
+
+class TestWaitAccounting:
+    def test_counts_waits_and_gaps(self):
+        items = [Wait(10), SyncN(peer=1, pair_key=(1,), gap=4), Cw(0, 1),
+                 SyncR(group=9, delta=7, gap=2),
+                 Cond(bit=0, value=1, body=[Wait(99)], reserve=5)]
+        # Conditional body waits are not unconditional.
+        assert stream_wait_cycles(items) == 10 + 4 + 2 + 5

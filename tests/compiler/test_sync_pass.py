@@ -1,0 +1,139 @@
+"""BISP booking (hoisting) pass."""
+
+from repro.compiler.codegen import lower_circuit
+from repro.compiler.mapping import QubitMap
+from repro.compiler.streams import Cw, Measure, SyncN, SyncR, Wait
+from repro.compiler.sync_pass import demand_gaps, hoist_bookings
+from repro.network.topology import build_topology
+from repro.quantum.circuit import QuantumCircuit
+from repro.sim.config import SimulationConfig
+
+
+def lowered_for(circuit):
+    qmap = QubitMap(circuit.num_qubits, 1)
+    topo = build_topology(circuit.num_qubits, mesh_kind="line")
+    return lower_circuit(circuit, qmap, topo, SimulationConfig())
+
+
+def wait_before_sync(stream):
+    total = 0
+    for item in stream:
+        if isinstance(item, (SyncN, SyncR)):
+            return total
+        if isinstance(item, Wait):
+            total += item.cycles
+    return None
+
+
+class TestNearbyHoisting:
+    def test_sync_moves_over_deterministic_work(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).h(1).h(1)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        stats = hoist_bookings(lowered, neighbor_countdown=4)
+        assert stats["hoisted_cycles"] > 0
+        # Both streams: sync before all deterministic waits
+        for addr in (0, 1):
+            assert wait_before_sync(lowered.streams[addr]) == 0
+
+    def test_pairwise_min_governs_hoist(self):
+        # C0 has 2 gates (10 cycles) headroom; C1 has none.
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        stats = hoist_bookings(lowered, neighbor_countdown=4)
+        syncs0 = [i for i in lowered.streams[0] if isinstance(i, SyncN)]
+        syncs1 = [i for i in lowered.streams[1] if isinstance(i, SyncN)]
+        # C1 has zero headroom -> hoist 0 on both -> gap stays N.
+        assert syncs0[0].gap == 4
+        assert syncs1[0].gap == 4
+
+    def test_full_hoist_eliminates_gap(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)  # 5 cycles headroom each > N=4
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        sync = next(i for i in lowered.streams[0] if isinstance(i, SyncN))
+        assert sync.gap == 0
+
+    def test_partial_hoist_residual_gap(self):
+        import repro.sim.config as cfg
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=9)  # headroom 5 < 9
+        sync = next(i for i in lowered.streams[0] if isinstance(i, SyncN))
+        assert sync.gap == 4  # 9 - 5
+
+    def test_hoist_stops_at_measurement(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        # The sync on C0 must stay after the Measure item.
+        stream = lowered.streams[0]
+        measure_at = next(i for i, item in enumerate(stream)
+                          if isinstance(item, Measure))
+        sync_at = next(i for i, item in enumerate(stream)
+                       if isinstance(item, SyncN))
+        assert sync_at > measure_at
+
+    def test_hoist_stops_at_previous_sync(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        syncs = [i for i, item in enumerate(lowered.streams[0])
+                 if isinstance(item, SyncN)]
+        assert len(syncs) == 2
+        assert syncs[0] < syncs[1]
+
+
+class TestRegionHoisting:
+    def test_region_delta_grows_with_headroom(self):
+        circuit = QuantumCircuit(5)
+        for _ in range(10):
+            circuit.h(0)
+            circuit.h(4)
+        circuit.cx(0, 4)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        sync = next(i for i in lowered.streams[0] if isinstance(i, SyncR))
+        assert sync.delta == 50  # ten 1q gates of 5 cycles
+        assert sync.gap == 0
+
+    def test_region_sides_hoist_independently(self):
+        circuit = QuantumCircuit(5)
+        circuit.h(0)  # only one side has headroom
+        circuit.cx(0, 4)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        sync0 = next(i for i in lowered.streams[0] if isinstance(i, SyncR))
+        sync4 = next(i for i in lowered.streams[4] if isinstance(i, SyncR))
+        assert sync0.delta == 5
+        assert sync4.delta == 1  # ISA minimum
+
+    def test_unhoisted_region_delta_is_one(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        lowered = lowered_for(circuit)
+        hoist_bookings(lowered, neighbor_countdown=4)
+        sync = next(i for i in lowered.streams[0] if isinstance(i, SyncR))
+        assert sync.delta == 1 and sync.gap == 1
+
+
+class TestDemandScheme:
+    def test_demand_keeps_full_gaps(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        circuit.cx(0, 1)
+        lowered = lowered_for(circuit)
+        demand_gaps(lowered, neighbor_countdown=4)
+        sync = next(i for i in lowered.streams[0] if isinstance(i, SyncN))
+        assert sync.gap == 4

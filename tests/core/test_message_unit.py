@@ -1,0 +1,80 @@
+"""MsgU inboxes, blocking receive, wildcard source."""
+
+import pytest
+
+from repro.core.config import ANY_SOURCE
+from repro.core.message_unit import MessageUnit
+from repro.errors import ExecutionError
+
+
+class TestMessageUnit:
+    def test_deliver_then_receive(self):
+        unit = MessageUnit("c0")
+        unit.deliver(3, 42)
+        got = []
+        unit.receive(3, lambda s, v: got.append((s, v)))
+        assert got == [(3, 42)]
+
+    def test_receive_blocks_until_delivery(self):
+        unit = MessageUnit("c0")
+        got = []
+        unit.receive(3, lambda s, v: got.append((s, v)))
+        assert got == []
+        unit.deliver(3, 7)
+        assert got == [(3, 7)]
+
+    def test_fifo_per_source(self):
+        unit = MessageUnit("c0")
+        unit.deliver(3, 1)
+        unit.deliver(3, 2)
+        got = []
+        unit.receive(3, lambda s, v: got.append(v))
+        unit.receive(3, lambda s, v: got.append(v))
+        assert got == [1, 2]
+
+    def test_source_filtering(self):
+        unit = MessageUnit("c0")
+        unit.deliver(9, 99)
+        got = []
+        unit.receive(3, lambda s, v: got.append(v))
+        assert got == []  # message from 9 must not satisfy recv from 3
+        unit.deliver(3, 1)
+        assert got == [1]
+        assert unit.pending(9) == 1
+
+    def test_any_source_wildcard(self):
+        unit = MessageUnit("c0")
+        unit.deliver(7, 70)
+        got = []
+        unit.receive(ANY_SOURCE, lambda s, v: got.append((s, v)))
+        assert got == [(7, 70)]
+
+    def test_any_source_arrival_order(self):
+        unit = MessageUnit("c0")
+        unit.deliver(1, 10)
+        unit.deliver(2, 20)
+        got = []
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(s))
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(s))
+        assert got == [1, 2]
+
+    def test_blocked_wildcard_takes_any(self):
+        unit = MessageUnit("c0")
+        got = []
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(s))
+        unit.deliver(5, 0)
+        assert got == [5]
+
+    def test_double_receiver_rejected(self):
+        unit = MessageUnit("c0")
+        unit.receive(1, lambda s, v: None)
+        with pytest.raises(ExecutionError):
+            unit.receive(2, lambda s, v: None)
+
+    def test_pending_counts(self):
+        unit = MessageUnit("c0")
+        unit.deliver(1, 0)
+        unit.deliver(1, 0)
+        unit.deliver(2, 0)
+        assert unit.pending() == 3
+        assert unit.pending(1) == 2

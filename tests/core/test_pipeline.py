@@ -1,0 +1,144 @@
+"""Classical pipeline: RV32I execution semantics on a bare core."""
+
+import pytest
+
+from repro.core.node import HISQCore
+from repro.errors import ExecutionError
+from repro.isa.assembler import assemble
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+
+
+def run_program(source, max_cycles=100000):
+    engine = Engine()
+    core = HISQCore("c0", 0, engine, TelfLog())
+    core.load(assemble(source))
+    core.start()
+    engine.run(until=max_cycles)
+    return core
+
+
+class TestArithmetic:
+    def test_addi(self):
+        core = run_program("addi $1,$0,120\nhalt")
+        assert core.regs.read(1) == 120
+
+    def test_add_sub(self):
+        core = run_program("addi $1,$0,7\naddi $2,$0,3\n"
+                           "add $3,$1,$2\nsub $4,$1,$2\nhalt")
+        assert core.regs.read(3) == 10
+        assert core.regs.read(4) == 4
+
+    def test_sub_underflow_wraps(self):
+        core = run_program("addi $1,$0,1\nsub $2,$0,$1\nhalt")
+        assert core.regs.read(2) == 0xFFFFFFFF
+        assert core.regs.read_signed(2) == -1
+
+    def test_logic_ops(self):
+        core = run_program("addi $1,$0,0xF0\naddi $2,$0,0x0F\n"
+                           "and $3,$1,$2\nor $4,$1,$2\nxor $5,$1,$2\nhalt")
+        assert core.regs.read(3) == 0
+        assert core.regs.read(4) == 0xFF
+        assert core.regs.read(5) == 0xFF
+
+    def test_immediates_logic(self):
+        core = run_program("addi $1,$0,0xFF\nandi $2,$1,0x0F\n"
+                           "ori $3,$1,0x100\nxori $4,$1,0xFF\nhalt")
+        assert core.regs.read(2) == 0x0F
+        assert core.regs.read(3) == 0x1FF
+        assert core.regs.read(4) == 0
+
+    def test_slt_signed_unsigned(self):
+        core = run_program("addi $1,$0,-1\naddi $2,$0,1\n"
+                           "slt $3,$1,$2\nsltu $4,$1,$2\nhalt")
+        assert core.regs.read(3) == 1  # -1 < 1 signed
+        assert core.regs.read(4) == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_shifts(self):
+        core = run_program("addi $1,$0,-8\nslli $2,$1,1\n"
+                           "srli $3,$1,1\nsrai $4,$1,1\nhalt")
+        assert core.regs.read_signed(2) == -16
+        assert core.regs.read(3) == 0x7FFFFFFC
+        assert core.regs.read_signed(4) == -4
+
+    def test_lui(self):
+        core = run_program("lui $1,0x12345\nhalt")
+        assert core.regs.read(1) == 0x12345000
+
+
+class TestControlFlow:
+    def test_beq_taken(self):
+        core = run_program("beq $0,$0,skip\naddi $1,$0,1\nskip:\nhalt")
+        assert core.regs.read(1) == 0
+
+    def test_bne_loop_counts(self):
+        core = run_program("""
+        addi $2,$0,5
+        loop:
+        addi $1,$1,1
+        bne $1,$2,loop
+        halt""")
+        assert core.regs.read(1) == 5
+
+    def test_blt_bge(self):
+        core = run_program("addi $1,$0,-1\nblt $1,$0,neg\naddi $3,$0,1\n"
+                           "neg:\nbge $0,$1,done\naddi $4,$0,1\ndone:\nhalt")
+        assert core.regs.read(3) == 0
+        assert core.regs.read(4) == 0
+
+    def test_jal_links_return_address(self):
+        core = run_program("jal $1,target\nnop\ntarget:\nhalt")
+        assert core.regs.read(1) == 1  # instruction index after the jal
+
+    def test_jalr_jumps_to_register(self):
+        core = run_program("addi $1,$0,3\njalr $2,$1,0\naddi $3,$0,9\nhalt")
+        assert core.regs.read(3) == 0
+        assert core.regs.read(2) == 2
+
+    def test_running_off_the_end_halts(self):
+        core = run_program("addi $1,$0,1")
+        assert core.halted
+
+
+class TestMemory:
+    def test_store_load(self):
+        core = run_program("addi $1,$0,77\nsw $1,16($0)\nlw $2,16($0)\nhalt")
+        assert core.regs.read(2) == 77
+
+    def test_load_uninitialized_is_zero(self):
+        core = run_program("lw $1,4($0)\nhalt")
+        assert core.regs.read(1) == 0
+
+    def test_misaligned_access_rejected(self):
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog())
+        core.load(assemble("addi $1,$0,2\nlw $2,1($1)\nhalt"))
+        core.start()
+        with pytest.raises(ExecutionError):
+            engine.run()
+
+
+class TestPipelineTiming:
+    def test_instruction_cost_one_cycle(self):
+        core = run_program("addi $1,$0,1\naddi $2,$0,2\nhalt")
+        assert core.instructions_executed == 3
+
+    def test_halt_stops_fetch(self):
+        core = run_program("halt\naddi $1,$0,9")
+        assert core.regs.read(1) == 0
+
+    def test_double_start_rejected(self):
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog())
+        core.load(assemble("halt"))
+        core.start()
+        with pytest.raises(ExecutionError):
+            core.start()
+
+    def test_wait_advances_position_not_pipeline(self):
+        core = run_program("waiti 1000\nhalt")
+        assert core.position == 1000
+
+    def test_waitr_uses_register_value(self):
+        core = run_program("addi $1,$0,40\nwaitr $1\nwaitr $1\nhalt")
+        assert core.position == 80

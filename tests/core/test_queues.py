@@ -1,0 +1,48 @@
+"""Item queue capacity and wake-up semantics."""
+
+from repro.core.queues import EmitCodeword, ItemQueue, Resync
+
+
+class TestItemQueue:
+    def test_fifo_order(self):
+        queue = ItemQueue(4)
+        for i in range(3):
+            queue.push(EmitCodeword(i, 0, i))
+        assert [queue.pop().codeword for _ in range(3)] == [0, 1, 2]
+
+    def test_full_flag(self):
+        queue = ItemQueue(2)
+        queue.push(EmitCodeword(0, 0, 0))
+        assert not queue.full
+        queue.push(EmitCodeword(1, 0, 0))
+        assert queue.full
+
+    def test_peek_does_not_remove(self):
+        queue = ItemQueue(2)
+        queue.push(EmitCodeword(0, 3, 4))
+        assert queue.peek().port == 3
+        assert len(queue) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert ItemQueue(1).peek() is None
+
+    def test_space_waiter_called_on_pop(self):
+        queue = ItemQueue(1)
+        queue.push(EmitCodeword(0, 0, 0))
+        called = []
+        queue.wait_for_space(lambda: called.append(True))
+        queue.pop()
+        assert called == [True]
+
+    def test_space_waiter_called_once(self):
+        queue = ItemQueue(2)
+        queue.push(EmitCodeword(0, 0, 0))
+        queue.push(EmitCodeword(1, 0, 0))
+        called = []
+        queue.wait_for_space(lambda: called.append(True))
+        queue.pop()
+        queue.pop()
+        assert called == [True]
+
+    def test_resync_defaults_not_exact(self):
+        assert Resync(0, 10).exact is False

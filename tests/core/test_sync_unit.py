@@ -1,0 +1,79 @@
+"""SyncU flag latching and Tm buffering."""
+
+import pytest
+
+from repro.core.sync_unit import SyncUnit
+from repro.errors import SynchronizationError
+
+
+class TestNearbyFlags:
+    def test_signal_latched_then_consumed(self):
+        unit = SyncUnit("c0")
+        unit.receive_signal(3)
+        assert unit.try_consume_signal(3)
+        assert not unit.try_consume_signal(3)
+
+    def test_signals_count_like_stacked_boxes(self):
+        unit = SyncUnit("c0")
+        unit.receive_signal(3)
+        unit.receive_signal(3)
+        assert unit.try_consume_signal(3)
+        assert unit.try_consume_signal(3)
+        assert not unit.try_consume_signal(3)
+
+    def test_flags_per_neighbor(self):
+        unit = SyncUnit("c0")
+        unit.receive_signal(1)
+        assert not unit.try_consume_signal(2)
+        assert unit.try_consume_signal(1)
+
+    def test_waiter_fires_immediately_if_flag_present(self):
+        unit = SyncUnit("c0")
+        unit.receive_signal(1)
+        fired = []
+        unit.wait_for_signal(1, lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_waiter_fires_on_arrival(self):
+        unit = SyncUnit("c0")
+        fired = []
+        unit.wait_for_signal(1, lambda: fired.append(True))
+        assert fired == []
+        unit.receive_signal(1)
+        assert fired == [True]
+
+    def test_waiter_ignores_other_sources(self):
+        unit = SyncUnit("c0")
+        fired = []
+        unit.wait_for_signal(1, lambda: fired.append(True))
+        unit.receive_signal(2)
+        assert fired == []
+        assert unit.pending_flags() == {2: 1}
+
+    def test_double_waiter_rejected(self):
+        unit = SyncUnit("c0")
+        unit.wait_for_signal(1, lambda: None)
+        with pytest.raises(SynchronizationError):
+            unit.wait_for_signal(1, lambda: None)
+
+
+class TestRegionTimePoint:
+    def test_tm_buffered(self):
+        unit = SyncUnit("c0")
+        unit.receive_time_point(100)
+        got = []
+        unit.wait_for_time_point(got.append)
+        assert got == [100]
+
+    def test_tm_waiter_fires_on_arrival(self):
+        unit = SyncUnit("c0")
+        got = []
+        unit.wait_for_time_point(got.append)
+        unit.receive_time_point(55)
+        assert got == [55]
+
+    def test_double_tm_waiter_rejected(self):
+        unit = SyncUnit("c0")
+        unit.wait_for_time_point(lambda tm: None)
+        with pytest.raises(SynchronizationError):
+            unit.wait_for_time_point(lambda tm: None)

@@ -1,0 +1,100 @@
+"""Timing control unit: precise emission, queue stalls, violations."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.node import HISQCore
+from repro.errors import TimingViolation
+from repro.isa.assembler import assemble
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+
+
+def make_core(source, **config_kwargs):
+    engine = Engine()
+    core = HISQCore("c0", 0, engine, TelfLog(),
+                    config=CoreConfig(**config_kwargs))
+    core.load(assemble(source))
+    core.start()
+    return engine, core
+
+
+class TestEmissionTiming:
+    def test_emission_at_exact_position(self):
+        engine, core = make_core("waiti 100\ncw.i.i 3,7\nhalt")
+        engine.run()
+        records = core.telf.emissions("c0")
+        assert [(r.time, r.port, r.value) for r in records] == [(100, 3, 7)]
+
+    def test_back_to_back_same_position(self):
+        engine, core = make_core("waiti 10\ncw.i.i 0,1\ncw.i.i 1,2\nhalt")
+        engine.run()
+        times = [r.time for r in core.telf.emissions("c0")]
+        assert times == [10, 10]
+
+    def test_wait_separates_emissions(self):
+        engine, core = make_core(
+            "cw.i.i 0,1\nwaiti 5\ncw.i.i 0,2\nwaiti 3\ncw.i.i 0,3\nhalt")
+        engine.run()
+        times = [r.time for r in core.telf.emissions("c0")]
+        assert times == [0, 5, 8]
+
+    def test_cw_register_variants_resolved_at_pipeline_time(self):
+        engine, core = make_core(
+            "addi $1,$0,9\naddi $2,$0,4\nwaiti 20\ncw.r.r $2,$1\nhalt")
+        engine.run()
+        record = core.telf.emissions("c0")[0]
+        assert (record.port, record.value) == (4, 9)
+
+    def test_emission_counter(self):
+        engine, core = make_core("cw.i.i 0,1\ncw.i.i 0,2\nhalt")
+        engine.run()
+        assert core.codewords_emitted == 2
+
+    def test_drained_after_halt(self):
+        engine, core = make_core("waiti 50\ncw.i.i 0,1\nhalt")
+        engine.run()
+        assert core.drained
+
+
+class TestQueueCapacity:
+    def test_pipeline_stalls_on_full_queue(self):
+        # Queue of 2: the pipeline must stall until the TCU drains.
+        source = "\n".join("waiti 10\ncw.i.i 0,{}".format(i)
+                           for i in range(6)) + "\nhalt"
+        engine, core = make_core(source, event_queue_depth=2)
+        engine.run()
+        times = [r.time for r in core.telf.emissions("c0")]
+        assert times == [10, 20, 30, 40, 50, 60]  # timing preserved
+        assert core.drained
+
+    def test_deep_queue_no_stall(self):
+        source = "\n".join("waiti 10\ncw.i.i 0,{}".format(i)
+                           for i in range(6)) + "\nhalt"
+        engine, core = make_core(source, event_queue_depth=1024)
+        engine.run()
+        assert core.pipeline_stall_cycles == 0
+
+
+class TestViolations:
+    def test_late_event_counted(self):
+        # 300 classical instructions before a cw at position 0: the
+        # pipeline (1 cycle/instr) passes position 0 long before enqueue.
+        source = "\n".join(["addi $1,$1,1"] * 300) + "\ncw.i.i 0,1\nhalt"
+        engine, core = make_core(source)
+        engine.run()
+        assert core.timing_violations >= 1
+
+    def test_strict_mode_raises(self):
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog(), strict_timing=True)
+        source = "\n".join(["addi $1,$1,1"] * 300) + "\ncw.i.i 0,1\nhalt"
+        core.load(assemble(source))
+        core.start()
+        with pytest.raises(TimingViolation):
+            engine.run()
+
+    def test_on_time_program_has_no_violations(self):
+        engine, core = make_core("waiti 100\ncw.i.i 0,1\nhalt")
+        engine.run()
+        assert core.timing_violations == 0

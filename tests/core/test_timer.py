@@ -1,0 +1,67 @@
+"""Absolute timer: position/wall mapping, stalls, realignment."""
+
+import pytest
+
+from repro.core.timer import AbsoluteTimer
+from repro.errors import TimingViolation
+
+
+class TestWallOf:
+    def test_identity_at_start(self):
+        assert AbsoluteTimer().wall_of(0) == 0
+
+    def test_linear_mapping(self):
+        assert AbsoluteTimer().wall_of(42) == 42
+
+    def test_behind_cursor_rejected(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 10)
+        with pytest.raises(TimingViolation):
+            timer.wall_of(5)
+
+
+class TestAdvance:
+    def test_advance_without_stall(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 10)
+        assert timer.stall_cycles == 0
+        assert timer.wall_of(15) == 15
+
+    def test_advance_with_stall(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 25)
+        assert timer.stall_cycles == 15
+        assert timer.wall_of(12) == 27
+
+    def test_stalls_accumulate(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 15)
+        timer.advance_to(20, 30)
+        assert timer.stall_cycles == 10
+
+    def test_backwards_wall_rejected(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 20)
+        with pytest.raises(TimingViolation):
+            timer.advance_to(15, 20)
+
+
+class TestRealign:
+    def test_realign_forward_counts_stall(self):
+        timer = AbsoluteTimer()
+        timer.realign_to(10, 25)
+        assert timer.stall_cycles == 15
+        assert timer.wall_of(11) == 26
+
+    def test_realign_backward_allowed(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 50)
+        timer.realign_to(20, 45)  # mapping rewinds (central trigger)
+        assert timer.wall_of(25) == 50
+        assert timer.stall_cycles == 40  # only the original stall
+
+    def test_realign_behind_position_rejected(self):
+        timer = AbsoluteTimer()
+        timer.advance_to(10, 10)
+        with pytest.raises(TimingViolation):
+            timer.realign_to(5, 100)

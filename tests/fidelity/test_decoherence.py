@@ -1,0 +1,104 @@
+"""Decoherence model and fidelity metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fidelity.decoherence import (circuit_fidelity, circuit_infidelity,
+                                        infidelity_sweep, reduction_ratio,
+                                        survival_probability)
+from repro.fidelity.metrics import (arithmetic_mean, geometric_mean,
+                                    normalized_runtime,
+                                    runtime_reduction_percent,
+                                    summarize_lifetimes)
+
+
+class TestSurvival:
+    def test_zero_duration_is_perfect(self):
+        assert survival_probability(0.0, 30.0) == pytest.approx(1.0)
+
+    def test_monotone_in_duration(self):
+        a = survival_probability(1000.0, 30.0)
+        b = survival_probability(2000.0, 30.0)
+        assert b < a < 1.0
+
+    def test_monotone_in_t1(self):
+        a = survival_probability(1000.0, 30.0)
+        b = survival_probability(1000.0, 300.0)
+        assert a < b
+
+    def test_t2_defaults_to_t1(self):
+        assert survival_probability(500.0, 50.0) == \
+            survival_probability(500.0, 50.0, 50.0)
+
+    def test_t2_cannot_exceed_twice_t1(self):
+        with pytest.raises(ReproError):
+            survival_probability(1.0, 10.0, 30.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ReproError):
+            survival_probability(-1.0, 10.0)
+
+    def test_small_time_expansion(self):
+        # 1 - F ~ (3/4) t (1/T1' terms); check first-order scale.
+        t1_us = 100.0
+        t_ns = 10.0
+        infid = 1.0 - survival_probability(t_ns, t1_us)
+        expected = 0.75 * t_ns / (t1_us * 1000.0)
+        assert infid == pytest.approx(expected, rel=0.01)
+
+
+class TestCircuitFidelity:
+    def test_product_over_qubits(self):
+        lifetimes = {0: 1000.0, 1: 2000.0}
+        got = circuit_fidelity(lifetimes, 30.0)
+        want = (survival_probability(1000.0, 30.0) *
+                survival_probability(2000.0, 30.0))
+        assert got == pytest.approx(want)
+
+    def test_infidelity_complement(self):
+        lifetimes = {0: 500.0}
+        assert circuit_infidelity(lifetimes, 50.0) == \
+            pytest.approx(1.0 - circuit_fidelity(lifetimes, 50.0))
+
+    def test_sweep_decreasing_in_t1(self):
+        sweep = infidelity_sweep({0: 3000.0}, [30, 100, 300])
+        assert sweep[30] > sweep[100] > sweep[300]
+
+    def test_reduction_ratio(self):
+        base = {30: 0.10, 300: 0.01}
+        ours = {30: 0.02, 300: 0.002}
+        ratio = reduction_ratio(base, ours)
+        assert ratio[30] == pytest.approx(5.0)
+        assert ratio[300] == pytest.approx(5.0)
+
+    def test_longer_schedule_means_higher_infidelity(self):
+        short = circuit_infidelity({0: 1000.0, 1: 1000.0}, 30.0)
+        long = circuit_infidelity({0: 5000.0, 1: 5000.0}, 30.0)
+        assert long > short
+
+
+class TestMetrics:
+    def test_normalized_runtime(self):
+        assert normalized_runtime(200, 150) == pytest.approx(0.75)
+
+    def test_normalized_runtime_requires_positive_base(self):
+        with pytest.raises(ValueError):
+            normalized_runtime(0, 10)
+
+    def test_means(self):
+        assert arithmetic_mean([0.5, 1.0]) == pytest.approx(0.75)
+        assert geometric_mean([0.25, 1.0]) == pytest.approx(0.5)
+
+    def test_reduction_percent(self):
+        assert runtime_reduction_percent([0.772]) == pytest.approx(22.8)
+
+    def test_summarize_lifetimes(self):
+        summary = summarize_lifetimes({0: 10.0, 1: 30.0})
+        assert summary["count"] == 2
+        assert summary["total_ns"] == 40.0
+        assert summary["max_ns"] == 30.0
+
+    def test_summarize_empty(self):
+        assert summarize_lifetimes({})["count"] == 0

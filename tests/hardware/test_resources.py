@@ -1,0 +1,63 @@
+"""FPGA resource model: Table 1 calibration and extrapolation."""
+
+import pytest
+
+from repro.hardware.resources import (CONTROL_BOARD, EVENT_QUEUE,
+                                      READOUT_BOARD, SYNC_UNIT,
+                                      ResourceEstimate, board_cost,
+                                      custom_board, event_queue_cost, table1)
+
+
+class TestTable1Calibration:
+    def test_control_board_matches_paper(self):
+        cost = board_cost(CONTROL_BOARD)
+        assert round(cost.luts) == 4155
+        assert round(cost.brams, 1) == 75.0
+        assert round(cost.ffs) == 6392
+
+    def test_readout_board_matches_paper(self):
+        cost = board_cost(READOUT_BOARD)
+        assert round(cost.luts) == 2435
+        assert round(cost.brams, 1) == 45.0
+        assert round(cost.ffs) == 3192
+
+    def test_event_queue_row(self):
+        assert EVENT_QUEUE.luts == 86
+        assert EVENT_QUEUE.brams == 1.5
+        assert EVENT_QUEUE.ffs == 160
+
+    def test_bram_megabits(self):
+        # Paper: control board uses 2.46 Mb of block RAM (75 * 32 Kb).
+        assert board_cost(CONTROL_BOARD).bram_mb == pytest.approx(2.34, abs=0.2)
+
+    def test_sync_unit_is_13_luts(self):
+        assert SYNC_UNIT.luts == 13
+
+    def test_table_renders_three_rows(self):
+        rows = table1()
+        assert len(rows) == 3
+        assert rows[0]["luts"] == 4155
+
+
+class TestExtrapolation:
+    def test_queue_cost_scales_with_depth(self):
+        deeper = event_queue_cost(depth=2048)
+        assert deeper.brams == pytest.approx(3.0)
+        assert deeper.luts == pytest.approx(EVENT_QUEUE.luts)
+
+    def test_queue_cost_scales_with_width(self):
+        wider = event_queue_cost(width_bits=76)
+        assert wider.luts == pytest.approx(2 * EVENT_QUEUE.luts)
+
+    def test_channels_scale_linearly(self):
+        small = board_cost(custom_board("c4", 4))
+        big = board_cost(custom_board("c8", 8))
+        delta = big.luts - small.luts
+        assert delta == pytest.approx(4 * EVENT_QUEUE.luts)
+
+    def test_estimate_addition(self):
+        total = ResourceEstimate(1, 2, 3) + ResourceEstimate(10, 20, 30)
+        assert (total.luts, total.brams, total.ffs) == (11, 22, 33)
+
+    def test_estimate_scaling(self):
+        assert ResourceEstimate(2, 3, 4).scaled(2.5).luts == 5.0

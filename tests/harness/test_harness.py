@@ -1,0 +1,107 @@
+"""Evaluation harness: suites, figures, tables (scaled-down)."""
+
+import pytest
+
+from repro.harness import (fig15_suite, figure5_nearby,
+                           figure7_overhead_sweep, figure13_waveforms,
+                           figure14_depths, figure16_sweep, render_figure15,
+                           render_figure16, render_table1, run_spec,
+                           run_suite)
+from repro.harness.tables import ascii_bar_chart, format_table
+
+
+class TestFigure5and7:
+    def test_nearby_zero_overhead(self):
+        result = figure5_nearby(booking_lead=30)
+        assert result["aligned"] == 1
+        assert result["simulated_overhead"] == 0
+        assert result["analytic_overhead"] == 0
+
+    def test_overhead_decreases_with_lead(self):
+        rows = figure7_overhead_sweep([0, 5, 10, 20, 40])
+        overheads = [r[1] for r in rows]
+        assert overheads == sorted(overheads, reverse=True)
+        assert overheads[-1] == 0
+
+    def test_simulation_matches_analytic_model(self):
+        for lead, simulated, analytic in figure7_overhead_sweep(
+                [0, 4, 8, 12, 16, 24]):
+            assert simulated == analytic, lead
+
+
+class TestFigure13:
+    def test_pulses_stay_cycle_aligned(self):
+        _, pairs = figure13_waveforms()
+        assert len(pairs) >= 10
+        offsets = {b - a for a, b in pairs}
+        assert len(offsets) == 1  # constant offset despite the waitr ramp
+
+    def test_control_ramp_visible(self):
+        system, pairs = figure13_waveforms()
+        control = [a for a, _ in pairs]
+        gaps = [b - a for a, b in zip(control, control[1:])]
+        # The waitr register grows by 40 cycles per inner iteration, so
+        # consecutive iteration gaps grow by 40 (and reset at outer loops).
+        inner_growth = [b - a for a, b in zip(gaps, gaps[1:])]
+        assert 40 in set(inner_growth)
+
+
+class TestFigure14:
+    def test_constant_vs_linear_depth(self):
+        rows = figure14_depths([4, 8, 16, 32])
+        dyn = [r[1] for r in rows]
+        swap = [r[2] for r in rows]
+        assert swap == [8, 16, 32, 64]
+        assert dyn[-1] - dyn[0] < swap[-1] - swap[0]
+
+
+class TestFigure16:
+    def test_hisq_reduces_infidelity_across_sweep(self):
+        data = figure16_sweep(distance=7, t1_values_us=(30, 150, 300))
+        for t1 in (30, 150, 300):
+            assert data["hisq"][t1] < data["baseline"][t1]
+            assert data["reduction_ratio"][t1] > 1.2
+
+    def test_ratio_roughly_constant(self):
+        data = figure16_sweep(distance=7, t1_values_us=(30, 300))
+        ratios = list(data["reduction_ratio"].values())
+        assert max(ratios) / min(ratios) < 1.2
+
+    def test_render(self):
+        data = figure16_sweep(distance=5, t1_values_us=(30, 300))
+        text = render_figure16(data["t1_values_us"], data["baseline"],
+                               data["hisq"])
+        assert "reduction" in text
+
+
+class TestFigure15Scaled:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_suite(fig15_suite(scale=0.02))
+
+    def test_all_thirteen_covered(self, outcomes):
+        assert len(outcomes) == 12  # 12 named workloads + avg in render
+
+    def test_bisp_wins_on_feedback_benchmarks(self, outcomes):
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["logical_t_n864"].normalized() < 0.8
+        assert by_name["qft_n300"].normalized() < 0.8
+
+    def test_render_figure15(self, outcomes):
+        text = render_figure15(outcomes)
+        assert "avg" in text and "reduction" in text
+
+
+class TestTables:
+    def test_table1_renders(self):
+        text = render_table1()
+        assert "4155" in text and "2435" in text and "86" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+
+    def test_bar_chart(self):
+        art = ascii_bar_chart(["one", "two"], [0.5, 1.0], reference=0.772)
+        assert art.count("|") >= 4

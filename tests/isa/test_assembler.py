@@ -1,0 +1,168 @@
+"""HISQ assembler: syntax, labels, offsets, errors."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        assert len(assemble("")) == 0
+
+    def test_comments_ignored(self):
+        program = assemble("# a comment\naddi $1,$0,1 // trailing\n")
+        assert len(program) == 1
+
+    def test_register_dollar_syntax(self):
+        assert assemble("addi $2,$0,120")[0].rd == 2
+
+    def test_register_x_syntax(self):
+        assert assemble("addi x2,x0,120")[0].rd == 2
+
+    def test_register_abi_names(self):
+        instr = assemble("add t0, zero, sp")[0]
+        assert (instr.rd, instr.rs1, instr.rs2) == (5, 0, 2)
+
+    def test_hex_immediate(self):
+        assert assemble("addi $1,$0,0x7F")[0].imm == 127
+
+    def test_negative_immediate(self):
+        assert assemble("addi $1,$1,-40")[0].imm == -40
+
+    def test_memory_operand(self):
+        instr = assemble("lw $1, 8($2)")[0]
+        assert (instr.rd, instr.rs1, instr.imm) == (1, 2, 8)
+
+    def test_store_operand(self):
+        instr = assemble("sw $3, -4($2)")[0]
+        assert (instr.rs2, instr.rs1, instr.imm) == (3, 2, -4)
+
+
+class TestQuantumSyntax:
+    def test_waiti(self):
+        assert assemble("waiti 57")[0].imm == 57
+
+    def test_waitr(self):
+        assert assemble("waitr $1")[0].rs1 == 1
+
+    def test_cw_all_variants(self):
+        program = assemble("cw.i.i 21,2\ncw.i.r 3,$4\ncw.r.i $5,7\ncw.r.r $5,$6")
+        assert [i.mnemonic for i in program] == ["cw.i.i", "cw.i.r",
+                                                 "cw.r.i", "cw.r.r"]
+        assert program[0].imm == 21 and program[0].imm2 == 2
+
+    def test_sync_one_operand(self):
+        instr = assemble("sync 2")[0]
+        assert instr.imm == 2 and instr.imm2 == 0
+
+    def test_sync_two_operands(self):
+        instr = assemble("sync 0x100, 48")[0]
+        assert instr.imm == 0x100 and instr.imm2 == 48
+
+    def test_send_recv(self):
+        program = assemble("send 3,$5\nrecv $5,4094\nsend.i 2,1")
+        assert program[0].imm == 3
+        assert program[1].imm == 4094
+        assert program[2].imm2 == 1
+
+
+class TestLabelsAndOffsets:
+    def test_label_branch(self):
+        program = assemble("loop:\naddi $1,$1,1\nbne $1,$2,loop")
+        assert program[1].imm == -1
+
+    def test_forward_label(self):
+        program = assemble("beq $1,$0,done\naddi $1,$0,1\ndone:\nhalt")
+        assert program[0].imm == 2
+
+    def test_numeric_byte_offset(self):
+        assert assemble("jal $0,-44")[0].imm == -11
+
+    def test_misaligned_byte_offset_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jal $0,-42")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("beq $1,$0,nowhere")
+
+    def test_label_sharing_line(self):
+        program = assemble("loop: addi $1,$1,1\njal $0,loop")
+        assert program[1].imm == -1
+
+    def test_labels_recorded(self):
+        program = assemble("start:\nnop")
+        assert program.labels == {"start": 0}
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("bogus $1,$2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi $1,$0")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi $99,$0,1")
+
+    def test_error_reports_line_number(self):
+        try:
+            assemble("nop\nbogus x")
+        except AssemblyError as err:
+            assert "line 2" in str(err)
+        else:
+            pytest.fail("expected AssemblyError")
+
+
+class TestPaperPrograms:
+    """The exact listings of Figure 12 must assemble."""
+
+    CONTROL = """
+    addi $2,$0,120
+    addi $1,$0,0
+    waiti 1
+    cw.i.i 21,2
+    addi $1,$1,40
+    cw.i.i 20,2
+    waitr $1
+    sync 2
+    waiti 8
+    cw.i.i 7,1
+    waiti 50
+    bne $1,$2,-28
+    jal $0,-44
+    """
+
+    READOUT = """
+    waiti 2
+    sync 1
+    waiti 6
+    waiti 57
+    cw.i.i 5,1
+    jal $0,-20
+    """
+
+    def test_control_board_program(self):
+        program = assemble(self.CONTROL)
+        assert len(program) == 13
+        assert program.count("cw.i.i") == 3
+        assert program[11].imm == -7  # bne back 28 bytes
+
+    def test_readout_board_program(self):
+        program = assemble(self.READOUT)
+        assert len(program) == 6
+        assert program[5].imm == -5  # jal back 20 bytes
+
+    def test_listing_roundtrip(self):
+        program = assemble(self.CONTROL)
+        listing = program.listing()
+        assert "sync 2" in listing
+        assert "waitr $1" in listing

@@ -1,0 +1,157 @@
+"""Binary encode/decode roundtrips and field limits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, decode_program, encode, encode_program
+from repro.isa.instructions import Instruction, cw_ii, sync, waiti
+
+
+def roundtrip(instr):
+    return decode(encode(instr))
+
+
+class TestRoundtrips:
+    def test_r_type(self):
+        instr = Instruction("add", rd=1, rs1=2, rs2=3)
+        assert roundtrip(instr) == instr
+
+    def test_all_r_mnemonics(self):
+        for m in ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
+                  "or", "and"):
+            instr = Instruction(m, rd=5, rs1=6, rs2=7)
+            assert roundtrip(instr) == instr
+
+    def test_i_type_negative_imm(self):
+        instr = Instruction("addi", rd=1, rs1=2, imm=-2048)
+        assert roundtrip(instr) == instr
+
+    def test_shifts(self):
+        for m in ("slli", "srli", "srai"):
+            instr = Instruction(m, rd=1, rs1=2, imm=31)
+            assert roundtrip(instr) == instr
+
+    def test_loads_stores(self):
+        assert roundtrip(Instruction("lw", rd=1, rs1=2, imm=-4)) == \
+            Instruction("lw", rd=1, rs1=2, imm=-4)
+        assert roundtrip(Instruction("sw", rs1=2, rs2=3, imm=2047)) == \
+            Instruction("sw", rs1=2, rs2=3, imm=2047)
+
+    def test_branches(self):
+        for m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            instr = Instruction(m, rs1=1, rs2=2, imm=-7)
+            assert roundtrip(instr) == instr
+
+    def test_jal(self):
+        instr = Instruction("jal", rd=1, imm=-11)
+        assert roundtrip(instr) == instr
+
+    def test_lui_auipc(self):
+        assert roundtrip(Instruction("lui", rd=3, imm=0xFFFFF)).imm == 0xFFFFF
+        assert roundtrip(Instruction("auipc", rd=3, imm=7)).mnemonic == "auipc"
+
+    def test_waiti(self):
+        assert roundtrip(waiti(57)) == waiti(57)
+        assert roundtrip(waiti((1 << 20) - 1)).imm == (1 << 20) - 1
+
+    def test_waitr(self):
+        instr = Instruction("waitr", rs1=9)
+        assert roundtrip(instr) == instr
+
+    def test_cw_variants(self):
+        assert roundtrip(cw_ii(21, 2)) == cw_ii(21, 2)
+        assert roundtrip(Instruction("cw.i.r", imm=3, rs2=4)) == \
+            Instruction("cw.i.r", imm=3, rs2=4)
+        assert roundtrip(Instruction("cw.r.i", rs1=5, imm2=7)) == \
+            Instruction("cw.r.i", rs1=5, imm2=7)
+        assert roundtrip(Instruction("cw.r.r", rs1=5, rs2=6)) == \
+            Instruction("cw.r.r", rs1=5, rs2=6)
+
+    def test_sync(self):
+        assert roundtrip(sync(2)) == sync(2)
+        assert roundtrip(sync(1023, 4095)) == sync(1023, 4095)
+
+    def test_send_recv_halt(self):
+        assert roundtrip(Instruction("send", imm=3, rs1=5)) == \
+            Instruction("send", imm=3, rs1=5)
+        assert roundtrip(Instruction("send.i", imm=3, imm2=1)) == \
+            Instruction("send.i", imm=3, imm2=1)
+        assert roundtrip(Instruction("recv", rd=5, imm=0xFFE)) == \
+            Instruction("recv", rd=5, imm=0xFFE)
+        assert roundtrip(Instruction("halt")) == Instruction("halt")
+
+    def test_nop_encodes_as_addi_zero(self):
+        assert decode(encode(Instruction("nop"))).mnemonic == "nop"
+
+
+class TestLimits:
+    def test_addi_imm_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=0, imm=4096))
+
+    def test_wait_too_long(self):
+        with pytest.raises(EncodingError):
+            encode(waiti(1 << 20))
+
+    def test_port_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(cw_ii(1024, 0))
+
+    def test_codeword_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(cw_ii(0, 4096))
+
+    def test_sync_delta_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(sync(1, 4096))
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0x0000007F)
+
+
+class TestProgramBlobs:
+    def test_program_roundtrip(self):
+        source = "addi $2,$0,120\nwaiti 1\ncw.i.i 21,2\nsync 1\nhalt"
+        program = assemble(source)
+        blob = encode_program(program)
+        assert len(blob) == 4 * len(program)
+        assert decode_program(blob) == program.instructions
+
+    def test_misaligned_blob_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00\x01\x02")
+
+
+@given(rd=st.integers(0, 31), rs1=st.integers(0, 31),
+       imm=st.integers(-2048, 2047))
+def test_property_addi_roundtrip(rd, rs1, imm):
+    instr = Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+    decoded = roundtrip(instr)
+    if (rd, rs1, imm) == (0, 0, 0):
+        assert decoded.mnemonic == "nop"  # canonical nop encoding
+    else:
+        assert decoded == instr
+
+
+@given(port=st.integers(0, 1023), codeword=st.integers(0, 4095))
+def test_property_cw_roundtrip(port, codeword):
+    assert roundtrip(cw_ii(port, codeword)) == cw_ii(port, codeword)
+
+
+@given(tgt=st.integers(0, 1023), delta=st.integers(0, 4095))
+def test_property_sync_roundtrip(tgt, delta):
+    assert roundtrip(sync(tgt, delta)) == sync(tgt, delta)
+
+
+@given(offset=st.integers(-1024, 1023))
+def test_property_branch_roundtrip(offset):
+    instr = Instruction("beq", rs1=1, rs2=2, imm=offset)
+    assert roundtrip(instr) == instr
+
+
+@given(cycles=st.integers(0, (1 << 20) - 1))
+def test_property_wait_roundtrip(cycles):
+    assert roundtrip(waiti(cycles)).imm == cycles

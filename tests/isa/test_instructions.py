@@ -1,0 +1,99 @@
+"""Instruction construction, rendering and validation."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (Instruction, addi, add, beq, bne, cw_ii,
+                                    cw_ir, cw_ri, cw_rr, halt, jal, lui, nop,
+                                    recv, send, send_i, sync, waiti, waitr)
+
+
+class TestConstruction:
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            Instruction("frobnicate")
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(AssemblyError):
+            Instruction("add", rd=32)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            Instruction("add", rs1=-1)
+
+    def test_addi_fields(self):
+        instr = addi(3, 0, 120)
+        assert (instr.rd, instr.rs1, instr.imm) == (3, 0, 120)
+
+    def test_cw_ii_fields(self):
+        instr = cw_ii(21, 2)
+        assert instr.imm == 21 and instr.imm2 == 2
+
+    def test_cw_register_variants(self):
+        assert cw_ir(3, 7).rs2 == 7
+        assert cw_ri(4, 9).rs1 == 4
+        assert cw_rr(4, 5).rs1 == 4 and cw_rr(4, 5).rs2 == 5
+
+    def test_sync_default_delta_zero(self):
+        assert sync(2).imm2 == 0
+
+    def test_sync_with_delta(self):
+        instr = sync(0x100, 48)
+        assert instr.imm == 0x100 and instr.imm2 == 48
+
+    def test_send_and_recv(self):
+        assert send(3, 5).rs1 == 5
+        assert send_i(3, 1).imm2 == 1
+        assert recv(7, 2).rd == 7
+
+    def test_instructions_are_frozen(self):
+        instr = nop()
+        with pytest.raises(AttributeError):
+            instr.rd = 1
+
+
+class TestClassification:
+    def test_quantum_instructions(self):
+        for instr in (waiti(4), waitr(1), cw_ii(0, 1), sync(1),
+                      send(0, 1), send_i(0, 1)):
+            assert instr.is_quantum
+
+    def test_classical_instructions(self):
+        for instr in (addi(1, 0, 5), beq(1, 2, -3), halt(), nop()):
+            assert not instr.is_quantum
+
+    def test_branch_classification(self):
+        assert beq(1, 2, 4).is_branch
+        assert bne(1, 2, 4).is_branch
+        assert jal(0, -4).is_branch
+        assert not addi(1, 0, 1).is_branch
+
+
+class TestRendering:
+    def test_r_type_text(self):
+        assert Instruction("add", rd=1, rs1=2, rs2=3).text() == "add $1,$2,$3"
+
+    def test_i_type_text(self):
+        assert addi(2, 0, 120).text() == "addi $2,$0,120"
+
+    def test_wait_text(self):
+        assert waiti(8).text() == "waiti 8"
+        assert waitr(1).text() == "waitr $1"
+
+    def test_cw_text_all_variants(self):
+        assert cw_ii(3, 7).text() == "cw.i.i 3,7"
+        assert cw_ir(3, 4).text() == "cw.i.r 3,$4"
+        assert cw_ri(5, 7).text() == "cw.r.i $5,7"
+        assert cw_rr(5, 6).text() == "cw.r.r $5,$6"
+
+    def test_sync_text(self):
+        assert sync(2).text() == "sync 2"
+        assert sync(2, 10).text() == "sync 2,10"
+
+    def test_memory_text(self):
+        assert Instruction("lw", rd=1, rs1=2, imm=8).text() == "lw $1,8($2)"
+        assert Instruction("sw", rs2=1, rs1=2, imm=-4).text() == "sw $1,-4($2)"
+
+    def test_send_recv_text(self):
+        assert send(3, 5).text() == "send 3,$5"
+        assert recv(5, 0xFFE).text() == "recv $5,4094"

@@ -1,0 +1,54 @@
+"""Program container utilities."""
+
+from repro.isa import Program, addi, assemble, cw_ii, halt, waiti
+
+
+class TestProgram:
+    def test_append_extend(self):
+        program = Program(name="p")
+        program.append(addi(1, 0, 5))
+        program.extend([waiti(10), halt()])
+        assert len(program) == 3
+
+    def test_iteration_and_indexing(self):
+        program = Program(instructions=[addi(1, 0, 5), halt()])
+        assert program[0].mnemonic == "addi"
+        assert [i.mnemonic for i in program] == ["addi", "halt"]
+
+    def test_count(self):
+        program = Program(instructions=[cw_ii(0, 1), cw_ii(0, 2), halt()])
+        assert program.count("cw.i.i") == 2
+        assert program.count("sync") == 0
+
+    def test_static_timeline_cycles(self):
+        program = Program(instructions=[waiti(10), waiti(20), halt()])
+        assert program.static_timeline_cycles() == 30
+
+    def test_listing_includes_labels(self):
+        program = assemble("start:\naddi $1,$0,1\njal $0,start")
+        listing = program.listing()
+        assert "start:" in listing
+        assert "addi $1,$0,1" in listing
+
+
+class TestTextAssembleRoundtrip:
+    def test_canonical_text_reassembles(self):
+        source = """
+        addi $2,$0,120
+        waiti 1
+        cw.i.i 21,2
+        waitr $1
+        sync 2
+        sync 9,40
+        send 3,$5
+        send.i 2,1
+        recv $5,4094
+        lw $1,8($2)
+        sw $3,-4($2)
+        lui $4,4095
+        halt
+        """
+        first = assemble(source)
+        text = "\n".join(i.text() for i in first)
+        second = assemble(text)
+        assert first.instructions == second.instructions

@@ -1,0 +1,69 @@
+"""Register file semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.registers import (ABI_NAMES, MASK32, RegisterFile, to_signed,
+                                 to_unsigned)
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        regs = RegisterFile()
+        assert all(regs.read(i) == 0 for i in range(32))
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 1234)
+        assert regs.read(5) == 1234
+
+    def test_x0_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 999)
+        assert regs.read(0) == 0
+
+    def test_wraps_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 35)
+        assert regs.read(1) == 0
+
+    def test_negative_stored_as_twos_complement(self):
+        regs = RegisterFile()
+        regs.write(1, -1)
+        assert regs.read(1) == MASK32
+        assert regs.read_signed(1) == -1
+
+    def test_out_of_range_read(self):
+        with pytest.raises(ExecutionError):
+            RegisterFile().read(32)
+
+    def test_out_of_range_write(self):
+        with pytest.raises(ExecutionError):
+            RegisterFile().write(-1, 0)
+
+    def test_reset(self):
+        regs = RegisterFile()
+        regs.write(3, 7)
+        regs.reset()
+        assert regs.read(3) == 0
+
+    def test_snapshot_is_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        snap[4] = 42
+        assert regs.read(4) == 0
+
+
+class TestConversions:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_abi_names_cover_all_registers(self):
+        assert set(ABI_NAMES.values()) == set(range(32))

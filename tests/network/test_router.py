@@ -1,0 +1,104 @@
+"""Router aggregation logic (Figure 8)."""
+
+import pytest
+
+from repro.errors import SynchronizationError
+from repro.network.messages import BookingMessage, TimePointMessage
+from repro.network.router import Router, SyncGroupInfo
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+
+
+class FakeFabric:
+    def __init__(self):
+        self.to_parent = []
+        self.to_children = []
+
+    def router_to_parent(self, router, message):
+        self.to_parent.append(message)
+
+    def router_to_children(self, router, children, message):
+        self.to_children.append((tuple(children), message))
+
+
+def make_router(expected, is_destination=True, down_bound=10):
+    engine = Engine()
+    router = Router("R", 100, engine, TelfLog(), process_cycles=2)
+    router.fabric = FakeFabric()
+    router.parent_address = 200 if not is_destination else None
+    router.configure_group(SyncGroupInfo(
+        group=7, expected=list(expected), member_children=list(expected),
+        is_destination=is_destination, down_bound=down_bound))
+    return engine, router
+
+
+class TestAggregation:
+    def test_waits_for_all_children(self):
+        engine, router = make_router([0, 1, 2])
+        router.receive_booking(BookingMessage(7, 0, 0, 50))
+        router.receive_booking(BookingMessage(7, 0, 1, 80))
+        engine.run()
+        assert router.fabric.to_children == []
+        router.receive_booking(BookingMessage(7, 0, 2, 60))
+        engine.run()
+        assert len(router.fabric.to_children) == 1
+
+    def test_tm_is_max_of_bookings(self):
+        engine, router = make_router([0, 1], down_bound=5)
+        router.receive_booking(BookingMessage(7, 0, 0, 50))
+        router.receive_booking(BookingMessage(7, 0, 1, 90))
+        engine.run()
+        (_, message), = router.fabric.to_children
+        assert message.time_point == 90
+
+    def test_tm_raised_to_cover_broadcast(self):
+        engine, router = make_router([0, 1], down_bound=100)
+        router.receive_booking(BookingMessage(7, 0, 0, 5))
+        router.receive_booking(BookingMessage(7, 0, 1, 6))
+        engine.run()
+        (_, message), = router.fabric.to_children
+        # ready = now(0) + process(2); Tm >= ready + down_bound
+        assert message.time_point == 102
+
+    def test_non_destination_forwards_to_parent(self):
+        engine, router = make_router([0, 1], is_destination=False)
+        router.receive_booking(BookingMessage(7, 0, 0, 50))
+        router.receive_booking(BookingMessage(7, 0, 1, 70))
+        engine.run()
+        assert len(router.fabric.to_parent) == 1
+        assert router.fabric.to_parent[0].time_point == 70
+        assert router.fabric.to_parent[0].origin == 100
+
+    def test_epochs_do_not_mix(self):
+        engine, router = make_router([0, 1])
+        router.receive_booking(BookingMessage(7, 0, 0, 50))
+        router.receive_booking(BookingMessage(7, 1, 0, 60))
+        engine.run()
+        assert router.fabric.to_children == []
+        router.receive_booking(BookingMessage(7, 0, 1, 40))
+        engine.run()
+        (_, message), = router.fabric.to_children
+        assert message.time_point == 50
+
+    def test_time_point_from_parent_rebroadcast(self):
+        engine, router = make_router([0, 1], is_destination=False)
+        router.receive_time_point(TimePointMessage(7, 0, 123))
+        engine.run()
+        (children, message), = router.fabric.to_children
+        assert message.time_point == 123
+
+    def test_unknown_group_rejected(self):
+        engine, router = make_router([0])
+        with pytest.raises(SynchronizationError):
+            router.receive_booking(BookingMessage(99, 0, 0, 1))
+
+    def test_unexpected_origin_rejected(self):
+        engine, router = make_router([0, 1])
+        with pytest.raises(SynchronizationError):
+            router.receive_booking(BookingMessage(7, 0, 5, 1))
+
+    def test_duplicate_booking_rejected(self):
+        engine, router = make_router([0, 1])
+        router.receive_booking(BookingMessage(7, 0, 0, 1))
+        with pytest.raises(SynchronizationError):
+            router.receive_booking(BookingMessage(7, 0, 0, 2))

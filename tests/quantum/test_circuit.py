@@ -1,0 +1,103 @@
+"""Circuit IR construction and analysis."""
+
+import pytest
+
+from repro.errors import QuantumStateError
+from repro.quantum.circuit import Operation, QuantumCircuit
+
+
+class TestConstruction:
+    def test_gate_append(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert len(circuit) == 2
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(QuantumStateError):
+            QuantumCircuit(2).h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(QuantumStateError):
+            QuantumCircuit(2).cx(1, 1)
+
+    def test_arity_checked(self):
+        with pytest.raises(QuantumStateError):
+            QuantumCircuit(2).gate("cx", 0)
+
+    def test_measure_needs_valid_cbit(self):
+        with pytest.raises(QuantumStateError):
+            QuantumCircuit(2, 1).measure(0, 5)
+
+    def test_condition_bit_checked(self):
+        with pytest.raises(QuantumStateError):
+            QuantumCircuit(2, 1).x(0, condition=(3, 1))
+
+    def test_conditioned_on_helper(self):
+        op = Operation("x", (0,)).conditioned_on(2)
+        assert op.condition == (2, 1)
+
+    def test_reset_and_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.reset_qubit(0)
+        circuit.barrier()
+        assert circuit.operations[0].is_reset
+        assert circuit.operations[1].is_barrier
+
+
+class TestAnalysis:
+    def test_has_feedback(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).measure(0, 0)
+        assert not circuit.has_feedback
+        circuit.x(1, condition=(0, 1))
+        assert circuit.has_feedback
+
+    def test_is_clifford(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).s(1)
+        assert circuit.is_clifford
+        circuit.t(0)
+        assert not circuit.is_clifford
+
+    def test_count_ops(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).cx(0, 1)
+        assert circuit.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cz(1, 2)
+        assert len(circuit.two_qubit_ops()) == 2
+
+    def test_depth_serial(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0).h(0)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_with_entangler(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_barrier_joins_levels(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        assert circuit.depth() == 2
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+
+    def test_str_summary(self):
+        circuit = QuantumCircuit(2, 1, name="demo")
+        circuit.h(0).measure(0, 0).x(1, condition=(0, 1))
+        text = str(circuit)
+        assert "demo" in text and "if c0==1" in text

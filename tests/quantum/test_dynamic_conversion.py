@@ -1,0 +1,95 @@
+"""Static -> dynamic circuit conversion (section 6.4.2 workload prep)."""
+
+import pytest
+
+from repro.circuits import build_bv, build_qft
+from repro.circuits.dynamic import (cnot_distance_histogram,
+                                    count_feedback_ops, decompose_to_native,
+                                    to_dynamic)
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import StatevectorBackend, run_statevector
+
+
+class TestDecompose:
+    def test_cp_becomes_rz_cx(self):
+        import math
+        circuit = QuantumCircuit(2)
+        circuit.cp(math.pi / 4, 0, 1)
+        native = decompose_to_native(circuit)
+        counts = native.count_ops()
+        assert counts == {"rz": 3, "cx": 2}
+
+    def test_cp_decomposition_exact(self):
+        import math
+        import numpy as np
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).cp(math.pi / 3, 0, 1)
+        reference, _ = run_statevector(circuit)
+        native, _ = run_statevector(decompose_to_native(circuit))
+        overlap = abs(np.vdot(reference.state, native.state))
+        assert overlap == pytest.approx(1.0)
+
+    def test_swap_becomes_three_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        native = decompose_to_native(circuit)
+        assert native.count_ops() == {"cx": 3}
+
+    def test_native_ops_pass_through(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).cx(0, 1).measure(0, 0)
+        native = decompose_to_native(circuit)
+        assert len(native) == 3
+
+
+class TestToDynamic:
+    def test_adjacent_cx_not_substituted(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        dynamic = to_dynamic(circuit)
+        assert dynamic.metadata["num_gadgets"] == 0
+
+    def test_distant_cx_substituted(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        dynamic = to_dynamic(circuit)
+        assert dynamic.metadata["num_gadgets"] == 1
+        assert dynamic.has_feedback
+        assert dynamic.num_qubits == 4 + 2  # bus ancillas appended
+
+    def test_fraction_zero_keeps_static(self):
+        dynamic = to_dynamic(build_bv(8), substitution_fraction=0.0)
+        assert dynamic.metadata["num_gadgets"] == 0
+
+    def test_bv_stays_correct_after_conversion(self):
+        from repro.circuits.bv import secret_of
+        n = 7
+        dynamic = to_dynamic(build_bv(n), substitution_fraction=1.0)
+        for seed in range(3):
+            _, cbits = run_statevector(dynamic, seed=seed)
+            measured = sum(cbits[i] << i for i in range(n - 1))
+            assert measured == secret_of(n)
+
+    def test_qft_stays_correct_after_conversion(self):
+        import numpy as np
+        static = build_qft(4)
+        dynamic = to_dynamic(static, substitution_fraction=1.0, seed=5)
+        backend, _ = run_statevector(dynamic, seed=2)
+        probs = backend.probabilities().reshape(-1, 1 << 2).sum(axis=0)
+        # Bus ancillas are reset to |0>; the QFT register is uniform.
+        data_probs = [sum(backend.probabilities()[k]
+                          for k in range(1 << 6)
+                          if (k & 0b1111) == basis)
+                      for basis in range(16)]
+        assert data_probs == pytest.approx([1 / 16.0] * 16, abs=1e-9)
+
+    def test_histogram(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1).cx(0, 4).cx(0, 4)
+        assert cnot_distance_histogram(circuit) == {1: 1, 4: 2}
+
+    def test_feedback_counter(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        dynamic = to_dynamic(circuit)
+        assert count_feedback_ops(dynamic) >= 2  # corrections + resets

@@ -1,0 +1,83 @@
+"""Gate matrices and Clifford classification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumStateError
+from repro.quantum.gates import gate_arity, gate_matrix, is_clifford
+
+
+class TestMatrices:
+    def test_all_fixed_gates_unitary(self):
+        for name in ("i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+                     "cx", "cz", "swap"):
+            matrix = gate_matrix(name)
+            identity = np.eye(matrix.shape[0])
+            assert np.allclose(matrix @ matrix.conj().T, identity), name
+
+    def test_x_flips(self):
+        assert np.allclose(gate_matrix("x") @ [1, 0], [0, 1])
+
+    def test_h_makes_plus(self):
+        plus = gate_matrix("h") @ [1, 0]
+        assert np.allclose(plus, [1 / math.sqrt(2)] * 2)
+
+    def test_s_squared_is_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_squared_is_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        rz = gate_matrix("rz", (math.pi,))
+        z = gate_matrix("z")
+        phase = rz[0, 0] / z[0, 0]
+        assert np.allclose(rz, phase * z)
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        rx = gate_matrix("rx", (math.pi,))
+        assert np.allclose(rx / (-1j), gate_matrix("x"))
+
+    def test_cp_pi_is_cz(self):
+        assert np.allclose(gate_matrix("cp", (math.pi,)), gate_matrix("cz"))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QuantumStateError):
+            gate_matrix("nonsense")
+
+
+class TestArity:
+    def test_one_qubit(self):
+        assert gate_arity("h") == 1
+        assert gate_arity("rz") == 1
+
+    def test_two_qubit(self):
+        assert gate_arity("cx") == 2
+        assert gate_arity("cp") == 2
+
+    def test_unknown(self):
+        with pytest.raises(QuantumStateError):
+            gate_arity("ccx")
+
+
+class TestCliffordness:
+    def test_clifford_gates(self):
+        for name in ("h", "s", "x", "cz", "cx", "swap", "sx"):
+            assert is_clifford(name)
+
+    def test_non_clifford(self):
+        assert not is_clifford("t")
+        assert not is_clifford("tdg")
+
+    def test_rz_quarter_turns_clifford(self):
+        assert is_clifford("rz", (math.pi / 2,))
+        assert is_clifford("rz", (math.pi,))
+        assert not is_clifford("rz", (math.pi / 3,))
+
+    def test_cp_full_pi_only(self):
+        assert is_clifford("cp", (math.pi,))
+        assert not is_clifford("cp", (math.pi / 2,))  # CS is not Clifford

@@ -1,0 +1,77 @@
+"""OpenQASM 2 subset: emit/parse roundtrips."""
+
+import math
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.qasm import from_qasm, to_qasm
+from repro.quantum.teleport import build_long_range_cnot_circuit
+
+
+class TestEmit:
+    def test_header_and_registers(self):
+        text = to_qasm(QuantumCircuit(3, 2))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "creg c[2];" in text
+
+    def test_gates_and_measure(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).cx(0, 1).measure(1, 0)
+        text = to_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[1] -> c[0];" in text
+
+    def test_conditional(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0, condition=(0, 1))
+        assert "if (c[0]==1) x q[0];" in to_qasm(circuit)
+
+    def test_params(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(math.pi / 4, 0)
+        assert "rz(" in to_qasm(circuit)
+
+
+class TestParse:
+    def test_roundtrip_simple(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == 2
+        assert [op.name for op in parsed] == ["h", "cx", "measure",
+                                              "measure"]
+
+    def test_roundtrip_dynamic(self):
+        circuit = build_long_range_cnot_circuit(4)
+        parsed = from_qasm(to_qasm(circuit))
+        assert len(parsed) == len(circuit)
+        assert parsed.has_feedback
+
+    def test_roundtrip_preserves_conditions(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0).z(1, condition=(0, 1))
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.operations[1].condition == (0, 1)
+
+    def test_parse_pi_expressions(self):
+        parsed = from_qasm(
+            'OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\n')
+        assert parsed.operations[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_parse_barrier_and_reset(self):
+        parsed = from_qasm(
+            'OPENQASM 2.0;\nqreg q[2];\nbarrier q[0],q[1];\nreset q[0];\n')
+        assert parsed.operations[0].is_barrier
+        assert parsed.operations[1].is_reset
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(CompilationError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+    def test_evil_parameter_expression_rejected(self):
+        with pytest.raises(CompilationError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];\n')

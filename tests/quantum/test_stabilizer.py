@@ -1,0 +1,194 @@
+"""Stabilizer (CHP) simulator vs statevector cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantumStateError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.stabilizer import StabilizerBackend, run_stabilizer
+from repro.quantum.statevector import StatevectorBackend
+
+
+class TestBasics:
+    def test_ground_state_measures_zero(self):
+        backend = StabilizerBackend(3)
+        assert backend.measure_all() == [0, 0, 0]
+
+    def test_x_flips(self):
+        backend = StabilizerBackend(1)
+        backend.xgate(0)
+        assert backend.measure(0) == 1
+
+    def test_h_randomizes(self):
+        outcomes = set()
+        for seed in range(16):
+            backend = StabilizerBackend(1, seed=seed)
+            backend.h(0)
+            outcomes.add(backend.measure(0))
+        assert outcomes == {0, 1}
+
+    def test_measurement_collapses(self):
+        backend = StabilizerBackend(1, seed=5)
+        backend.h(0)
+        first = backend.measure(0)
+        assert backend.measure(0) == first
+
+    def test_bell_correlation(self):
+        for seed in range(10):
+            backend = StabilizerBackend(2, seed=seed)
+            backend.h(0)
+            backend.cx(0, 1)
+            assert backend.measure(0) == backend.measure(1)
+
+    def test_forced_outcome_on_random_measurement(self):
+        backend = StabilizerBackend(1, seed=0)
+        backend.h(0)
+        assert backend.measure(0, forced=1) == 1
+
+    def test_forcing_deterministic_mismatch_rejected(self):
+        backend = StabilizerBackend(1)
+        with pytest.raises(QuantumStateError):
+            backend.measure(0, forced=1)
+
+    def test_non_clifford_rejected(self):
+        backend = StabilizerBackend(1)
+        with pytest.raises(QuantumStateError):
+            backend.apply_gate("t", (0,))
+
+    def test_reset(self):
+        backend = StabilizerBackend(1, seed=1)
+        backend.h(0)
+        backend.reset(0)
+        assert backend.measure(0) == 0
+
+
+class TestDerivedGates:
+    def test_z_phase_via_interference(self):
+        # HZH = X
+        backend = StabilizerBackend(1)
+        backend.h(0)
+        backend.zgate(0)
+        backend.h(0)
+        assert backend.measure(0) == 1
+
+    def test_s_squared_is_z(self):
+        backend = StabilizerBackend(1)
+        backend.h(0)
+        backend.s(0)
+        backend.s(0)
+        backend.h(0)
+        assert backend.measure(0) == 1
+
+    def test_cz_equals_h_cx_h(self):
+        a = StabilizerBackend(2, seed=0)
+        a.h(0)
+        a.h(1)
+        a.cz(0, 1)
+        b = StabilizerBackend(2, seed=0)
+        b.h(0)
+        b.h(1)
+        b.h(1)
+        b.cx(0, 1)
+        b.h(1)
+        assert a.canonical_stabilizers() == b.canonical_stabilizers()
+
+    def test_swap_moves_excitation(self):
+        backend = StabilizerBackend(2)
+        backend.xgate(0)
+        backend.swap(0, 1)
+        assert backend.measure_all() == [0, 1]
+
+    def test_y_gate(self):
+        backend = StabilizerBackend(1)
+        backend.ygate(0)
+        assert backend.measure(0) == 1
+
+    def test_rz_multiples_of_half_pi(self):
+        import math
+        backend = StabilizerBackend(1)
+        backend.h(0)
+        backend.apply_gate("rz", (0,), (math.pi,))
+        backend.h(0)
+        assert backend.measure(0) == 1
+
+    def test_cp_pi_is_cz(self):
+        import math
+        a = StabilizerBackend(2, seed=0)
+        a.h(0)
+        a.h(1)
+        a.apply_gate("cp", (0, 1), (math.pi,))
+        b = StabilizerBackend(2, seed=0)
+        b.h(0)
+        b.h(1)
+        b.cz(0, 1)
+        assert a.canonical_stabilizers() == b.canonical_stabilizers()
+
+
+class TestCanonicalStabilizers:
+    def test_ground_state_form(self):
+        backend = StabilizerBackend(2)
+        assert backend.canonical_stabilizers() == ["+ZI", "+IZ"]
+
+    def test_gate_order_invariance(self):
+        a = StabilizerBackend(3, seed=0)
+        a.h(0)
+        a.cx(0, 1)
+        a.cx(1, 2)
+        b = StabilizerBackend(3, seed=0)
+        b.h(0)
+        b.cx(0, 1)
+        b.cx(0, 2)  # GHZ via different wiring
+        assert a.canonical_stabilizers() == b.canonical_stabilizers()
+
+    def test_distinguishes_states(self):
+        a = StabilizerBackend(1)
+        b = StabilizerBackend(1)
+        b.xgate(0)
+        assert a.canonical_stabilizers() != b.canonical_stabilizers()
+
+    def test_sign_tracked(self):
+        backend = StabilizerBackend(1)
+        backend.xgate(0)
+        assert backend.canonical_stabilizers() == ["-Z"]
+
+
+class TestScale:
+    def test_large_ghz(self):
+        backend = StabilizerBackend(300, seed=2)
+        backend.h(0)
+        for q in range(299):
+            backend.cx(q, q + 1)
+        bits = backend.measure_all()
+        assert len(set(bits)) == 1
+
+
+_1Q = ["h", "s", "sdg", "x", "y", "z", "sx"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_matches_statevector(seed):
+    """Random 4-qubit Clifford circuits agree with the dense simulator."""
+    rng = np.random.default_rng(seed)
+    n = 4
+    stab = StabilizerBackend(n, seed=7)
+    dense = StatevectorBackend(n, seed=7)
+    for _ in range(30):
+        if rng.random() < 0.7:
+            gate = _1Q[rng.integers(len(_1Q))]
+            q = int(rng.integers(n))
+            stab.apply_gate(gate, (q,))
+            dense.apply_gate(gate, (q,))
+        else:
+            gate = ["cx", "cz", "swap"][rng.integers(3)]
+            a, b = map(int, rng.choice(n, 2, replace=False))
+            stab.apply_gate(gate, (a, b))
+            dense.apply_gate(gate, (a, b))
+    for q in range(n):
+        p1 = dense.probability_one(q)
+        outcome = dense.measure(q)
+        if p1 < 1e-9 or p1 > 1 - 1e-9:
+            assert stab.measure(q) == outcome
+        else:
+            assert stab.measure(q, forced=outcome) == outcome

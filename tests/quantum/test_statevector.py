@@ -1,0 +1,158 @@
+"""Statevector backend: gates, measurement, dynamic execution."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantumStateError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import StatevectorBackend, run_statevector
+
+
+class TestGates:
+    def test_initial_ground_state(self):
+        backend = StatevectorBackend(2)
+        assert backend.probabilities()[0] == pytest.approx(1.0)
+
+    def test_x_gate(self):
+        backend = StatevectorBackend(1)
+        backend.apply_gate("x", (0,))
+        assert backend.probability_one(0) == pytest.approx(1.0)
+
+    def test_h_gate_half_probability(self):
+        backend = StatevectorBackend(1)
+        backend.apply_gate("h", (0,))
+        assert backend.probability_one(0) == pytest.approx(0.5)
+
+    def test_bell_state(self):
+        backend = StatevectorBackend(2)
+        backend.apply_gate("h", (0,))
+        backend.apply_gate("cx", (0, 1))
+        probs = backend.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+
+    def test_cx_control_order(self):
+        # control=1, target=0: |01> (q0=1? no: q1 is control)
+        backend = StatevectorBackend(2)
+        backend.apply_gate("x", (1,))
+        backend.apply_gate("cx", (1, 0))
+        assert backend.probabilities()[0b11] == pytest.approx(1.0)
+
+    def test_swap(self):
+        backend = StatevectorBackend(2)
+        backend.apply_gate("x", (0,))
+        backend.apply_gate("swap", (0, 1))
+        assert backend.probability_one(1) == pytest.approx(1.0)
+        assert backend.probability_one(0) == pytest.approx(0.0)
+
+    def test_rotation_angles(self):
+        backend = StatevectorBackend(1)
+        backend.apply_gate("ry", (0,), (math.pi / 2,))
+        assert backend.probability_one(0) == pytest.approx(0.5)
+
+    def test_control_equals_target_rejected(self):
+        with pytest.raises(QuantumStateError):
+            StatevectorBackend(2).apply_gate("cx", (1, 1))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(QuantumStateError):
+            StatevectorBackend(40)
+
+
+class TestMeasurement:
+    def test_deterministic_outcomes(self):
+        backend = StatevectorBackend(1)
+        assert backend.measure(0) == 0
+        backend.apply_gate("x", (0,))
+        assert backend.measure(0) == 1
+
+    def test_collapse(self):
+        backend = StatevectorBackend(1, seed=42)
+        backend.apply_gate("h", (0,))
+        outcome = backend.measure(0)
+        assert backend.measure(0) == outcome  # collapsed
+
+    def test_forced_outcome(self):
+        backend = StatevectorBackend(1)
+        backend.apply_gate("h", (0,))
+        assert backend.measure(0, forced=1) == 1
+        assert backend.probability_one(0) == pytest.approx(1.0)
+
+    def test_forcing_impossible_outcome_rejected(self):
+        backend = StatevectorBackend(1)
+        with pytest.raises(QuantumStateError):
+            backend.measure(0, forced=1)
+
+    def test_bell_correlation(self):
+        for seed in range(8):
+            backend = StatevectorBackend(2, seed=seed)
+            backend.apply_gate("h", (0,))
+            backend.apply_gate("cx", (0, 1))
+            assert backend.measure(0) == backend.measure(1)
+
+    def test_reset(self):
+        backend = StatevectorBackend(1, seed=0)
+        backend.apply_gate("x", (0,))
+        assert backend.reset(0) == 1
+        assert backend.probability_one(0) == pytest.approx(0.0)
+
+
+class TestDynamicCircuits:
+    def test_feedback_branch_taken(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.x(0).measure(0, 0).x(1, condition=(0, 1))
+        backend, cbits = run_statevector(circuit)
+        assert cbits == [1]
+        assert backend.probability_one(1) == pytest.approx(1.0)
+
+    def test_feedback_branch_skipped(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0).x(1, condition=(0, 1))
+        backend, cbits = run_statevector(circuit)
+        assert cbits == [0]
+        assert backend.probability_one(1) == pytest.approx(0.0)
+
+    def test_forced_outcomes_drive_branches(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).measure(0, 0).x(1, condition=(0, 1))
+        backend, cbits = run_statevector(circuit,
+                                         forced_outcomes={0: [1]})
+        assert cbits == [1]
+        assert backend.probability_one(1) == pytest.approx(1.0)
+
+    def test_fidelity_of_identical_states(self):
+        a = StatevectorBackend(2)
+        b = StatevectorBackend(2)
+        for backend in (a, b):
+            backend.apply_gate("h", (0,))
+            backend.apply_gate("cx", (0, 1))
+        assert a.fidelity(b) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        a = StatevectorBackend(1)
+        b = StatevectorBackend(1)
+        b.apply_gate("x", (0,))
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["h", "x", "s", "t", "sx", "z"]),
+                min_size=1, max_size=12),
+       st.integers(0, 2))
+def test_property_norm_preserved(gates, qubit):
+    backend = StatevectorBackend(3, seed=0)
+    for gate in gates:
+        backend.apply_gate(gate, (qubit,))
+    assert np.sum(backend.probabilities()) == pytest.approx(1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_property_measurement_collapses_consistently(seed):
+    backend = StatevectorBackend(2, seed=seed)
+    backend.apply_gate("h", (0,))
+    backend.apply_gate("cx", (0, 1))
+    assert backend.measure(0) == backend.measure(1)

@@ -1,0 +1,101 @@
+"""Long-range CNOT via gate teleportation (Figure 14)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import StatevectorBackend, run_statevector
+from repro.quantum.stabilizer import run_stabilizer
+from repro.quantum.teleport import (append_long_range_cnot,
+                                    build_long_range_cnot_circuit,
+                                    build_swap_cnot_circuit,
+                                    classical_bits_needed)
+
+
+def reduced_density(state, n, q0, q1):
+    psi = state.reshape([2] * n)
+    keep = [n - 1 - q0, n - 1 - q1]
+    rest = [a for a in range(n) if a not in keep]
+    moved = np.transpose(psi, keep + rest).reshape(4, -1)
+    return moved @ moved.conj().T
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("distance", [1, 2, 3, 4, 5, 6, 8])
+    def test_matches_direct_cnot_on_random_inputs(self, distance):
+        ancillas = list(range(1, distance))
+        n = distance + 1
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            th1, th2, phi = rng.uniform(0, math.pi, 3)
+            circuit = QuantumCircuit(
+                n, classical_bits_needed(len(ancillas)) + 1)
+            circuit.ry(th1, 0)
+            circuit.rz(phi, 0)
+            circuit.ry(th2, distance)
+            append_long_range_cnot(circuit, 0, ancillas, distance, 0)
+            backend, _ = run_statevector(circuit, seed=100 + seed)
+            reference = StatevectorBackend(n)
+            reference.apply_gate("ry", (0,), (th1,))
+            reference.apply_gate("rz", (0,), (phi,))
+            reference.apply_gate("ry", (distance,), (th2,))
+            reference.apply_gate("cx", (0, distance))
+            got = reduced_density(backend.state, n, 0, distance)
+            want = reduced_density(reference.state, n, 0, distance)
+            assert np.allclose(got, want, atol=1e-9)
+
+    def test_bell_pair_preparation(self):
+        for seed in range(6):
+            circuit = build_long_range_cnot_circuit(7)
+            backend, _ = run_statevector(circuit, seed=seed)
+            assert backend.probability_one(0) == pytest.approx(0.5)
+            assert backend.measure(0) == backend.measure(7)
+
+    def test_stabilizer_backend_at_scale(self):
+        circuit = build_long_range_cnot_circuit(100)
+        backend, _ = run_stabilizer(circuit, seed=9)
+        assert backend.measure(0) == backend.measure(100)
+
+    def test_swap_baseline_equivalent(self):
+        dynamic = build_long_range_cnot_circuit(5)
+        swap = build_swap_cnot_circuit(5)
+        b1, _ = run_statevector(dynamic, seed=1)
+        b2, _ = run_statevector(swap, seed=1)
+        got = reduced_density(b1.state, 6, 0, 5)
+        want = reduced_density(b2.state, 6, 0, 5)
+        assert np.allclose(got, want, atol=1e-9)
+
+
+class TestStructure:
+    def test_constant_depth_vs_linear(self):
+        dyn_depths = [build_long_range_cnot_circuit(d).depth()
+                      for d in (8, 16, 32)]
+        swap_depths = [build_swap_cnot_circuit(d).depth()
+                       for d in (8, 16, 32)]
+        # Teleported version grows sublinearly (corrections are a chain of
+        # conditional Paulis on two qubits); SWAP ladder is strictly linear.
+        assert swap_depths == [16, 32, 64]
+        assert dyn_depths[-1] < swap_depths[-1] / 2
+
+    def test_odd_ancilla_count_drops_one(self):
+        circuit = QuantumCircuit(6, 10)
+        used = append_long_range_cnot(circuit, 0, [1, 2, 3], 5, 0)
+        assert used == classical_bits_needed(3) == classical_bits_needed(2)
+
+    def test_classical_bits_accounting(self):
+        assert classical_bits_needed(0) == 0
+        assert classical_bits_needed(1) == 1
+        assert classical_bits_needed(2) == 2
+        assert classical_bits_needed(4) == 4
+        assert classical_bits_needed(6) == 6
+
+    def test_control_equals_target_rejected(self):
+        with pytest.raises(CompilationError):
+            append_long_range_cnot(QuantumCircuit(3, 4), 0, [1], 0, 0)
+
+    def test_feedback_present(self):
+        circuit = build_long_range_cnot_circuit(5)
+        assert circuit.has_feedback

@@ -1,0 +1,146 @@
+"""Quantum-device bridge: gate halves, skew, measurement delivery."""
+
+import pytest
+
+from repro.core.config import ACQ_ADDRESS
+from repro.core.node import HISQCore
+from repro.errors import ExecutionError
+from repro.quantum.statevector import StatevectorBackend
+from repro.sim.config import SimulationConfig
+from repro.sim.device import GateAction, MarkerAction, MeasureAction, QuantumDevice
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+
+
+class FakeCore:
+    def __init__(self):
+        self.messages = []
+
+    def deliver_message(self, source, value):
+        self.messages.append((source, value))
+
+
+def make_device(backend=None, seed=1):
+    engine = Engine()
+    device = QuantumDevice(engine, TelfLog(), SimulationConfig(),
+                           backend=backend, seed=seed)
+    return engine, device
+
+
+class TestGateActions:
+    def test_full_gate_applied(self):
+        backend = StatevectorBackend(1, seed=0)
+        engine, device = make_device(backend)
+        device.handle(FakeCore(), GateAction("x", (0,)))
+        assert backend.probability_one(0) == pytest.approx(1.0)
+
+    def test_marker_is_noop(self):
+        engine, device = make_device()
+        device.handle(FakeCore(), MarkerAction("trig"))
+        assert device.gates_applied == 0
+
+    def test_halves_applied_when_both_arrive(self):
+        backend = StatevectorBackend(2, seed=0)
+        backend.apply_gate("x", (0,))
+        engine, device = make_device(backend)
+        device.handle(FakeCore(), GateAction("cx", (0, 1), half=0,
+                                             total_halves=2))
+        assert backend.probability_one(1) == pytest.approx(0.0)
+        device.handle(FakeCore(), GateAction("cx", (0, 1), half=1,
+                                             total_halves=2))
+        assert backend.probability_one(1) == pytest.approx(1.0)
+
+    def test_skew_recorded(self):
+        engine, device = make_device()
+        device.handle(FakeCore(), GateAction("cz", (0, 1), half=0,
+                                             total_halves=2))
+        engine.at(7, lambda: device.handle(
+            FakeCore(), GateAction("cz", (0, 1), half=1, total_halves=2)))
+        engine.run()
+        assert device.gate_skew_events == 1
+        assert device.max_gate_skew == 7
+
+    def test_zero_skew_not_counted(self):
+        engine, device = make_device()
+        device.handle(FakeCore(), GateAction("cz", (0, 1), half=0,
+                                             total_halves=2))
+        device.handle(FakeCore(), GateAction("cz", (0, 1), half=1,
+                                             total_halves=2))
+        assert device.gate_skew_events == 0
+        assert device.pending_half_count == 0
+
+    def test_repeated_instances_pair_fifo(self):
+        engine, device = make_device()
+        # Two instances of the same gate: halves pair in program order.
+        device.handle(FakeCore(), GateAction("cz", (0, 1), half=0,
+                                             total_halves=2))
+        engine.at(3, lambda: device.handle(
+            FakeCore(), GateAction("cz", (0, 1), half=0, total_halves=2)))
+        engine.at(5, lambda: device.handle(
+            FakeCore(), GateAction("cz", (0, 1), half=1, total_halves=2)))
+        engine.at(8, lambda: device.handle(
+            FakeCore(), GateAction("cz", (0, 1), half=1, total_halves=2)))
+        engine.run()
+        assert device.gates_applied == 2
+        assert device.gate_skew_events == 2
+        assert device.max_gate_skew == 5
+        assert device.pending_half_count == 0
+
+
+class TestMeasurement:
+    def test_result_delivered_after_duration(self):
+        engine, device = make_device()
+        core = FakeCore()
+        device.force_outcome(0, 1)
+        device.handle(core, MeasureAction(0))
+        assert core.messages == []  # not yet: takes 75 cycles (300 ns)
+        engine.run()
+        assert core.messages == [(ACQ_ADDRESS, 1)]
+        assert engine.now == SimulationConfig().measurement_cycles
+
+    def test_forced_outcomes_fifo(self):
+        engine, device = make_device()
+        core = FakeCore()
+        device.force_outcome(0, 1, 0, 1)
+        for _ in range(3):
+            device.handle(core, MeasureAction(0))
+        engine.run()
+        assert [v for _, v in core.messages] == [1, 0, 1]
+
+    def test_backend_collapse(self):
+        backend = StatevectorBackend(1, seed=3)
+        engine, device = make_device(backend)
+        backend.apply_gate("h", (0,))
+        core = FakeCore()
+        device.handle(core, MeasureAction(0))
+        engine.run()
+        outcome = core.messages[0][1]
+        assert backend.probability_one(0) == pytest.approx(float(outcome))
+
+    def test_timing_only_mode_seeded(self):
+        engine1, device1 = make_device(seed=9)
+        engine2, device2 = make_device(seed=9)
+        core1, core2 = FakeCore(), FakeCore()
+        for device, core, engine in ((device1, core1, engine1),
+                                     (device2, core2, engine2)):
+            for _ in range(8):
+                device.handle(core, MeasureAction(0))
+            engine.run()
+        assert core1.messages == core2.messages
+
+
+class TestActivityTracking:
+    def test_lifetime_window(self):
+        engine, device = make_device()
+        core = FakeCore()
+        device.handle(core, GateAction("x", (0,)))
+        engine.at(100, lambda: device.handle(core, MeasureAction(0)))
+        engine.run()
+        config = SimulationConfig()
+        expected = (100 + config.measurement_cycles) * config.cycle_ns
+        assert device.lifetimes_ns()[0] == pytest.approx(expected)
+
+    def test_gate_log_records(self):
+        engine, device = make_device()
+        device.handle(FakeCore(), GateAction("h", (2,)))
+        assert device.gate_log == [(0, "h", (2,))]

@@ -1,0 +1,79 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.at(10, lambda: order.append("b"))
+        engine.at(5, lambda: order.append("a"))
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        order = []
+        engine.at(5, lambda: order.append(1))
+        engine.at(5, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_after_relative(self):
+        engine = Engine()
+        engine.at(10, lambda: engine.after(5, lambda: None))
+        engine.run()
+        assert engine.now == 15
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        engine.at(10, lambda: engine.at(5, lambda: None))
+        with pytest.raises(ExecutionError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ExecutionError):
+            Engine().after(-1, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.at(100, lambda: fired.append(True))
+        engine.run(until=50)
+        assert engine.now == 50 and not fired
+        engine.run()
+        assert fired == [True]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = Engine()
+        engine.run(until=123)
+        assert engine.now == 123
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for t in range(5):
+            engine.at(t, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.after(1, reschedule)
+
+        engine.at(0, reschedule)
+        with pytest.raises(ExecutionError):
+            engine.run(max_events=100)
+
+    def test_cascading_events(self):
+        engine = Engine()
+        values = []
+        engine.at(1, lambda: (values.append(engine.now),
+                              engine.after(2, lambda: values.append(engine.now))))
+        engine.run()
+        assert values == [1, 3]

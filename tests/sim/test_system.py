@@ -1,0 +1,111 @@
+"""ControlSystem integration: fabric behaviors and error paths."""
+
+import pytest
+
+from repro.core.config import CENTRAL_ADDRESS
+from repro.errors import ExecutionError, SynchronizationError
+from repro.isa import assemble
+from repro.sim import ControlSystem, GateAction
+
+
+class TestMessaging:
+    def test_point_to_point_latency(self):
+        system = ControlSystem(4, mesh_kind="line")
+        system.load_program(0, assemble("send.i 1,7\nhalt"))
+        system.load_program(1, assemble("recv $5,0\nhalt"))
+        system.run()
+        rx = system.telf.filter(unit="C1", kind="msg_rx")
+        assert rx[0].time == system.config.neighbor_link_cycles
+        assert system.cores[1].regs.read(5) == 7
+
+    def test_remote_latency_via_tree(self):
+        system = ControlSystem(20, mesh_kind="line")
+        system.load_program(0, assemble("send.i 19,3\nhalt"))
+        system.load_program(19, assemble("recv $5,0\nhalt"))
+        system.run()
+        rx = system.telf.filter(unit="C19", kind="msg_rx")
+        expected = system.topology.message_latency_cycles(0, 19)
+        assert rx[0].time == expected
+
+    def test_central_broadcast_reaches_everyone(self):
+        system = ControlSystem(3, mesh_kind="line")
+        system.load_program(0, assemble(
+            "send.i {},9\nrecv $5,{}\nhalt".format(CENTRAL_ADDRESS,
+                                                   CENTRAL_ADDRESS)))
+        for address in (1, 2):
+            system.load_program(address, assemble(
+                "recv $5,{}\nhalt".format(CENTRAL_ADDRESS)))
+        system.run()
+        times = [system.telf.filter(unit="C{}".format(a),
+                                    kind="msg_rx")[0].time
+                 for a in range(3)]
+        assert len(set(times)) == 1  # identical arrival: common time base
+        assert times[0] == system.config.baseline_broadcast_cycles
+
+    def test_unknown_destination_rejected(self):
+        system = ControlSystem(2, mesh_kind="line")
+        system.load_program(0, assemble("send.i 99,1\nhalt"))
+        with pytest.raises(ExecutionError):
+            system.run()
+
+
+class TestSyncValidation:
+    def test_sync_with_non_neighbor_rejected(self):
+        system = ControlSystem(4, mesh_kind="line")
+        system.load_program(0, assemble("sync 2\nhalt"))
+        system.load_program(2, assemble("sync 0\nhalt"))
+        with pytest.raises(SynchronizationError):
+            system.run()
+
+    def test_unregistered_group_rejected(self):
+        system = ControlSystem(3, mesh_kind="line")
+        system.load_program(0, assemble("sync 500,5\nwaiti 5\nhalt"))
+        with pytest.raises(SynchronizationError):
+            system.run()
+
+    def test_group_needs_two_members(self):
+        system = ControlSystem(3, mesh_kind="line")
+        with pytest.raises(SynchronizationError):
+            system.register_sync_group(7, [0])
+
+    def test_deadlock_detected(self):
+        system = ControlSystem(2, mesh_kind="line")
+        # C0 waits for a message that never comes.
+        system.load_program(0, assemble("recv $5,1\nhalt"))
+        system.load_program(1, assemble("halt"))
+        with pytest.raises(ExecutionError):
+            system.run()
+
+    def test_deadlock_tolerated_when_allowed(self):
+        system = ControlSystem(2, mesh_kind="line")
+        system.load_program(0, assemble("recv $5,1\nhalt"))
+        system.load_program(1, assemble("halt"))
+        stats = system.run(allow_blocked=True)
+        assert stats.makespan_cycles == 0
+
+
+class TestCodewordDispatch:
+    def test_unmapped_codewords_counted(self):
+        system = ControlSystem(1, mesh_kind="none")
+        system.load_program(0, assemble("cw.i.i 0,1\nhalt"))
+        system.run()
+        assert system.unmapped_codewords == 1
+
+    def test_mapped_codeword_reaches_device(self):
+        system = ControlSystem(1, mesh_kind="none")
+        system.set_codeword_table(0, {(0, 1): GateAction("x", (0,))})
+        system.load_program(0, assemble("cw.i.i 0,1\nhalt"))
+        system.run()
+        assert system.device.gates_applied == 1
+
+    def test_repeated_region_syncs_epochs(self):
+        system = ControlSystem(3, mesh_kind="line")
+        system.register_sync_group(40, [0, 1])
+        for address in (0, 1):
+            program = assemble(
+                "sync 40,1\nwaiti 1\ncw.i.i 0,1\n" * 3 + "halt")
+            system.load_program(address, program)
+        system.run()
+        t0 = [r.time for r in system.telf.emissions("C0")]
+        t1 = [r.time for r in system.telf.emissions("C1")]
+        assert t0 == t1 and len(t0) == 3

@@ -1,0 +1,61 @@
+"""TELF logging and waveform rendering."""
+
+from repro.sim.telf import ExecutionStats, TelfLog
+
+
+class TestTelfLog:
+    def test_records_appended(self):
+        log = TelfLog()
+        log.log(5, "c0", "cw", port=1, value=2)
+        assert len(log) == 1
+
+    def test_filter_by_unit_kind_port(self):
+        log = TelfLog()
+        log.log(1, "c0", "cw", port=1)
+        log.log(2, "c1", "cw", port=1)
+        log.log(3, "c0", "sync_book", port=9)
+        assert len(log.filter(unit="c0")) == 2
+        assert len(log.filter(kind="cw")) == 2
+        assert len(log.filter(unit="c0", kind="cw", port=1)) == 1
+
+    def test_emissions_shortcut(self):
+        log = TelfLog()
+        log.log(1, "c0", "cw", port=0)
+        log.log(2, "c0", "meas", port=0)
+        assert len(log.emissions("c0")) == 1
+
+    def test_dump_is_time_ordered(self):
+        log = TelfLog()
+        log.log(9, "c0", "cw", port=0)
+        log.log(3, "c0", "cw", port=0)
+        lines = log.dump().splitlines()
+        assert lines[0].strip().startswith("3")
+
+    def test_ascii_waveform_marks_pulses(self):
+        log = TelfLog()
+        log.log(0, "c0", "cw", port=7)
+        log.log(10, "c0", "cw", port=7)
+        art = log.ascii_waveform([("c0", 7)], t0=0, t1=20, resolution=1)
+        row = art.splitlines()[1]
+        assert row.count("#") == 2
+
+    def test_ascii_waveform_scales_resolution(self):
+        log = TelfLog()
+        log.log(500, "c0", "cw", port=1)
+        art = log.ascii_waveform([("c0", 1)], width=50)
+        assert "#" in art
+
+
+class TestExecutionStats:
+    def test_aggregation(self):
+        stats = ExecutionStats()
+        stats.add_core("c0", instructions=10, codewords=2, syncs=1,
+                       sync_stall=5, messages=3, violations=0)
+        stats.add_core("c1", instructions=4, codewords=1, syncs=1,
+                       sync_stall=0, messages=0, violations=1)
+        assert stats.instructions_executed == 14
+        assert stats.codewords_emitted == 3
+        assert stats.syncs_completed == 2
+        assert stats.sync_stall_cycles == 5
+        assert stats.timing_violations == 1
+        assert set(stats.per_core) == {"c0", "c1"}

@@ -1,0 +1,63 @@
+"""Analytic BISP model (sections 4.2-4.4) and scheme cost formulas."""
+
+from repro.sync.analysis import (Participant, actual_start,
+                                 bisp_feedback_cost, is_zero_overhead,
+                                 lockstep_feedback_cost, nearby_sync_times,
+                                 sync_overhead, theoretical_earliest,
+                                 timing_diagram)
+
+
+class TestOverheadFormula:
+    def test_zero_overhead_when_latency_hidden(self):
+        # Figure 5b: every booking lead covers the round trip.
+        parts = [Participant(10, 40, 18), Participant(25, 40, 18),
+                 Participant(60, 40, 18)]
+        assert theoretical_earliest(parts) == 100
+        assert actual_start(parts) == 100
+        assert is_zero_overhead(parts)
+
+    def test_figure7_overhead(self):
+        # D2 < L2: overhead = L2 - D2 for the latest participant.
+        parts = [Participant(10, 30, 12), Participant(25, 30, 12),
+                 Participant(60, 5, 12)]
+        assert sync_overhead(parts) == 12 - 5
+
+    def test_overhead_never_negative(self):
+        parts = [Participant(0, 100, 1), Participant(1, 100, 1)]
+        assert sync_overhead(parts) == 0
+
+    def test_single_dominating_latency(self):
+        parts = [Participant(0, 0, 50), Participant(0, 10, 1)]
+        assert actual_start(parts) == 50
+        assert sync_overhead(parts) == 40
+
+
+class TestNearbyTimes:
+    def test_resume_is_max_booking_plus_latency(self):
+        resume, task = nearby_sync_times(10, 40, latency=4, delta=8)
+        assert resume == 44
+        assert task == 48
+
+    def test_task_not_before_countdown(self):
+        resume, task = nearby_sync_times(0, 0, latency=4, delta=2)
+        assert task == 4  # delta < N clamps to the countdown
+
+
+class TestSchemeCosts:
+    def test_lockstep_serializes(self):
+        assert lockstep_feedback_cost(4, broadcast=25, reserve=5) == 120
+
+    def test_bisp_overlaps_groups(self):
+        groups = [[(10, 5), (12, 5)], [(8, 5)]]
+        assert bisp_feedback_cost(groups) == 17 + 13
+
+    def test_bisp_empty_group_free(self):
+        assert bisp_feedback_cost([[]]) == 0
+
+
+class TestDiagram:
+    def test_diagram_renders(self):
+        parts = [Participant(10, 30, 12), Participant(40, 30, 12)]
+        art = timing_diagram(parts, ["C0", "C1"])
+        assert "C0" in art and "B" in art and "S" in art
+        assert "overhead" in art

@@ -1,0 +1,29 @@
+"""Exception hierarchy sanity."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("AssemblyError", "EncodingError", "ExecutionError",
+                     "TimingViolation", "SynchronizationError",
+                     "CompilationError", "TopologyError",
+                     "QuantumStateError", "CalibrationError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_assembly_error_line_prefix(self):
+        err = errors.AssemblyError("bad token", line=7)
+        assert "line 7" in str(err)
+        assert err.line == 7
+
+    def test_assembly_error_without_line(self):
+        err = errors.AssemblyError("oops")
+        assert str(err) == "oops"
+        assert err.line is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TimingViolation("late")
