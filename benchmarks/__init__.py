@@ -1,0 +1,1 @@
+"""Benchmark suite (pytest-benchmark scripts, one per paper figure)."""

@@ -57,3 +57,25 @@ def test_ablation_booking_value_grows_with_work(benchmark):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nbooking lead -> synchronized task time:", rows)
+
+
+def test_ablation_seed_sensitivity(benchmark):
+    """Makespan spread across measurement-outcome seeds (shots knob).
+
+    Dynamic branches make the makespan a random variable of the device
+    seed; eight deterministic per-shot seeds bound the spread BISP's
+    advantage has to survive.
+    """
+    circuit = build_logical_t(3, parallel_pairs=2)
+
+    def run():
+        result = run_circuit(circuit, scheme="bisp",
+                             mesh_kind="interaction",
+                             record_gate_log=False, shots=8)
+        return result.shot_makespans
+
+    spans = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nBISP makespans over 8 device seeds:", spans)
+    assert len(spans) == 8
+    assert min(spans) > 0
+    assert spans == run()  # per-shot seeding is deterministic

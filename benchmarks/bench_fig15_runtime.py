@@ -9,15 +9,23 @@ import pytest
 
 from repro.fidelity.metrics import arithmetic_mean
 from repro.harness import fig15_suite, render_figure15, run_suite
+from repro.harness.parallel import run_suite_parallel
 from repro.harness.tables import ascii_bar_chart
 
-from .conftest import repro_scale
+from .conftest import repro_parallel, repro_processes, repro_scale
+
+
+def _sweep():
+    # REPRO_PARALLEL=1 fans the grid over a process pool; outcomes are
+    # bit-identical to the serial walk either way.
+    if repro_parallel():
+        return run_suite_parallel(scale=repro_scale(),
+                                  processes=repro_processes())
+    return run_suite(specs=fig15_suite(scale=repro_scale()))
 
 
 def test_fig15_normalized_runtime(benchmark):
-    outcomes = benchmark.pedantic(
-        run_suite, kwargs={"specs": fig15_suite(scale=repro_scale())},
-        rounds=1, iterations=1)
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     print("\n=== Figure 15 (scale={}) ===".format(repro_scale()))
     print(render_figure15(outcomes))
     print()

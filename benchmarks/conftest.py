@@ -5,15 +5,29 @@ benchmark suite completes in minutes; set ``REPRO_SCALE=1.0`` to run the
 paper's full sizes (adder_n1153, qft_n300, ... — a few minutes per
 workload).  Results are printed so the regenerated tables/figures appear
 in the benchmark log.
+
+``REPRO_PROCESSES`` caps the worker count of the parallel-harness
+benchmarks (default: every core); ``REPRO_PARALLEL=1`` routes the
+serial Figure-15 benchmark through the parallel harness too.
 """
 
 import os
+from typing import Optional
 
 import pytest
 
 
 def repro_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "0.15"))
+
+
+def repro_processes() -> Optional[int]:
+    value = os.environ.get("REPRO_PROCESSES", "")
+    return int(value) if value else None
+
+
+def repro_parallel() -> bool:
+    return os.environ.get("REPRO_PARALLEL", "") == "1"
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@ The three supported synchronization schemes (section 6.4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import CompilationError
@@ -128,6 +128,9 @@ class RunResult:
     compilation: CompilationResult
     system: ControlSystem
     stats: ExecutionStats
+    #: Per-shot summaries when ``run_circuit(..., shots=k)`` with k > 1;
+    #: entry 0 is the inline run, entries 1.. are reruns with derived seeds.
+    shot_stats: Optional[List[Dict[str, int]]] = None
 
     @property
     def makespan_cycles(self) -> int:
@@ -137,6 +140,63 @@ class RunResult:
     def makespan_ns(self) -> float:
         return self.compilation.config.ns(self.stats.makespan_cycles)
 
+    @property
+    def shot_makespans(self) -> List[int]:
+        """Makespan of every shot (a single-entry list when shots == 1)."""
+        if self.shot_stats is None:
+            return [self.stats.makespan_cycles]
+        return [s["makespan_cycles"] for s in self.shot_stats]
+
+
+def shot_device_seed(base_seed: int, shot: int) -> int:
+    """Deterministic per-shot device seed (shot 0 keeps ``base_seed``)."""
+    if shot == 0:
+        return base_seed
+    return (base_seed + 0x9E3779B1 * shot) & 0x7FFFFFFF
+
+
+def simulate_shot(compilation: CompilationResult, device_seed: int,
+                  until: Optional[int] = None) -> Dict[str, int]:
+    """Run one timing-only shot of a compiled circuit (picklable worker).
+
+    Measurement outcomes are sampled from ``device_seed``, so dynamic
+    branches — and therefore makespans — vary shot to shot.
+    """
+    system = compilation.build_system(backend=None, device_seed=device_seed,
+                                      record_gate_log=False)
+    stats = system.run(until=until)
+    return {
+        "device_seed": device_seed,
+        "makespan_cycles": stats.makespan_cycles,
+        "sync_stall_cycles": stats.sync_stall_cycles,
+    }
+
+
+#: Per-process memo for executor-dispatched shots: each worker compiles a
+#: circuit once and reuses the result for all its shots, instead of the
+#: parent pickling the (much larger) CompilationResult into every task.
+_WORKER_COMPILATIONS: Dict[tuple, CompilationResult] = {}
+_WORKER_COMPILATIONS_LIMIT = 8
+
+
+def _shot_task(args) -> Dict[str, int]:
+    """Executor adapter: (circuit, compile kwargs, seed, until) -> stats."""
+    circuit, scheme, config, qubits_per_controller, mesh_kind, seed, until = \
+        args
+    key = (scheme, qubits_per_controller, mesh_kind,
+           tuple(sorted(asdict(config or SimulationConfig()).items())),
+           circuit.num_qubits, circuit.num_clbits,
+           tuple(circuit.operations))
+    compilation = _WORKER_COMPILATIONS.get(key)
+    if compilation is None:
+        if len(_WORKER_COMPILATIONS) >= _WORKER_COMPILATIONS_LIMIT:
+            _WORKER_COMPILATIONS.clear()
+        compilation = compile_circuit(
+            circuit, scheme=scheme, config=config,
+            qubits_per_controller=qubits_per_controller, mesh_kind=mesh_kind)
+        _WORKER_COMPILATIONS[key] = compilation
+    return simulate_shot(compilation, seed, until)
+
 
 def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                 config: Optional[SimulationConfig] = None,
@@ -144,8 +204,20 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                 qubits_per_controller: int = 1,
                 mesh_kind: str = "line",
                 until: Optional[int] = None,
-                record_gate_log: bool = True) -> RunResult:
-    """Compile, simulate and collect statistics in one call."""
+                record_gate_log: bool = True,
+                shots: int = 1,
+                executor=None) -> RunResult:
+    """Compile, simulate and collect statistics in one call.
+
+    ``shots`` > 1 reruns the compiled system with deterministic per-shot
+    device seeds (``shot_device_seed``) and collects per-shot summaries in
+    ``RunResult.shot_stats``; ``executor`` (anything with a ``map`` method —
+    ``concurrent.futures`` executors, ``multiprocessing.Pool``) fans the
+    extra shots out in parallel.  The quantum-state ``backend``, if any, is
+    attached to shot 0 only; extra shots are timing-only.
+    """
+    if shots < 1:
+        raise CompilationError("shots must be >= 1, got {}".format(shots))
     compilation = compile_circuit(
         circuit, scheme=scheme, config=config,
         qubits_per_controller=qubits_per_controller, mesh_kind=mesh_kind)
@@ -153,4 +225,21 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                                       device_seed=device_seed,
                                       record_gate_log=record_gate_log)
     stats = system.run(until=until)
-    return RunResult(compilation=compilation, system=system, stats=stats)
+    result = RunResult(compilation=compilation, system=system, stats=stats)
+    if shots > 1:
+        first = {
+            "device_seed": device_seed,
+            "makespan_cycles": stats.makespan_cycles,
+            "sync_stall_cycles": stats.sync_stall_cycles,
+        }
+        if executor is None:
+            rest = [simulate_shot(compilation,
+                                  shot_device_seed(device_seed, s), until)
+                    for s in range(1, shots)]
+        else:
+            tasks = [(circuit, scheme, config, qubits_per_controller,
+                      mesh_kind, shot_device_seed(device_seed, s), until)
+                     for s in range(1, shots)]
+            rest = list(executor.map(_shot_task, tasks))
+        result.shot_stats = [first] + rest
+    return result

@@ -4,13 +4,27 @@ from .figures import (T1_SWEEP_US, figure5_nearby, figure7_overhead_sweep,
                       figure13_waveforms, figure14_depths, figure16_sweep)
 from .runner import (BenchmarkOutcome, BenchmarkSpec, fig15_suite, run_spec,
                      run_suite)
+
+#: Lazily re-exported from .parallel (PEP 562) so that
+#: ``python -m repro.harness.parallel`` does not import the module twice.
+_PARALLEL_EXPORTS = ("CellResult", "SweepCache", "SweepTask", "build_tasks",
+                     "run_cell", "run_suite_parallel")
+
+
+def __getattr__(name):
+    if name in _PARALLEL_EXPORTS:
+        from . import parallel
+        return getattr(parallel, name)
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name))
 from .tables import (ascii_bar_chart, format_table, render_figure15,
                      render_figure16, render_table1)
 
 __all__ = [
-    "BenchmarkOutcome", "BenchmarkSpec", "T1_SWEEP_US", "ascii_bar_chart",
+    "BenchmarkOutcome", "BenchmarkSpec", "CellResult", "SweepCache",
+    "SweepTask", "T1_SWEEP_US", "ascii_bar_chart", "build_tasks",
     "fig15_suite", "figure13_waveforms", "figure14_depths",
     "figure16_sweep", "figure5_nearby", "figure7_overhead_sweep",
     "format_table", "render_figure15", "render_figure16", "render_table1",
-    "run_spec", "run_suite",
+    "run_cell", "run_spec", "run_suite", "run_suite_parallel",
 ]

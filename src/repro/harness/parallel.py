@@ -1,0 +1,297 @@
+"""Parallel evaluation harness: fan the Figure-15 grid across processes.
+
+The serial harness (:func:`repro.harness.runner.run_suite`) walks the
+(workload x scheme) grid one ``run_circuit`` at a time.  Each cell is
+independent, so this module turns the grid into picklable
+:class:`SweepTask` records and maps them over a ``multiprocessing`` pool:
+
+* **Deterministic seeding** — every task carries its device seed
+  explicitly (default: the serial harness's seed for every cell), so a
+  parallel sweep reproduces the serial outcomes bit for bit regardless of
+  scheduling order or worker count.
+* **Result caching** — with ``cache_dir`` set, each finished cell is
+  pickled under a SHA-256 key derived from (spec, scheme, config, seed);
+  repeated sweeps skip completed cells, so an interrupted full-scale run
+  resumes where it stopped.
+* **Spawn safety** — workers rebuild their workload from the suite
+  parameters (``fig15_suite`` is deterministic), so the tasks stay tiny
+  and the module works under both ``fork`` and ``spawn`` start methods.
+
+Run a sweep from the command line::
+
+    python -m repro.harness.parallel --scale 0.1 --processes 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import multiprocessing
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.driver import run_circuit
+from ..sim.config import SimulationConfig
+from .runner import BenchmarkOutcome, fig15_suite
+from .tables import render_figure15
+
+#: Bump when CellResult or the simulation semantics change incompatibly —
+#: stale cache entries are keyed away instead of deserialized wrongly.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (workload, scheme) cell of the sweep grid.
+
+    Carries everything a worker needs to rebuild and run the cell —
+    workloads are reconstructed from the suite parameters rather than
+    pickled (circuit builders are closures), which keeps tasks tiny and
+    spawn-safe.
+    """
+
+    spec_name: str
+    scheme: str
+    scale: float
+    substitution_fraction: float
+    device_seed: int
+    config: Optional[SimulationConfig] = None
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this cell's result."""
+        config = self.config or SimulationConfig()
+        payload = (
+            ("version", CACHE_FORMAT_VERSION),
+            ("spec", self.spec_name),
+            ("scheme", self.scheme),
+            ("scale", repr(self.scale)),
+            ("substitution_fraction", repr(self.substitution_fraction)),
+            ("device_seed", self.device_seed),
+            ("config", tuple(sorted(asdict(config).items()))),
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """Picklable result of one sweep cell."""
+
+    spec_name: str
+    scheme: str
+    num_qubits: int
+    num_ops: int
+    feedback_ops: int
+    makespan_cycles: int
+    sync_stall_cycles: int
+    lifetimes_ns: Dict[int, float]
+
+
+def run_cell(task: SweepTask) -> CellResult:
+    """Worker entry point: rebuild the workload and run one cell."""
+    from ..circuits.dynamic import count_feedback_ops
+
+    specs = fig15_suite(scale=task.scale,
+                        substitution_fraction=task.substitution_fraction)
+    matches = [s for s in specs if s.name == task.spec_name]
+    if not matches:
+        raise ValueError("unknown workload {!r} (suite has {})".format(
+            task.spec_name, [s.name for s in specs]))
+    spec = matches[0]
+    circuit = spec.circuit()
+    result = run_circuit(circuit, scheme=task.scheme, config=task.config,
+                         backend=None, device_seed=task.device_seed,
+                         mesh_kind=spec.mesh_kind, record_gate_log=False)
+    return CellResult(
+        spec_name=task.spec_name, scheme=task.scheme,
+        num_qubits=circuit.num_qubits, num_ops=len(circuit),
+        feedback_ops=count_feedback_ops(circuit),
+        makespan_cycles=result.makespan_cycles,
+        sync_stall_cycles=result.stats.sync_stall_cycles,
+        lifetimes_ns=result.system.device.lifetimes_ns())
+
+
+class SweepCache:
+    """On-disk pickle cache of finished sweep cells, keyed by content hash."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".pkl")
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """Load a cached cell; corrupt or missing entries return None."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, value: CellResult) -> None:
+        """Store a cell atomically (temp file + rename)."""
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".pkl"))
+
+
+def build_tasks(scale: float,
+                schemes: Sequence[str],
+                substitution_fraction: float = 0.25,
+                config: Optional[SimulationConfig] = None,
+                device_seed: int = 1234,
+                spec_names: Optional[Sequence[str]] = None
+                ) -> List[SweepTask]:
+    """The (workload x scheme) grid as picklable tasks, in suite order."""
+    specs = fig15_suite(scale=scale,
+                        substitution_fraction=substitution_fraction)
+    names = [s.name for s in specs]
+    if spec_names is not None:
+        unknown = set(spec_names) - set(names)
+        if unknown:
+            raise ValueError("unknown workloads: {}".format(sorted(unknown)))
+        names = [n for n in names if n in set(spec_names)]
+    return [SweepTask(spec_name=name, scheme=scheme, scale=scale,
+                      substitution_fraction=substitution_fraction,
+                      device_seed=device_seed, config=config)
+            for name in names for scheme in schemes]
+
+
+def run_suite_parallel(scale: float = 1.0,
+                       schemes: Sequence[str] = ("bisp", "lockstep"),
+                       substitution_fraction: float = 0.25,
+                       config: Optional[SimulationConfig] = None,
+                       device_seed: int = 1234,
+                       processes: Optional[int] = None,
+                       start_method: Optional[str] = None,
+                       cache_dir: Optional[str] = None,
+                       spec_names: Optional[Sequence[str]] = None,
+                       verbose: bool = False) -> List[BenchmarkOutcome]:
+    """Run the Figure-15 sweep with cells fanned out across processes.
+
+    Returns one :class:`BenchmarkOutcome` per workload, in suite order —
+    the same list (same seeds, same numbers) the serial
+    :func:`~repro.harness.runner.run_suite` produces.
+
+    ``processes=None`` uses every core; ``processes=1`` (or a single-cell
+    grid) runs in-process, which is handy under debuggers.  ``cache_dir``
+    enables the on-disk result cache; ``start_method`` picks the
+    multiprocessing context (``"fork"``, ``"spawn"``, ...).
+    """
+    tasks = build_tasks(scale, schemes,
+                        substitution_fraction=substitution_fraction,
+                        config=config, device_seed=device_seed,
+                        spec_names=spec_names)
+    cache = SweepCache(cache_dir) if cache_dir else None
+    results: Dict[Tuple[str, str], CellResult] = {}
+    misses: List[SweepTask] = []
+    for task in tasks:
+        cached = cache.get(task.cache_key()) if cache is not None else None
+        if cached is not None:
+            results[(task.spec_name, task.scheme)] = cached
+        else:
+            misses.append(task)
+    if verbose and cache is not None:
+        print("sweep cache: {} hit(s), {} miss(es)".format(
+            len(tasks) - len(misses), len(misses)))
+    if misses:
+        workers = processes if processes is not None else (
+            os.cpu_count() or 1)
+        workers = max(1, min(workers, len(misses)))
+
+        def record(task: SweepTask, cell: CellResult) -> None:
+            # Cache each cell as it lands, so an interrupted sweep resumes
+            # from the completed cells rather than recomputing everything.
+            results[(task.spec_name, task.scheme)] = cell
+            if cache is not None:
+                cache.put(task.cache_key(), cell)
+
+        if workers == 1:
+            for task in misses:
+                record(task, run_cell(task))
+        else:
+            context = multiprocessing.get_context(start_method)
+            with context.Pool(workers) as pool:
+                # chunksize=1: cell runtimes vary by orders of magnitude
+                # across workloads, so fine-grained dispatch load-balances.
+                for task, cell in zip(misses,
+                                      pool.imap(run_cell, misses,
+                                                chunksize=1)):
+                    record(task, cell)
+    ordered_names = []
+    for task in tasks:
+        if task.spec_name not in ordered_names:
+            ordered_names.append(task.spec_name)
+    outcomes = []
+    for name in ordered_names:
+        cells = [results[(name, scheme)] for scheme in schemes]
+        outcome = BenchmarkOutcome(
+            name=name, num_qubits=cells[0].num_qubits,
+            num_ops=cells[0].num_ops, feedback_ops=cells[0].feedback_ops)
+        for scheme, cell in zip(schemes, cells):
+            outcome.makespan_cycles[scheme] = cell.makespan_cycles
+            outcome.stall_cycles[scheme] = cell.sync_stall_cycles
+            outcome.lifetimes_ns[scheme] = cell.lifetimes_ns
+        if verbose:
+            print("{:>16s}: ".format(name) + "  ".join(
+                "{}={}".format(s, outcome.makespan_cycles[s])
+                for s in schemes))
+        outcomes.append(outcome)
+    return outcomes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run a (possibly scaled) Figure-15 sweep in parallel."""
+    parser = argparse.ArgumentParser(
+        description="Parallel Figure-15 sweep over (workload x scheme)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (1.0 = paper sizes)")
+    parser.add_argument("--schemes", nargs="+",
+                        default=["bisp", "lockstep"],
+                        choices=("bisp", "demand", "lockstep"),
+                        help="synchronization schemes to sweep")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="device seed used for every cell")
+    parser.add_argument("--substitution-fraction", type=float, default=0.25)
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="restrict to these workload names")
+    args = parser.parse_args(argv)
+    try:
+        outcomes = run_suite_parallel(
+            scale=args.scale, schemes=tuple(args.schemes),
+            substitution_fraction=args.substitution_fraction,
+            device_seed=args.seed, processes=args.processes,
+            start_method=args.start_method, cache_dir=args.cache_dir,
+            spec_names=args.workloads, verbose=True)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if set(args.schemes) >= {"bisp", "lockstep"}:
+        print()
+        print(render_figure15(outcomes))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

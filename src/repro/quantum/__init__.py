@@ -4,14 +4,16 @@ from .circuit import Operation, QuantumCircuit
 from .gates import gate_arity, gate_matrix, is_clifford
 from .qasm import from_qasm, to_qasm
 from .stabilizer import StabilizerBackend, run_stabilizer
-from .statevector import StatevectorBackend, run_statevector
+from .statevector import (BatchedStatevectorBackend, StatevectorBackend,
+                          measurement_counts, run_multishot, run_statevector)
 from .teleport import (append_long_range_cnot, build_long_range_cnot_circuit,
                        build_swap_cnot_circuit, classical_bits_needed)
 
 __all__ = [
-    "Operation", "QuantumCircuit", "StabilizerBackend",
-    "StatevectorBackend", "append_long_range_cnot",
+    "BatchedStatevectorBackend", "Operation", "QuantumCircuit",
+    "StabilizerBackend", "StatevectorBackend", "append_long_range_cnot",
     "build_long_range_cnot_circuit", "build_swap_cnot_circuit",
     "classical_bits_needed", "from_qasm", "gate_arity", "gate_matrix",
-    "is_clifford", "run_stabilizer", "run_statevector", "to_qasm",
+    "is_clifford", "measurement_counts", "run_multishot", "run_stabilizer",
+    "run_statevector", "to_qasm",
 ]

@@ -1,16 +1,23 @@
 """Discrete-event simulation kernel.
 
 All of CACTUS-Light's moving parts (HISQ cores, routers, links, the quantum
-device bridge) are driven by one :class:`Engine`: a priority queue of
-``(time, sequence, callback)`` events.  Time is an integer number of TCU
-cycles (4 ns at the paper's 250 MHz grid); the ``sequence`` counter makes
-same-cycle events fire in scheduling order, which keeps runs deterministic.
+device bridge) are driven by one :class:`Engine`.  Time is an integer number
+of TCU cycles (4 ns at the paper's 250 MHz grid); events scheduled for the
+same cycle fire in scheduling order, which keeps runs deterministic.
+
+Events are bucketed per cycle: the heap holds one entry per *distinct*
+timestamp and each bucket is a FIFO of callbacks.  Dense workloads schedule
+many events on the same cycle (every core stepping, every message landing on
+the grid), so draining a whole cycle costs one heap pop instead of one per
+event — scheduling order within the cycle is exactly FIFO order, preserving
+the determinism of the old ``(time, sequence)`` heap.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Optional
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ExecutionError
 
@@ -19,8 +26,9 @@ class Engine:
     """A minimal deterministic discrete-event scheduler."""
 
     def __init__(self):
-        self._queue = []
-        self._seq = 0
+        self._times: List[int] = []       # heap of distinct pending cycles
+        self._buckets: Dict[int, deque] = {}
+        self._pending = 0
         self.now = 0
         self.events_processed = 0
 
@@ -29,8 +37,12 @@ class Engine:
         if time < self.now:
             raise ExecutionError(
                 "cannot schedule in the past: {} < {}".format(time, self.now))
-        heapq.heappush(self._queue, (time, self._seq, callback))
-        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            bucket = self._buckets[time] = deque()
+            _heappush(self._times, time)
+        bucket.append(callback)
+        self._pending += 1
 
     def after(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
@@ -45,20 +57,39 @@ class Engine:
         against runaway programs (e.g. the infinite loops of Figure 12 when
         no horizon is given).
         """
+        times = self._times
+        buckets = self._buckets
         processed = 0
-        while self._queue:
-            time, _, callback = self._queue[0]
+        while times:
+            time = times[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
+            _heappop(times)
             self.now = time
-            callback()
-            processed += 1
-            self.events_processed += 1
-            if processed > max_events:
-                raise ExecutionError(
-                    "exceeded max_events={} (runaway program?)".format(max_events))
+            # Drain the whole cycle.  Callbacks may append to this same
+            # bucket via ``after(0, ...)``; the while-loop picks those up in
+            # scheduling order before the cycle is considered done.  If a
+            # callback raises, the cycle's remaining events must stay
+            # reachable — re-register the timestamp so a later run() resumes
+            # exactly where this one stopped.
+            bucket = buckets[time]
+            try:
+                while bucket:
+                    callback = bucket.popleft()
+                    self._pending -= 1
+                    callback()
+                    processed += 1
+                    self.events_processed += 1
+                    if processed > max_events:
+                        raise ExecutionError(
+                            "exceeded max_events={} (runaway program?)".format(
+                                max_events))
+            finally:
+                if bucket:
+                    _heappush(times, time)
+                else:
+                    del buckets[time]
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -66,7 +97,7 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events still queued."""
-        return len(self._queue)
+        return self._pending
 
     def __repr__(self):
         return "Engine(now={}, pending={})".format(self.now, self.pending)

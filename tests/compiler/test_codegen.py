@@ -3,20 +3,16 @@
 import pytest
 
 from repro.compiler.codegen import lower_circuit
-from repro.compiler.mapping import QubitMap
 from repro.compiler.streams import (Cond, Cw, Measure, RecvBit, SendBit,
                                     SyncN, SyncR, Wait)
 from repro.errors import CompilationError
-from repro.network.topology import build_topology
 from repro.quantum.circuit import QuantumCircuit
 from repro.sim.config import SimulationConfig
+from repro.testing import lower_to_streams
 
 
 def lower(circuit, n=None, mesh="line"):
-    n = n if n is not None else circuit.num_qubits
-    qmap = QubitMap(circuit.num_qubits, 1)
-    topo = build_topology(qmap.num_controllers, mesh_kind=mesh)
-    return lower_circuit(circuit, qmap, topo, SimulationConfig())
+    return lower_to_streams(circuit, mesh=mesh)
 
 
 class TestSingleQubitOps:
@@ -91,9 +87,8 @@ class TestTwoQubitOps:
     def test_same_controller_two_qubit_gate_single_action(self):
         circuit = QuantumCircuit(4)
         circuit.cx(0, 1)
-        qmap = QubitMap(4, 2)  # both qubits on controller 0
-        topo = build_topology(2, mesh_kind="line")
-        lowered = lower_circuit(circuit, qmap, topo, SimulationConfig())
+        # both qubits land on controller 0
+        lowered = lower_to_streams(circuit, qubits_per_controller=2)
         assert not any(isinstance(i, (SyncN, SyncR))
                        for i in lowered.streams[0])
 

@@ -1,18 +1,9 @@
 """BISP booking (hoisting) pass."""
 
-from repro.compiler.codegen import lower_circuit
-from repro.compiler.mapping import QubitMap
 from repro.compiler.streams import Cw, Measure, SyncN, SyncR, Wait
 from repro.compiler.sync_pass import demand_gaps, hoist_bookings
-from repro.network.topology import build_topology
 from repro.quantum.circuit import QuantumCircuit
-from repro.sim.config import SimulationConfig
-
-
-def lowered_for(circuit):
-    qmap = QubitMap(circuit.num_qubits, 1)
-    topo = build_topology(circuit.num_qubits, mesh_kind="line")
-    return lower_circuit(circuit, qmap, topo, SimulationConfig())
+from repro.testing import lower_to_streams as lowered_for
 
 
 def wait_before_sync(stream):

@@ -1,0 +1,77 @@
+"""Shared fixture library for the whole test tree.
+
+Hosts what the per-package test modules used to set up for themselves:
+
+* an ``src`` import-path fallback, so a bare ``pytest`` works even when
+  the ``pythonpath`` ini option is unavailable;
+* the ``--update-golden`` option for the codegen snapshot tests;
+* deterministic RNG seeding, canned topologies, a tiny Figure-15 suite
+  instance and its (session-cached) serial outcomes.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+import pytest
+
+from repro.harness import fig15_suite, run_suite
+from repro.network.topology import build_topology
+from repro.sim.config import SimulationConfig
+
+#: One fixed seed for every deterministic test in the tree.
+TEST_SEED = 20260730
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden codegen snapshots instead of comparing")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture
+def rng_seed() -> int:
+    """The tree-wide deterministic seed."""
+    return TEST_SEED
+
+
+@pytest.fixture
+def rng(rng_seed):
+    """A deterministic numpy Generator."""
+    return np.random.default_rng(rng_seed)
+
+
+@pytest.fixture
+def default_config() -> SimulationConfig:
+    """A fresh paper-default SimulationConfig."""
+    return SimulationConfig()
+
+
+@pytest.fixture
+def line_topology():
+    """Factory for an n-controller line-mesh topology."""
+    def build(num_controllers: int, **kwargs):
+        return build_topology(num_controllers, mesh_kind="line", **kwargs)
+    return build
+
+
+@pytest.fixture(scope="session")
+def tiny_suite():
+    """A scale-0.02 Figure-15 suite (seconds, not minutes)."""
+    return fig15_suite(scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def tiny_outcomes(tiny_suite):
+    """Serial outcomes of the tiny suite, computed once per session."""
+    return run_suite(tiny_suite)

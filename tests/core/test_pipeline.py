@@ -7,15 +7,7 @@ from repro.errors import ExecutionError
 from repro.isa.assembler import assemble
 from repro.sim.engine import Engine
 from repro.sim.telf import TelfLog
-
-
-def run_program(source, max_cycles=100000):
-    engine = Engine()
-    core = HISQCore("c0", 0, engine, TelfLog())
-    core.load(assemble(source))
-    core.start()
-    engine.run(until=max_cycles)
-    return core
+from repro.testing import run_bare_program as run_program
 
 
 class TestArithmetic:

@@ -2,21 +2,12 @@
 
 import pytest
 
-from repro.core.config import CoreConfig
 from repro.core.node import HISQCore
 from repro.errors import TimingViolation
 from repro.isa.assembler import assemble
 from repro.sim.engine import Engine
 from repro.sim.telf import TelfLog
-
-
-def make_core(source, **config_kwargs):
-    engine = Engine()
-    core = HISQCore("c0", 0, engine, TelfLog(),
-                    config=CoreConfig(**config_kwargs))
-    core.load(assemble(source))
-    core.start()
-    return engine, core
+from repro.testing import make_bare_core as make_core
 
 
 class TestEmissionTiming:

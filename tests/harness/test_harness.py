@@ -76,8 +76,10 @@ class TestFigure16:
 
 class TestFigure15Scaled:
     @pytest.fixture(scope="class")
-    def outcomes(self):
-        return run_suite(fig15_suite(scale=0.02))
+    def outcomes(self, tiny_outcomes):
+        # Shared session fixture (tests/conftest.py): one serial run of the
+        # scale-0.02 suite, reused by the parallel-harness parity tests.
+        return tiny_outcomes
 
     def test_all_thirteen_covered(self, outcomes):
         assert len(outcomes) == 12  # 12 named workloads + avg in render

@@ -1,0 +1,117 @@
+"""Parallel sweep harness: serial parity, caching, spawn safety."""
+
+import pickle
+
+import pytest
+
+from repro.harness.parallel import (SweepCache, build_tasks, run_cell,
+                                    run_suite_parallel)
+from repro.sim.config import SimulationConfig
+
+SCALE = 0.02
+
+
+def assert_outcomes_equal(left, right):
+    assert [o.name for o in left] == [o.name for o in right]
+    for a, b in zip(left, right):
+        assert a.num_qubits == b.num_qubits
+        assert a.num_ops == b.num_ops
+        assert a.feedback_ops == b.feedback_ops
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.stall_cycles == b.stall_cycles
+
+
+class TestParity:
+    def test_parallel_matches_serial(self, tiny_outcomes):
+        parallel = run_suite_parallel(scale=SCALE, processes=2)
+        assert_outcomes_equal(parallel, tiny_outcomes)
+
+    def test_in_process_matches_serial(self, tiny_outcomes):
+        inproc = run_suite_parallel(scale=SCALE, processes=1)
+        assert_outcomes_equal(inproc, tiny_outcomes)
+
+    def test_scheme_rankings_identical(self, tiny_outcomes):
+        parallel = run_suite_parallel(scale=SCALE, processes=2)
+        serial_rank = [o.normalized() for o in tiny_outcomes]
+        parallel_rank = [o.normalized() for o in parallel]
+        assert serial_rank == parallel_rank
+
+    def test_workload_filter(self):
+        outcomes = run_suite_parallel(
+            scale=SCALE, processes=1, spec_names=["bv_n400", "qft_n30"])
+        assert [o.name for o in outcomes] == ["bv_n400", "qft_n30"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_tasks(SCALE, ("bisp",), spec_names=["nope"])
+
+
+class TestTasks:
+    def test_tasks_are_picklable_and_deterministic(self):
+        tasks = build_tasks(SCALE, ("bisp", "lockstep"))
+        assert len(tasks) == 24  # 12 workloads x 2 schemes
+        rebuilt = pickle.loads(pickle.dumps(tasks))
+        assert rebuilt == tasks
+        assert [t.cache_key() for t in rebuilt] == \
+               [t.cache_key() for t in tasks]
+
+    def test_cache_key_sensitivity(self):
+        base, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        other_seed, = build_tasks(SCALE, ("bisp",), device_seed=999,
+                                  spec_names=["bv_n400"])
+        other_config, = build_tasks(
+            SCALE, ("bisp",), config=SimulationConfig(neighbor_link_cycles=9),
+            spec_names=["bv_n400"])
+        keys = {base.cache_key(), other_seed.cache_key(),
+                other_config.cache_key()}
+        assert len(keys) == 3
+
+    def test_run_cell_matches_run_suite_numbers(self, tiny_outcomes):
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["logical_t_n432"])
+        cell = run_cell(task)
+        reference = {o.name: o for o in tiny_outcomes}["logical_t_n432"]
+        assert cell.makespan_cycles == reference.makespan_cycles["bisp"]
+        assert cell.feedback_ops == reference.feedback_ops
+
+
+class TestCache:
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        cache_dir = str(tmp_path / "sweep")
+        first = run_suite_parallel(scale=SCALE, processes=1,
+                                   cache_dir=cache_dir,
+                                   spec_names=["bv_n400"])
+        cache = SweepCache(cache_dir)
+        assert len(cache) == 2  # two schemes
+        second = run_suite_parallel(scale=SCALE, processes=1,
+                                    cache_dir=cache_dir,
+                                    spec_names=["bv_n400"])
+        assert_outcomes_equal(first, second)
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache_dir = str(tmp_path / "sweep")
+        run_suite_parallel(scale=SCALE, processes=1, cache_dir=cache_dir,
+                           spec_names=["bv_n400"])
+        for path in (tmp_path / "sweep").glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        outcomes = run_suite_parallel(scale=SCALE, processes=1,
+                                      cache_dir=cache_dir,
+                                      spec_names=["bv_n400"])
+        assert outcomes[0].makespan_cycles["bisp"] > 0
+
+    def test_roundtrip_value(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        cell = run_cell(task)
+        cache.put(task.cache_key(), cell)
+        assert cache.get(task.cache_key()) == cell
+        assert cache.get("0" * 64) is None
+
+
+@pytest.mark.parallel
+class TestSpawn:
+    def test_spawn_start_method_smoke(self):
+        """Workers must survive pickling under spawn (fresh interpreter)."""
+        outcomes = run_suite_parallel(
+            scale=SCALE, processes=2, start_method="spawn",
+            spec_names=["bv_n400"], schemes=("bisp", "lockstep"))
+        assert outcomes[0].makespan_cycles["bisp"] > 0

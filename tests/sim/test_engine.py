@@ -77,3 +77,26 @@ class TestEngine:
                               engine.after(2, lambda: values.append(engine.now))))
         engine.run()
         assert values == [1, 3]
+
+
+class TestExceptionResume:
+    def test_same_cycle_events_survive_callback_exception(self):
+        engine = Engine()
+        fired = []
+        engine.at(5, lambda: fired.append("a"))
+
+        def boom():
+            raise RuntimeError("boom")
+
+        engine.at(5, boom)
+        engine.at(5, lambda: fired.append("b"))
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert fired == ["a"]
+        assert engine.pending == 1
+        # Newly scheduled same-cycle work joins the orphaned bucket ...
+        engine.at(5, lambda: fired.append("c"))
+        # ... and a later run() drains both in scheduling order.
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.pending == 0
