@@ -11,7 +11,7 @@ from repro.harness.tables import format_table
 from repro.quantum import build_long_range_cnot_circuit
 
 
-def test_ablation_three_schemes(benchmark):
+def test_ablation_three_schemes(benchmark, bench_recorder):
     def run():
         rows = []
         for name, circuit, mesh in (
@@ -33,11 +33,15 @@ def test_ablation_three_schemes(benchmark):
     print("\n=== Sync-scheme ablation (cycles) ===")
     print(format_table(["workload", "BISP", "demand-driven", "lock-step"],
                        rows))
+    bench_recorder.add_rows(
+        {"label": name, "bisp_cycles": bisp, "demand_cycles": demand,
+         "lockstep_cycles": lockstep}
+        for name, bisp, demand, lockstep in rows)
     for name, bisp, demand, lockstep in rows:
         assert bisp <= demand <= lockstep * 2  # booking only helps
 
 
-def test_ablation_booking_value_grows_with_work(benchmark):
+def test_ablation_booking_value_grows_with_work(benchmark, bench_recorder):
     """More deterministic work before a sync -> more hidden latency."""
     from repro.isa.assembler import assemble
     from repro.sim import ControlSystem
@@ -57,9 +61,13 @@ def test_ablation_booking_value_grows_with_work(benchmark):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nbooking lead -> synchronized task time:", rows)
+    bench_recorder.add_rows(
+        {"label": "booking_lead_{}".format(lead), "booking_lead": lead,
+         "task_time_cycles": task_time}
+        for lead, task_time in rows)
 
 
-def test_ablation_seed_sensitivity(benchmark):
+def test_ablation_seed_sensitivity(benchmark, bench_recorder):
     """Makespan spread across measurement-outcome seeds (shots knob).
 
     Dynamic branches make the makespan a random variable of the device
@@ -76,6 +84,8 @@ def test_ablation_seed_sensitivity(benchmark):
 
     spans = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nBISP makespans over 8 device seeds:", spans)
+    bench_recorder.add("seed_sensitivity", shots=len(spans),
+                       min_makespan=min(spans), max_makespan=max(spans))
     assert len(spans) == 8
     assert min(spans) > 0
     assert spans == run()  # per-shot seeding is deterministic

@@ -7,7 +7,7 @@ from repro.harness.tables import format_table
 from repro.sim.config import SimulationConfig
 
 
-def test_ablation_router_fanout(benchmark):
+def test_ablation_router_fanout(benchmark, bench_recorder):
     """Deeper trees (small fan-out) raise region-sync and message cost."""
     circuit = to_dynamic(build_bv(40), substitution_fraction=0.3)
 
@@ -23,10 +23,14 @@ def test_ablation_router_fanout(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n=== Router fan-out ablation (bv_n40 dynamic) ===")
     print(format_table(["fan-out", "BISP makespan (cycles)"], rows))
+    bench_recorder.add_rows(
+        {"label": "fanout_{}".format(fanout), "router_fanout": fanout,
+         "bisp_cycles": cycles}
+        for fanout, cycles in rows)
     assert rows[0][1] >= rows[-1][1]  # flatter tree never slower
 
 
-def test_ablation_baseline_broadcast_latency(benchmark):
+def test_ablation_baseline_broadcast_latency(benchmark, bench_recorder):
     """Figure 15's bv anomaly: the lock-step baseline assumes a constant
     broadcast latency; sweeping it shows where BISP's tree-routed
     messages lose to an (unrealistically) fast central broadcast."""
@@ -49,11 +53,16 @@ def test_ablation_baseline_broadcast_latency(benchmark):
     print("\n=== Baseline broadcast-latency ablation (bv_n40) ===")
     print(format_table(["broadcast (cycles)", "BISP", "lock-step",
                         "normalized"], rows))
+    bench_recorder.add_rows(
+        {"label": "broadcast_{}".format(broadcast),
+         "broadcast_cycles": broadcast, "bisp_cycles": bisp,
+         "lockstep_cycles": lockstep, "normalized": float(norm)}
+        for broadcast, bisp, lockstep, norm in rows)
     normalized = [float(r[3]) for r in rows]
     assert normalized == sorted(normalized, reverse=True)
 
 
-def test_ablation_event_queue_depth(benchmark):
+def test_ablation_event_queue_depth(benchmark, bench_recorder):
     """Shallow event queues stall the pipeline but never break timing."""
     from repro.circuits import build_ghz
 
@@ -70,6 +79,10 @@ def test_ablation_event_queue_depth(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n=== Event-queue depth ablation (ghz_n8) ===")
     print(format_table(["depth", "makespan", "violations"], rows))
+    bench_recorder.add_rows(
+        {"label": "queue_depth_{}".format(depth), "queue_depth": depth,
+         "makespan_cycles": makespan, "timing_violations": violations}
+        for depth, makespan, violations in rows)
     makespans = {r[1] for r in rows}
     assert len(makespans) == 1  # queue pressure must not shift timing
     assert all(r[2] == 0 for r in rows)

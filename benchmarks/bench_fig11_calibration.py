@@ -10,37 +10,47 @@ def bench_rig():
     return CalibrationBench(seed=11)
 
 
-def test_fig11a_draw_circle(benchmark, bench_rig):
+def test_fig11a_draw_circle(benchmark, bench_rig, bench_recorder):
     result = benchmark.pedantic(bench_rig.draw_circle, kwargs={
         "num_points": 36}, rounds=1, iterations=1)
     print("\n=== Figure 11(a): circle radius {:.3f}, rms dev {:.4f} "
           "===".format(result.fit.radius, result.fit.rms_deviation))
+    bench_recorder.add("fig11a_circle", radius=result.fit.radius,
+                       rms_deviation=result.fit.rms_deviation)
     assert abs(result.fit.radius - 1.0) < 0.1
     assert result.fit.rms_deviation > 0.01  # feedline interference
 
 
-def test_fig11b_spectroscopy(benchmark, bench_rig):
+def test_fig11b_spectroscopy(benchmark, bench_rig, bench_recorder):
     result = benchmark.pedantic(bench_rig.spectroscopy, kwargs={
         "num_points": 41}, rounds=1, iterations=1)
     print("\n=== Figure 11(b): resonance {:.4f} GHz (paper: 4.62 GHz) "
           "===".format(result.fit.center_ghz))
+    bench_recorder.add("fig11b_spectroscopy",
+                       center_ghz=result.fit.center_ghz,
+                       model_ghz=bench_rig.qubit.frequency_ghz)
     assert abs(result.fit.center_ghz - bench_rig.qubit.frequency_ghz) < 2e-3
 
 
-def test_fig11c_rabi(benchmark, bench_rig):
+def test_fig11c_rabi(benchmark, bench_rig, bench_recorder):
     result = benchmark.pedantic(bench_rig.rabi, kwargs={
         "num_points": 41, "max_amplitude": 2.5}, rounds=1, iterations=1)
     print("\n=== Figure 11(c): pi amplitude {:.3f} (analytic {:.3f}) "
           "===".format(result.fit.pi_amplitude, bench_rig.pi_amplitude()))
+    bench_recorder.add("fig11c_rabi",
+                       pi_amplitude=result.fit.pi_amplitude,
+                       analytic_pi_amplitude=bench_rig.pi_amplitude())
     assert abs(result.fit.pi_amplitude -
                bench_rig.pi_amplitude()) / bench_rig.pi_amplitude() < 0.1
 
 
-def test_fig11d_t1(benchmark, bench_rig):
+def test_fig11d_t1(benchmark, bench_rig, bench_recorder):
     result = benchmark.pedantic(bench_rig.t1, kwargs={
         "num_points": 25}, rounds=1, iterations=1)
     print("\n=== Figure 11(d): T1 = {:.1f} us (model {:.1f}; paper "
           "9.9 vs 10.2) ===".format(result.fit.t1_us,
                                     bench_rig.qubit.t1_us))
+    bench_recorder.add("fig11d_t1", t1_us=result.fit.t1_us,
+                       model_t1_us=bench_rig.qubit.t1_us)
     assert abs(result.fit.t1_us - bench_rig.qubit.t1_us) / \
         bench_rig.qubit.t1_us < 0.15

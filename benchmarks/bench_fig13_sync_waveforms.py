@@ -3,12 +3,15 @@
 from repro.harness.figures import figure13_waveforms
 
 
-def test_fig13_waveform_alignment(benchmark):
+def test_fig13_waveform_alignment(benchmark, bench_recorder):
     system, pairs = benchmark.pedantic(figure13_waveforms, rounds=1,
                                        iterations=1)
     offsets = sorted({b - a for a, b in pairs})
     print("\n=== Figure 13: {} synchronized pulse pairs, offset(s): {} "
           "cycles ===".format(len(pairs), offsets))
+    bench_recorder.add("fig13_alignment", pulse_pairs=len(pairs),
+                       distinct_offsets=len(offsets),
+                       offset_cycles=offsets[0])
     window = (pairs[5][0] - 20, pairs[8][1] + 20)
     print(system.telf.ascii_waveform(
         [("C0", 21), ("C0", 20), ("C0", 7), ("C1", 5)],

@@ -6,22 +6,28 @@ from repro.quantum import build_long_range_cnot_circuit
 from repro.quantum.stabilizer import run_stabilizer
 
 
-def test_fig14_depth_scaling(benchmark):
+def test_fig14_depth_scaling(benchmark, bench_recorder):
     rows = benchmark(figure14_depths, [2, 4, 8, 16, 32, 64])
     print("\n=== Figure 14: circuit depth ===")
     print(format_table(["distance", "dynamic (teleported)",
                         "unitary (SWAP ladder)"], rows))
+    bench_recorder.add_rows(
+        {"label": "distance_{}".format(distance), "distance": distance,
+         "dynamic_depth": dynamic, "swap_depth": swap}
+        for distance, dynamic, swap in rows)
     dynamic = [r[1] for r in rows]
     swap = [r[2] for r in rows]
     assert swap[-1] == 2 * 64  # strictly linear
     assert dynamic[-1] < swap[-1] / 3
 
 
-def test_fig14_logical_correctness_at_scale(benchmark):
+def test_fig14_logical_correctness_at_scale(benchmark, bench_recorder):
     def run():
         circuit = build_long_range_cnot_circuit(128)
         backend, _ = run_stabilizer(circuit, seed=4)
         return backend.measure(0), backend.measure(128)
 
     m0, m128 = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_recorder.add("bell_correlation_d128", m0=m0, m128=m128,
+                       correlated=int(m0 == m128))
     assert m0 == m128  # Bell correlation across 128 sites

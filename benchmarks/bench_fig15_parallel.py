@@ -20,7 +20,8 @@ from .conftest import repro_processes, repro_scale
 
 
 @pytest.mark.parallel
-def test_fig15_parallel_matches_serial_and_speeds_up(benchmark):
+def test_fig15_parallel_matches_serial_and_speeds_up(benchmark,
+                                                     bench_recorder):
     scale = repro_scale()
 
     def timed():
@@ -42,6 +43,11 @@ def test_fig15_parallel_matches_serial_and_speeds_up(benchmark):
     print("parallel {:.2f}s  ({:.2f}x)".format(parallel_s, speedup))
     print()
     print(render_figure15(parallel))
+    bench_recorder.add("parallel_speedup", scale=scale, cores=cores,
+                       outcomes=len(parallel))
+    bench_recorder.note_volatile(serial_seconds=serial_s,
+                                 parallel_seconds=parallel_s,
+                                 speedup=speedup)
     # Bit-identical outcomes -> identical scheme rankings.
     assert [o.name for o in parallel] == [o.name for o in serial]
     for a, b in zip(serial, parallel):
@@ -51,17 +57,22 @@ def test_fig15_parallel_matches_serial_and_speeds_up(benchmark):
            [o.normalized() for o in serial]
     # Workload skew bounds the ceiling: the largest single cell is ~37% of
     # the serial total at default scale, so ~2.7x is the infinite-core
-    # limit.  Demand 2x only where the core count leaves real headroom.
-    if cores >= 8:
-        assert speedup >= 2.0, (
-            "expected >=2x on {} cores, got {:.2f}x".format(cores, speedup))
-    elif cores >= 4:
-        assert speedup >= 1.4, (
-            "expected >=1.4x on {} cores, got {:.2f}x".format(cores, speedup))
+    # limit.  Demand 2x only where the core count leaves real headroom
+    # AND the cells are big enough that pool startup and noisy-neighbor
+    # jitter don't dominate (tiny CI smoke scales are report-only).
+    if scale >= 0.1 and serial_s >= 2.0:
+        if cores >= 8:
+            assert speedup >= 2.0, (
+                "expected >=2x on {} cores, got {:.2f}x".format(cores,
+                                                                speedup))
+        elif cores >= 4:
+            assert speedup >= 1.4, (
+                "expected >=1.4x on {} cores, got {:.2f}x".format(cores,
+                                                                  speedup))
 
 
 @pytest.mark.parallel
-def test_fig15_cache_resume(benchmark, tmp_path):
+def test_fig15_cache_resume(benchmark, tmp_path, bench_recorder):
     """A warm cache answers the whole sweep without recomputing."""
     scale = min(repro_scale(), 0.05)
     cache_dir = str(tmp_path / "sweep-cache")
@@ -76,5 +87,7 @@ def test_fig15_cache_resume(benchmark, tmp_path):
     outcomes = benchmark.pedantic(warm, rounds=1, iterations=1)
     warm_s = time.perf_counter() - t0
     print("\nwarm sweep from cache: {:.3f}s".format(warm_s))
+    bench_recorder.add("cache_resume", scale=scale, outcomes=len(outcomes))
+    bench_recorder.note_volatile(warm_sweep_seconds=warm_s)
     assert len(outcomes) == 12
     assert warm_s < 2.0  # pure cache reads, no simulation

@@ -5,7 +5,6 @@ set ``REPRO_SCALE=1.0`` for the paper's sizes (results recorded in
 EXPERIMENTS.md: avg normalized 0.692 vs the paper's 0.772).
 """
 
-import pytest
 
 from repro.fidelity.metrics import arithmetic_mean
 from repro.harness import fig15_suite, render_figure15, run_suite
@@ -24,7 +23,7 @@ def _sweep():
     return run_suite(specs=fig15_suite(scale=repro_scale()))
 
 
-def test_fig15_normalized_runtime(benchmark):
+def test_fig15_normalized_runtime(benchmark, bench_recorder):
     outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     print("\n=== Figure 15 (scale={}) ===".format(repro_scale()))
     print(render_figure15(outcomes))
@@ -32,6 +31,13 @@ def test_fig15_normalized_runtime(benchmark):
     print(ascii_bar_chart([o.name for o in outcomes],
                           [o.normalized() for o in outcomes],
                           reference=1.0))
+    bench_recorder.add_rows(
+        {"label": o.name, "scale": repro_scale(),
+         "num_qubits": o.num_qubits, "feedback_ops": o.feedback_ops,
+         "bisp_cycles": o.makespan_cycles["bisp"],
+         "lockstep_cycles": o.makespan_cycles["lockstep"],
+         "normalized": o.normalized()}
+        for o in outcomes)
     normals = [o.normalized() for o in outcomes]
     # Shape criteria: BISP reduces average runtime; every feedback-heavy
     # workload individually improves; nothing pathological (>1.3x).

@@ -4,7 +4,7 @@ from repro.harness.figures import T1_SWEEP_US, figure16_sweep
 from repro.harness.tables import render_figure16
 
 
-def test_fig16_infidelity_sweep(benchmark):
+def test_fig16_infidelity_sweep(benchmark, bench_recorder):
     data = benchmark.pedantic(figure16_sweep, kwargs={
         "distance": 41, "t1_values_us": T1_SWEEP_US},
         rounds=1, iterations=1)
@@ -12,6 +12,12 @@ def test_fig16_infidelity_sweep(benchmark):
     print(render_figure16(data["t1_values_us"], data["baseline"],
                           data["hisq"]))
     print("makespans:", data["makespans"])
+    bench_recorder.add_rows(
+        {"label": "t1_{}us".format(t1), "t1_us": t1,
+         "baseline_infidelity": data["baseline"][t1],
+         "hisq_infidelity": data["hisq"][t1],
+         "reduction_ratio": data["reduction_ratio"][t1]}
+        for t1 in data["t1_values_us"])
     ratios = list(data["reduction_ratio"].values())
     # Shape: several-fold, roughly T1-independent reduction (paper: ~5x).
     assert min(ratios) > 3.0

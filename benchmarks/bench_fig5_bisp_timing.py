@@ -4,15 +4,18 @@ from repro.harness.figures import figure5_nearby, figure7_overhead_sweep
 from repro.sync.analysis import Participant, timing_diagram
 
 
-def test_fig5a_nearby_zero_overhead(benchmark):
+def test_fig5a_nearby_zero_overhead(benchmark, bench_recorder):
     result = benchmark(figure5_nearby, 30)
     print("\n=== Figure 5(a): nearby synchronization ===")
     print(result)
+    bench_recorder.add("fig5a_nearby", aligned=result["aligned"],
+                       simulated_overhead=result["simulated_overhead"],
+                       analytic_overhead=result["analytic_overhead"])
     assert result["aligned"] == 1
     assert result["simulated_overhead"] == 0
 
 
-def test_fig5b_remote_zero_overhead(benchmark):
+def test_fig5b_remote_zero_overhead(benchmark, bench_recorder):
     def run():
         return figure7_overhead_sweep([40])
 
@@ -21,4 +24,7 @@ def test_fig5b_remote_zero_overhead(benchmark):
     print("\n=== Figure 5(b): remote synchronization, lead=40 ===")
     parts = [Participant(b, 40, 18) for b in (10, 25, 60)]
     print(timing_diagram(parts, ["C0", "C1", "C2"]))
+    bench_recorder.add("fig5b_remote", booking_lead=lead,
+                       simulated_overhead=simulated,
+                       analytic_overhead=analytic)
     assert simulated == analytic == 0

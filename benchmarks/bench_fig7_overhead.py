@@ -4,12 +4,16 @@ from repro.harness.figures import figure7_overhead_sweep
 from repro.harness.tables import format_table
 
 
-def test_fig7_overhead_sweep(benchmark):
+def test_fig7_overhead_sweep(benchmark, bench_recorder):
     leads = [0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 32]
     rows = benchmark(figure7_overhead_sweep, leads)
     print("\n=== Figure 7: overhead = max(0, L - D) ===")
     print(format_table(["booking lead D", "simulated overhead",
                         "analytic overhead"], rows))
+    bench_recorder.add_rows(
+        {"label": "lead_{}".format(lead), "booking_lead": lead,
+         "simulated_overhead": simulated, "analytic_overhead": analytic}
+        for lead, simulated, analytic in rows)
     for lead, simulated, analytic in rows:
         assert simulated == analytic
     # Overhead decreases monotonically and hits exactly zero once the

@@ -13,11 +13,16 @@ def test_table1_reproduction(benchmark):
     assert "4155" in table and "2435" in table
 
 
-def test_table1_values_match_paper(benchmark):
+def test_table1_values_match_paper(benchmark, bench_recorder):
     def compute():
         return board_cost(CONTROL_BOARD), board_cost(READOUT_BOARD)
 
     control, readout = benchmark(compute)
+    for label, cost in (("control_board", control),
+                        ("readout_board", readout)):
+        bench_recorder.add(label, luts=round(cost.luts),
+                           brams=round(cost.brams, 1),
+                           ffs=round(cost.ffs))
     assert (round(control.luts), round(control.brams, 1),
             round(control.ffs)) == (4155, 75.0, 6392)
     assert (round(readout.luts), round(readout.brams, 1),

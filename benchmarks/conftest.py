@@ -9,6 +9,12 @@ in the benchmark log.
 ``REPRO_PROCESSES`` caps the worker count of the parallel-harness
 benchmarks (default: every core); ``REPRO_PARALLEL=1`` routes the
 serial Figure-15 benchmark through the parallel harness too.
+
+Every benchmark module records its headline numbers through the
+``bench_recorder`` fixture, which writes a schema-validated
+``BENCH_<module>.json`` into ``REPRO_BENCH_DIR`` (default:
+``bench-artifacts/``) at module teardown — the machine-readable twin of
+the printed tables, for CI to archive and regression-gate.
 """
 
 import os
@@ -19,6 +25,45 @@ import pytest
 
 def repro_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "0.15"))
+
+
+def bench_dir() -> str:
+    return os.environ.get("REPRO_BENCH_DIR", "bench-artifacts")
+
+
+class BenchRecorder:
+    """Collects flat result rows; rows become the artifact's ``results``."""
+
+    def __init__(self):
+        self.rows = []
+        self.volatile = {}
+
+    def add(self, label: str, **metrics) -> None:
+        """Record one row (at least one metric must be numeric)."""
+        self.rows.append(dict({"label": label}, **metrics))
+
+    def add_rows(self, rows) -> None:
+        self.rows.extend(dict(row) for row in rows)
+
+    def note_volatile(self, **values) -> None:
+        """Record non-deterministic extras (wall-clock etc.)."""
+        self.volatile.update(values)
+
+
+@pytest.fixture(scope="module")
+def bench_recorder(request):
+    """Per-module BENCH artifact recorder (written on module teardown)."""
+    from repro.harness.benchjson import make_bench, write_bench
+
+    recorder = BenchRecorder()
+    yield recorder
+    if recorder.rows:
+        name = request.module.__name__.rsplit(".", 1)[-1]
+        if name.startswith("bench_"):
+            name = name[len("bench_"):]
+        write_bench(bench_dir(), make_bench(
+            name, recorder.rows,
+            volatile=recorder.volatile or None))
 
 
 def repro_processes() -> Optional[int]:

@@ -10,7 +10,7 @@ the adaptability claim being exercised.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

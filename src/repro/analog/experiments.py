@@ -33,8 +33,7 @@ from ..sim.config import SimulationConfig
 from ..sim.system import ControlSystem
 from .acquisition import AcquisitionRecord, AcquisitionUnit
 from .awg import AWGChannel, ExcitePlusAcquire, PlayPulse, SetFrequency, SetPhase
-from .fitting import (CircleFit, ExponentialFit, LorentzianFit, RabiFit,
-                      fit_circle, fit_exponential_decay, fit_lorentzian,
+from .fitting import (fit_circle, fit_exponential_decay, fit_lorentzian,
                       fit_rabi)
 from .qubit_physics import QubitModel
 

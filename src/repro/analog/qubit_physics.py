@@ -16,7 +16,7 @@ physical response that the control stack's pulses elicit:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

@@ -1,4 +1,11 @@
-"""Benchmark circuit generators (QASMBench-style families + QEC)."""
+"""Benchmark circuit generators (QASMBench-style families + QEC).
+
+The registry-backed families (``clifford_t``, ``hidden_shift``,
+``repetition``, ``qaoa``) are re-exported lazily (PEP 562): importing
+them pulls in :mod:`repro.harness.registry`, and eager imports here would
+make ``repro.circuits`` <-> ``repro.harness`` mutually importing at
+package-init time.
+"""
 
 from .adder import build_adder, register_size
 from .bv import build_bv, secret_of
@@ -10,10 +17,32 @@ from .qft import build_qft
 from .surface_code import SurfacePatch, build_memory_experiment, build_patch
 from .w_state import build_w_state
 
+_LAZY_EXPORTS = {
+    "build_clifford_t": "clifford_t",
+    "build_hidden_shift": "hidden_shift",
+    "default_shift": "hidden_shift",
+    "build_repetition_code": "repetition",
+    "build_qaoa": "qaoa",
+    "maxcut_edges": "qaoa",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+        module = importlib.import_module(
+            "." + _LAZY_EXPORTS[name], __name__)
+        return getattr(module, name)
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name))
+
+
 __all__ = [
-    "SurfacePatch", "build_adder", "build_bv", "build_ghz",
-    "build_logical_t", "build_memory_experiment", "build_named",
-    "build_patch", "build_qft", "build_w_state",
+    "SurfacePatch", "build_adder", "build_bv", "build_clifford_t",
+    "build_ghz", "build_hidden_shift", "build_logical_t",
+    "build_memory_experiment", "build_named", "build_patch", "build_qaoa",
+    "build_qft", "build_repetition_code", "build_w_state",
     "cnot_distance_histogram", "count_feedback_ops", "decompose_to_native",
-    "register_size", "secret_of", "to_dynamic",
+    "default_shift", "maxcut_edges", "register_size", "secret_of",
+    "to_dynamic",
 ]

@@ -1,0 +1,84 @@
+"""Random Clifford+T layered circuits (registry family ``clifford_t``).
+
+Brick-layered random circuits over the fault-tolerant gate set: each layer
+applies an independent single-qubit gate drawn from {H, S, Sdg, X, Z, T,
+Tdg} to every qubit, followed by a brickwork of CX gates whose control-
+target distance is drawn geometrically — most links are nearest-neighbor,
+a tail reaches far across the register, giving the dynamic-circuit
+conversion realistic long-range CNOTs to substitute.
+
+Everything is derived from a deterministic per-(size, depth, seed) RNG,
+so rebuilding the workload in a different process (or on a different
+machine) yields the identical circuit — a hard requirement for the
+sweep cache and the serial/parallel bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from ..harness.registry import register_workload
+from ..quantum.circuit import QuantumCircuit
+
+#: Single-qubit gate alphabet; T/Tdg weighted in via ``t_fraction``.
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "z")
+_T_GATES = ("t", "tdg")
+
+
+def build_clifford_t(num_qubits: int, depth: Optional[int] = None,
+                     t_fraction: float = 0.25,
+                     seed: Optional[int] = None) -> QuantumCircuit:
+    """Random Clifford+T circuit on ``num_qubits`` qubits.
+
+    ``depth`` is the number of (1q layer, CX brick) rounds (default:
+    ``max(4, num_qubits // 10)``); ``t_fraction`` is the probability a
+    single-qubit slot holds a T/Tdg instead of a Clifford.  ``seed``
+    defaults to a hash of the shape parameters, so equal shapes produce
+    equal circuits without any caller-side bookkeeping.
+    """
+    if num_qubits < 2:
+        raise ValueError("clifford_t needs at least 2 qubits")
+    if not 0.0 <= t_fraction <= 1.0:
+        raise ValueError("t_fraction must be in [0, 1]")
+    depth = depth if depth is not None else max(4, num_qubits // 10)
+    if seed is None:
+        # zlib.crc32, not hash(): str hashing is salted per process, and
+        # the default seed must be identical in every sweep worker.
+        seed = zlib.crc32("clifford_t/{}/{}".format(
+            num_qubits, depth).encode("ascii"))
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, 0,
+                             name="clifford_t_n{}".format(num_qubits))
+    for _ in range(depth):
+        for q in range(num_qubits):
+            if rng.random() < t_fraction:
+                circuit.gate(_T_GATES[rng.integers(2)], q)
+            else:
+                circuit.gate(_CLIFFORD_1Q[rng.integers(len(_CLIFFORD_1Q))], q)
+        # Brickwork of CX pairs over a random permutation; geometric
+        # distances keep most links local with a long-range tail.
+        used = set()
+        for control in rng.permutation(num_qubits):
+            control = int(control)
+            if control in used:
+                continue
+            span = 1 + int(rng.geometric(0.5))
+            target = control + span
+            if target >= num_qubits or target in used:
+                continue
+            circuit.cx(control, target)
+            used.update((control, target))
+    return circuit
+
+
+@register_workload("clifford_t_n100", size=100, min_size=6, tags=("extra",))
+def _clifford_t_n100(size: int):
+    return build_clifford_t(size)
+
+
+@register_workload("clifford_t_n250", size=250, min_size=6, tags=("extra",))
+def _clifford_t_n250(size: int):
+    return build_clifford_t(size)

@@ -9,7 +9,6 @@ operations — precisely the control-plane load the evaluation stresses.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -1,0 +1,83 @@
+"""Hidden-shift benchmark for bent functions (registry family
+``hidden_shift``).
+
+The quantum hidden-shift algorithm for Maiorana-McFarland bent functions
+``f(x, y) = x . y`` recovers a secret shift ``s`` with a single query:
+
+    H^n | X^s | CZ-pairs | X^s | H^n | CZ-pairs | H^n | measure -> s
+
+The CZ pairs couple qubit ``i`` with qubit ``i + n/2`` — every entangling
+gate spans half the register, making this family maximally long-range on
+a linear layout (the opposite extreme from the adder's local ripple), so
+it stresses the teleportation-substitution path harder per gate than any
+paper workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..harness.registry import register_workload
+from ..quantum.circuit import QuantumCircuit
+
+
+def default_shift(num_qubits: int) -> int:
+    """Default secret shift: alternating bits (dense, QASMBench-style)."""
+    return int("10" * (num_qubits // 2), 2) & ((1 << num_qubits) - 1)
+
+
+def build_hidden_shift(num_qubits: int,
+                       shift: Optional[int] = None) -> QuantumCircuit:
+    """Hidden-shift circuit on ``num_qubits`` (rounded up to even) qubits.
+
+    Measuring the final state yields ``shift`` deterministically in the
+    noiseless case.
+    """
+    if num_qubits < 2:
+        raise ValueError("hidden_shift needs at least 2 qubits")
+    num_qubits += num_qubits % 2  # the bent function needs two halves
+    half = num_qubits // 2
+    if shift is None:
+        shift = default_shift(num_qubits)
+    if not 0 <= shift < (1 << num_qubits):
+        raise ValueError("shift must fit in {} bits".format(num_qubits))
+    circuit = QuantumCircuit(num_qubits, num_qubits,
+                             name="hidden_shift_n{}".format(num_qubits))
+    for q in range(num_qubits):
+        circuit.h(q)
+    def cz_pairs():
+        # CZ(a, b) as H(b).CX(a, b).H(b): the CX form makes these
+        # half-register-spanning gates eligible for the teleportation
+        # substitution in ``to_dynamic`` (which rewrites cx, not cz).
+        for q in range(half):
+            circuit.h(q + half)
+            circuit.cx(q, q + half)
+            circuit.h(q + half)
+
+    # Shifted oracle g(x) = f(x + s).
+    for q in range(num_qubits):
+        if (shift >> q) & 1:
+            circuit.x(q)
+    cz_pairs()
+    for q in range(num_qubits):
+        if (shift >> q) & 1:
+            circuit.x(q)
+    for q in range(num_qubits):
+        circuit.h(q)
+    # The dual bent function (f is self-dual for x . y).
+    cz_pairs()
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits):
+        circuit.measure(q, q)
+    return circuit
+
+
+@register_workload("hidden_shift_n64", size=64, min_size=4, tags=("extra",))
+def _hidden_shift_n64(size: int):
+    return build_hidden_shift(size)
+
+
+@register_workload("hidden_shift_n200", size=200, min_size=4, tags=("extra",))
+def _hidden_shift_n200(size: int):
+    return build_hidden_shift(size)

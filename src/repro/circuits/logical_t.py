@@ -18,7 +18,6 @@ two sizes via :func:`build_named`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 

@@ -1,0 +1,79 @@
+"""QAOA-style MaxCut ansatz (registry family ``qaoa``).
+
+``p`` alternating cost/mixer layers for MaxCut on a deterministic
+pseudo-random graph: a ring (guaranteed connectivity, all local edges)
+plus ``num_qubits // 2`` chords whose endpoints are drawn from a seeded
+RNG — mid-range entangling structure between the adder (all-local) and
+hidden-shift (all-global) extremes.  Each cost edge compiles to the
+native ``cx . rz . cx`` sandwich; the mixer is a transversal RX layer.
+
+Graph and angles derive from a per-shape seed, so rebuilding the
+workload anywhere yields the identical circuit (sweep-cache requirement).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..harness.registry import register_workload
+from ..quantum.circuit import QuantumCircuit
+
+
+def maxcut_edges(num_qubits: int, seed: int) -> List[Tuple[int, int]]:
+    """Ring + seeded chords, deduplicated, in deterministic order."""
+    edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+    seen = {tuple(sorted(e)) for e in edges}
+    rng = np.random.default_rng(seed)
+    for _ in range(num_qubits // 2):
+        a, b = (int(x) for x in rng.integers(0, num_qubits, size=2))
+        key = (min(a, b), max(a, b))
+        if a == b or key in seen:
+            continue
+        seen.add(key)
+        edges.append(key)
+    return edges
+
+
+def build_qaoa(num_qubits: int, layers: int = 2,
+               seed: Optional[int] = None) -> QuantumCircuit:
+    """QAOA MaxCut ansatz with ``layers`` cost/mixer rounds + measurement."""
+    if num_qubits < 3:
+        raise ValueError("qaoa needs at least 3 qubits (ring graph)")
+    if layers < 1:
+        raise ValueError("qaoa needs at least one layer")
+    if seed is None:
+        # zlib.crc32, not hash(): str hashing is salted per process, and
+        # the default seed must be identical in every sweep worker.
+        seed = zlib.crc32("qaoa/{}/{}".format(
+            num_qubits, layers).encode("ascii"))
+    edges = maxcut_edges(num_qubits, seed)
+    rng = np.random.default_rng(seed + 1)
+    circuit = QuantumCircuit(num_qubits, num_qubits,
+                             name="qaoa_n{}_p{}".format(num_qubits, layers))
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(layers):
+        gamma = float(rng.uniform(0.1, np.pi))
+        beta = float(rng.uniform(0.1, np.pi / 2))
+        for a, b in edges:
+            circuit.cx(a, b)
+            circuit.rz(gamma, b)
+            circuit.cx(a, b)
+        for q in range(num_qubits):
+            circuit.rx(beta, q)
+    for q in range(num_qubits):
+        circuit.measure(q, q)
+    return circuit
+
+
+@register_workload("qaoa_n60", size=60, min_size=3, tags=("extra",))
+def _qaoa_n60(size: int):
+    return build_qaoa(size)
+
+
+@register_workload("qaoa_n150", size=150, min_size=3, tags=("extra",))
+def _qaoa_n150(size: int):
+    return build_qaoa(size)

@@ -1,0 +1,64 @@
+"""Repetition-code memory with active ancilla reset (registry family
+``repetition``).
+
+A distance-``d`` bit-flip repetition code on a line: data qubits at even
+positions, syndrome ancillas interleaved at odd positions.  Each round
+entangles every ancilla with its two data neighbors, measures it, and —
+unlike the surface-code memory experiment's default — actively resets it
+with a classically conditioned X.  That makes the circuit *natively
+dynamic* (one feedback operation per ancilla per round) with perfectly
+local data-ancilla coupling: the ideal probe for feedback cost with zero
+communication cost, complementing :mod:`repro.circuits.hidden_shift` at
+the other extreme.
+"""
+
+from __future__ import annotations
+
+from ..harness.registry import register_workload
+from ..quantum.circuit import QuantumCircuit
+
+
+def build_repetition_code(distance: int, rounds: int = 3,
+                          active_reset: bool = True) -> QuantumCircuit:
+    """``rounds`` syndrome rounds of a distance-``distance`` repetition
+    code, then transversal data readout.
+
+    Layout: data qubit ``i`` lives at line position ``2*i``, the ancilla
+    checking data ``i``/``i+1`` at position ``2*i + 1``; ``2*distance - 1``
+    qubits total.  Classical bits: ``rounds * (distance-1)`` syndrome bits
+    followed by ``distance`` data bits.
+    """
+    if distance < 2:
+        raise ValueError("repetition code needs distance >= 2")
+    if rounds < 1:
+        raise ValueError("repetition code needs at least one round")
+    num_qubits = 2 * distance - 1
+    num_checks = distance - 1
+    circuit = QuantumCircuit(num_qubits, rounds * num_checks + distance,
+                             name="repetition_d{}_r{}".format(distance,
+                                                              rounds))
+    cbit = 0
+    for _ in range(rounds):
+        for check in range(num_checks):
+            ancilla = 2 * check + 1
+            circuit.cx(2 * check, ancilla)
+            circuit.cx(2 * check + 2, ancilla)
+            circuit.measure(ancilla, cbit)
+            if active_reset:
+                circuit.x(ancilla, condition=(cbit, 1))
+            cbit += 1
+    for data in range(distance):
+        circuit.measure(2 * data, cbit + data)
+    return circuit
+
+
+@register_workload("repetition_d25", size=25, min_size=3,
+                   already_dynamic=True, tags=("extra",))
+def _repetition_d25(distance: int):
+    return build_repetition_code(distance)
+
+
+@register_workload("repetition_d75", size=75, min_size=3,
+                   already_dynamic=True, tags=("extra",))
+def _repetition_d75(distance: int):
+    return build_repetition_code(distance)

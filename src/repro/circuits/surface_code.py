@@ -9,7 +9,7 @@ standard 8-step syndrome extraction round (H, 4 CX layers, H, measure).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import CompilationError
 from ..quantum.circuit import QuantumCircuit

@@ -10,7 +10,7 @@ hoists syncs, so every sync pays its communication latency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import CompilationError
 from ..network.topology import Topology
@@ -20,7 +20,7 @@ from ..sim.device import GateAction, MeasureAction
 from .codewords import CodewordAllocator, drive_port, measure_port
 from .mapping import QubitMap
 from .streams import (Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR,
-                      Wait, append_wait)
+                      append_wait)
 
 
 class LoweredProgram:

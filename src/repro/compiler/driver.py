@@ -22,7 +22,7 @@ from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
 from ..sim.system import ControlSystem
 from ..sim.telf import ExecutionStats
-from .codegen import LoweredProgram, lower_circuit
+from .codegen import lower_circuit
 from .emit import emit_program
 from .lockstep_gen import lower_lockstep
 from .mapping import QubitMap

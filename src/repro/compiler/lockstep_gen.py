@@ -21,7 +21,7 @@ internally; blocks on different bits serialize — this is exactly the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..core.config import CENTRAL_ADDRESS
 from ..errors import CompilationError
@@ -32,7 +32,7 @@ from ..sim.device import GateAction, MeasureAction
 from .codegen import LoweredProgram
 from .codewords import drive_port, measure_port
 from .mapping import QubitMap
-from .streams import Cond, Cw, Measure, RecvBit, SendBit, Wait, append_wait
+from .streams import Cond, Cw, Measure, RecvBit, SendBit, append_wait
 
 
 class LockstepLowering:

@@ -7,7 +7,7 @@ neighbors on controller neighbors.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..errors import CompilationError
 

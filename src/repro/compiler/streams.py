@@ -7,8 +7,8 @@ the BISP booking pass (:mod:`repro.compiler.sync_pass`) hoists sync items;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 
 @dataclass

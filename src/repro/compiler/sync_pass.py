@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .codegen import LoweredProgram
-from .streams import Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR, Wait
+from .streams import Cw, SyncN, SyncR, Wait
 
 
 def _headroom(stream: List, index: int) -> int:

@@ -11,7 +11,7 @@ from ..quantum.teleport import (build_long_range_cnot_circuit,
                                 build_swap_cnot_circuit)
 from ..sim.config import SimulationConfig
 from ..sim.system import ControlSystem
-from ..sync.analysis import Participant, sync_overhead, timing_diagram
+from ..sync.analysis import Participant, sync_overhead
 
 #: Default Figure-16 sweep: T1 = T2 from 30 us to 300 us.
 T1_SWEEP_US = (30, 60, 90, 120, 150, 180, 210, 240, 270, 300)

@@ -29,18 +29,48 @@ import hashlib
 import multiprocessing
 import os
 import pickle
+import sys
 import tempfile
+import traceback
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..compiler.driver import run_circuit
+from ..compiler.driver import SCHEMES, run_circuit
+from ..errors import ReproError
 from ..sim.config import SimulationConfig
-from .runner import BenchmarkOutcome, fig15_suite
+from . import registry
+from .runner import BenchmarkOutcome
+from .spec import SweepSpec
 from .tables import render_figure15
 
 #: Bump when CellResult or the simulation semantics change incompatibly —
 #: stale cache entries are keyed away instead of deserialized wrongly.
-CACHE_FORMAT_VERSION = 1
+#: v2: workloads resolved through the registry; shots joined the grid.
+CACHE_FORMAT_VERSION = 2
+
+
+class SweepExecutionError(ReproError):
+    """One or more sweep cells raised.  Carries every failure (the sweep
+    finishes the healthy cells first), so CI logs show the full damage
+    instead of the first traceback — and the CLI exits non-zero."""
+
+    def __init__(self, failures: List[Tuple["SweepTask", str]]):
+        self.failures = failures
+        names = ", ".join("{}/{}".format(t.spec_name, t.scheme)
+                          for t, _ in failures[:5])
+        if len(failures) > 5:
+            names += ", ..."
+        super().__init__("{} sweep cell(s) failed: {}".format(
+            len(failures), names))
+
+    def render(self, stream) -> None:
+        """Write every failing cell's traceback to ``stream`` (the shared
+        CLI error report of both ``parallel`` and ``sweep``)."""
+        for task, error in self.failures:
+            stream.write("--- {}/{} (scale={}, shots={}) failed ---\n{}\n"
+                         .format(task.spec_name, task.scheme, task.scale,
+                                 task.shots, error))
+        stream.write("error: {}\n".format(self))
 
 
 @dataclass(frozen=True)
@@ -58,7 +88,15 @@ class SweepTask:
     scale: float
     substitution_fraction: float
     device_seed: int
+    shots: int = 1
+    #: module that registered the workload; spawn workers import it
+    #: before lookup, so families outside the builtin list work too.
+    module: Optional[str] = None
     config: Optional[SimulationConfig] = None
+
+    def key(self) -> Tuple[str, str, float, int]:
+        """Grid coordinates of this cell (workload, scheme, scale, shots)."""
+        return (self.spec_name, self.scheme, self.scale, self.shots)
 
     def cache_key(self) -> str:
         """Stable content hash identifying this cell's result."""
@@ -70,9 +108,22 @@ class SweepTask:
             ("scale", repr(self.scale)),
             ("substitution_fraction", repr(self.substitution_fraction)),
             ("device_seed", self.device_seed),
+            ("shots", self.shots),
             ("config", tuple(sorted(asdict(config).items()))),
         )
         return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
+    """The declarative grid of a :class:`~repro.harness.spec.SweepSpec`
+    as picklable tasks, in the spec's deterministic cell order."""
+    return [SweepTask(spec_name=cell.workload, scheme=cell.scheme,
+                      scale=cell.scale,
+                      substitution_fraction=spec.substitution_fraction,
+                      device_seed=spec.device_seed, shots=cell.shots,
+                      module=registry.origin_module(cell.workload),
+                      config=spec.config)
+            for cell in spec.cells()]
 
 
 @dataclass
@@ -87,30 +138,54 @@ class CellResult:
     makespan_cycles: int
     sync_stall_cycles: int
     lifetimes_ns: Dict[int, float]
+    shots: int = 1
+    #: per-shot makespans (single entry when shots == 1).
+    shot_makespan_cycles: Tuple[int, ...] = ()
 
 
 def run_cell(task: SweepTask) -> CellResult:
-    """Worker entry point: rebuild the workload and run one cell."""
+    """Worker entry point: rebuild the workload and run one cell.
+
+    Workloads are resolved by name through the registry.  A fresh
+    ``spawn`` worker starts with an empty registry, so the task's
+    ``module`` (recorded at registration) is imported first — builtin
+    and third-party families alike rebuild without fork-inherited state.
+    """
     from ..circuits.dynamic import count_feedback_ops
 
-    specs = fig15_suite(scale=task.scale,
-                        substitution_fraction=task.substitution_fraction)
-    matches = [s for s in specs if s.name == task.spec_name]
-    if not matches:
-        raise ValueError("unknown workload {!r} (suite has {})".format(
-            task.spec_name, [s.name for s in specs]))
-    spec = matches[0]
+    if task.module and task.module != "__main__":
+        try:
+            import importlib
+            importlib.import_module(task.module)
+        except ImportError:
+            pass  # get_workload reports the missing name with context
+    workload = registry.get_workload(task.spec_name)
+    spec = workload.spec(task.scale, task.substitution_fraction)
     circuit = spec.circuit()
     result = run_circuit(circuit, scheme=task.scheme, config=task.config,
                          backend=None, device_seed=task.device_seed,
-                         mesh_kind=spec.mesh_kind, record_gate_log=False)
+                         mesh_kind=spec.mesh_kind, record_gate_log=False,
+                         shots=task.shots)
     return CellResult(
         spec_name=task.spec_name, scheme=task.scheme,
         num_qubits=circuit.num_qubits, num_ops=len(circuit),
         feedback_ops=count_feedback_ops(circuit),
         makespan_cycles=result.makespan_cycles,
         sync_stall_cycles=result.stats.sync_stall_cycles,
-        lifetimes_ns=result.system.device.lifetimes_ns())
+        lifetimes_ns=result.system.device.lifetimes_ns(),
+        shots=task.shots,
+        shot_makespan_cycles=tuple(result.shot_makespans))
+
+
+def _guarded_run_cell(task: SweepTask):
+    """Pool adapter: never raises, returns (task, result|None, error|None).
+
+    Exceptions are rendered to tracebacks in the worker — exception
+    objects are not reliably picklable, strings always are."""
+    try:
+        return task, run_cell(task), None
+    except Exception:
+        return task, None, traceback.format_exc()
 
 
 class SweepCache:
@@ -124,11 +199,17 @@ class SweepCache:
         return os.path.join(self.directory, key + ".pkl")
 
     def get(self, key: str) -> Optional[CellResult]:
-        """Load a cached cell; corrupt or missing entries return None."""
+        """Load a cached cell; corrupt or missing entries return None.
+
+        Catches broadly on purpose: a bit-rotted pickle can raise far
+        more than UnpicklingError (OverflowError, UnicodeDecodeError,
+        ImportError, ...), and the contract is "recompute on any
+        unreadable entry", never crash the sweep.
+        """
         try:
             with open(self._path(key), "rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except Exception:
             return None
 
     def put(self, key: str, value: CellResult) -> None:
@@ -155,21 +236,104 @@ def build_tasks(scale: float,
                 substitution_fraction: float = 0.25,
                 config: Optional[SimulationConfig] = None,
                 device_seed: int = 1234,
-                spec_names: Optional[Sequence[str]] = None
-                ) -> List[SweepTask]:
-    """The (workload x scheme) grid as picklable tasks, in suite order."""
-    specs = fig15_suite(scale=scale,
-                        substitution_fraction=substitution_fraction)
-    names = [s.name for s in specs]
+                spec_names: Optional[Sequence[str]] = None,
+                shots: int = 1) -> List[SweepTask]:
+    """The (workload x scheme) grid as picklable tasks, in suite order.
+
+    Defaults to the paper's Figure-15 workloads (registry tag
+    ``"paper"``); ``spec_names`` selects any registered workloads —
+    including the extra families — in registry order.
+    """
     if spec_names is not None:
-        unknown = set(spec_names) - set(names)
+        known = registry.workload_names()
+        unknown = set(spec_names) - set(known)
         if unknown:
-            raise ValueError("unknown workloads: {}".format(sorted(unknown)))
-        names = [n for n in names if n in set(spec_names)]
+            raise ValueError("unknown workloads: {} (registered: {})".format(
+                sorted(unknown), known))
+        # Caller order wins, matching runner.suite(names=...).
+        names = list(dict.fromkeys(spec_names))
+    else:
+        names = registry.workload_names(tags=("paper",))
     return [SweepTask(spec_name=name, scheme=scheme, scale=scale,
                       substitution_fraction=substitution_fraction,
-                      device_seed=device_seed, config=config)
+                      device_seed=device_seed, shots=shots,
+                      module=registry.origin_module(name), config=config)
             for name in names for scheme in schemes]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss tally of one sweep's cache lookups."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+def run_tasks(tasks: Sequence[SweepTask],
+              processes: Optional[int] = None,
+              start_method: Optional[str] = None,
+              cache_dir: Optional[str] = None,
+              verbose: bool = False
+              ) -> Tuple[Dict[Tuple[str, str, float, int], CellResult],
+                         CacheStats]:
+    """Execute sweep cells, returning ``{task.key(): CellResult}`` + cache
+    stats.
+
+    This is the single execution core behind the serial runner path
+    (``processes=1`` runs in-process), :func:`run_suite_parallel` and the
+    ``repro.harness.sweep`` CLI — one code path is what makes the
+    serial/parallel bit-identity guarantee structural rather than tested-
+    for.  Failing cells do not abort the sweep: every healthy cell runs
+    (and is cached) first, then a :class:`SweepExecutionError` carrying
+    all failures is raised.
+    """
+    cache = SweepCache(cache_dir) if cache_dir else None
+    results: Dict[Tuple[str, str, float, int], CellResult] = {}
+    misses: List[SweepTask] = []
+    for task in tasks:
+        cached = cache.get(task.cache_key()) if cache is not None else None
+        if cached is not None:
+            results[task.key()] = cached
+        else:
+            misses.append(task)
+    stats = CacheStats(hits=len(tasks) - len(misses), misses=len(misses))
+    if verbose and cache is not None:
+        print("sweep cache: {} hit(s), {} miss(es)".format(
+            stats.hits, stats.misses))
+    failures: List[Tuple[SweepTask, str]] = []
+    if misses:
+        workers = processes if processes is not None else (
+            os.cpu_count() or 1)
+        workers = max(1, min(workers, len(misses)))
+
+        def record(task: SweepTask, cell: CellResult) -> None:
+            # Cache each cell as it lands, so an interrupted sweep resumes
+            # from the completed cells rather than recomputing everything.
+            results[task.key()] = cell
+            if cache is not None:
+                cache.put(task.cache_key(), cell)
+
+        if workers == 1:
+            finished = map(_guarded_run_cell, misses)
+        else:
+            context = multiprocessing.get_context(start_method)
+            # chunksize=1: cell runtimes vary by orders of magnitude
+            # across workloads, so fine-grained dispatch load-balances.
+            pool = context.Pool(workers)
+            finished = pool.imap(_guarded_run_cell, misses, chunksize=1)
+        try:
+            for task, cell, error in finished:
+                if error is not None:
+                    failures.append((task, error))
+                else:
+                    record(task, cell)
+        finally:
+            if workers > 1:
+                pool.close()
+                pool.join()
+    if failures:
+        raise SweepExecutionError(failures)
+    return results, stats
 
 
 def run_suite_parallel(scale: float = 1.0,
@@ -197,49 +361,16 @@ def run_suite_parallel(scale: float = 1.0,
                         substitution_fraction=substitution_fraction,
                         config=config, device_seed=device_seed,
                         spec_names=spec_names)
-    cache = SweepCache(cache_dir) if cache_dir else None
-    results: Dict[Tuple[str, str], CellResult] = {}
-    misses: List[SweepTask] = []
-    for task in tasks:
-        cached = cache.get(task.cache_key()) if cache is not None else None
-        if cached is not None:
-            results[(task.spec_name, task.scheme)] = cached
-        else:
-            misses.append(task)
-    if verbose and cache is not None:
-        print("sweep cache: {} hit(s), {} miss(es)".format(
-            len(tasks) - len(misses), len(misses)))
-    if misses:
-        workers = processes if processes is not None else (
-            os.cpu_count() or 1)
-        workers = max(1, min(workers, len(misses)))
-
-        def record(task: SweepTask, cell: CellResult) -> None:
-            # Cache each cell as it lands, so an interrupted sweep resumes
-            # from the completed cells rather than recomputing everything.
-            results[(task.spec_name, task.scheme)] = cell
-            if cache is not None:
-                cache.put(task.cache_key(), cell)
-
-        if workers == 1:
-            for task in misses:
-                record(task, run_cell(task))
-        else:
-            context = multiprocessing.get_context(start_method)
-            with context.Pool(workers) as pool:
-                # chunksize=1: cell runtimes vary by orders of magnitude
-                # across workloads, so fine-grained dispatch load-balances.
-                for task, cell in zip(misses,
-                                      pool.imap(run_cell, misses,
-                                                chunksize=1)):
-                    record(task, cell)
+    results, _ = run_tasks(tasks, processes=processes,
+                           start_method=start_method, cache_dir=cache_dir,
+                           verbose=verbose)
     ordered_names = []
     for task in tasks:
         if task.spec_name not in ordered_names:
             ordered_names.append(task.spec_name)
     outcomes = []
     for name in ordered_names:
-        cells = [results[(name, scheme)] for scheme in schemes]
+        cells = [results[(name, scheme, scale, 1)] for scheme in schemes]
         outcome = BenchmarkOutcome(
             name=name, num_qubits=cells[0].num_qubits,
             num_ops=cells[0].num_ops, feedback_ops=cells[0].feedback_ops)
@@ -263,7 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="workload scale factor (1.0 = paper sizes)")
     parser.add_argument("--schemes", nargs="+",
                         default=["bisp", "lockstep"],
-                        choices=("bisp", "demand", "lockstep"),
+                        choices=SCHEMES,
                         help="synchronization schemes to sweep")
     parser.add_argument("--processes", type=int, default=None,
                         help="worker processes (default: all cores)")
@@ -287,6 +418,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec_names=args.workloads, verbose=True)
     except ValueError as exc:
         parser.error(str(exc))
+    except SweepExecutionError as exc:
+        # Surface every failing cell and exit non-zero — a smoke run that
+        # "passes" while cells die is worse than no smoke run at all.
+        exc.render(sys.stderr)
+        return 1
     if set(args.schemes) >= {"bisp", "lockstep"}:
         print()
         print(render_figure15(outcomes))

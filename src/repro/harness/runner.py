@@ -16,15 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..circuits.adder import build_adder
-from ..circuits.bv import build_bv
 from ..circuits.dynamic import count_feedback_ops, to_dynamic
-from ..circuits.logical_t import build_logical_t
-from ..circuits.qft import build_qft
-from ..circuits.w_state import build_w_state
-from ..compiler.driver import RunResult, run_circuit
+from ..compiler.driver import run_circuit
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
+from . import registry
 
 
 @dataclass
@@ -52,66 +48,33 @@ class BenchmarkSpec:
                           substitution_fraction=self.substitution_fraction)
 
 
-def _scaled(value: int, scale: float, minimum: int) -> int:
-    return max(minimum, int(round(value * scale)))
+def suite(scale: float = 1.0,
+          substitution_fraction: float = 0.25,
+          names: Optional[Sequence[str]] = None,
+          tags: Optional[Sequence[str]] = None) -> List[BenchmarkSpec]:
+    """Registry-backed benchmark suite.
+
+    With no filter this is every registered workload (the paper's
+    Figure-15 families plus everything that self-registered since);
+    ``names`` selects specific workloads in the given order, ``tags``
+    filters by registry tag (e.g. ``("paper",)``).
+    """
+    if names is not None:
+        workloads = [registry.get_workload(name) for name in names]
+    else:
+        workloads = registry.all_workloads(tags=tags)
+    return [w.spec(scale, substitution_fraction) for w in workloads]
 
 
 def fig15_suite(scale: float = 1.0,
                 substitution_fraction: float = 0.25) -> List[BenchmarkSpec]:
-    """The paper's thirteen benchmarks, optionally scaled down.
+    """The paper's Figure-15 benchmarks (registry tag ``"paper"``),
+    optionally scaled down.
 
     ``substitution_fraction`` controls how many eligible distant CNOTs
     become teleportation gadgets ("randomly substituting", section 6.4.2).
     """
-    specs = [
-        BenchmarkSpec("adder_n577",
-                      lambda n=_scaled(577, scale, 9): build_adder(
-                          n, measure=False),
-                      substitution_fraction=substitution_fraction,
-                      distance_threshold=2),
-        BenchmarkSpec("adder_n1153",
-                      lambda n=_scaled(1153, scale, 9): build_adder(
-                          n, measure=False),
-                      substitution_fraction=substitution_fraction,
-                      distance_threshold=2),
-        BenchmarkSpec("bv_n400",
-                      lambda n=_scaled(400, scale, 6): build_bv(n),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("bv_n1000",
-                      lambda n=_scaled(1000, scale, 6): build_bv(n),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("logical_t_n432",
-                      lambda d=max(3, int(round(7 * scale ** 0.5))):
-                      build_logical_t(d, parallel_pairs=2),
-                      already_dynamic=True, mesh_kind="interaction"),
-        BenchmarkSpec("logical_t_n864",
-                      lambda d=max(3, int(round(7 * scale ** 0.5))):
-                      build_logical_t(d, parallel_pairs=4),
-                      already_dynamic=True, mesh_kind="interaction"),
-        BenchmarkSpec("qft_n30",
-                      lambda n=_scaled(30, scale, 5): build_qft(
-                          n, max_interaction_distance=8),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("qft_n100",
-                      lambda n=_scaled(100, scale, 5): build_qft(
-                          n, max_interaction_distance=8),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("qft_n200",
-                      lambda n=_scaled(200, scale, 5): build_qft(
-                          n, max_interaction_distance=8),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("qft_n300",
-                      lambda n=_scaled(300, scale, 5): build_qft(
-                          n, max_interaction_distance=8),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("w_state_n800",
-                      lambda n=_scaled(800, scale, 5): build_w_state(n),
-                      substitution_fraction=substitution_fraction),
-        BenchmarkSpec("w_state_n1000",
-                      lambda n=_scaled(1000, scale, 5): build_w_state(n),
-                      substitution_fraction=substitution_fraction),
-    ]
-    return specs
+    return suite(scale, substitution_fraction, tags=("paper",))
 
 
 @dataclass

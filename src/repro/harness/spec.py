@@ -1,0 +1,190 @@
+"""Declarative sweep specifications: the (workload x scheme x scale x
+shots) grid as data.
+
+A :class:`SweepSpec` pins down *everything* that determines a sweep's
+results — which registered workloads, which synchronization schemes,
+which scale factors and shot counts, the substitution fraction, the
+device seed and the :class:`~repro.sim.config.SimulationConfig` — as one
+JSON-round-trippable value.  The serial runner, the multiprocessing
+harness and the ``python -m repro.harness.sweep`` CLI all consume the
+same spec, which is what makes "serial and parallel sweeps are
+bit-identical" a property you can assert instead of hope for.
+
+``to_json``/``from_json`` are exact inverses (``from_json(s.to_json())
+== s``), so specs can live in files, CI configs and BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.driver import SCHEMES
+from ..errors import ReproError
+from ..sim.config import SimulationConfig
+from . import registry
+
+
+class SweepSpecError(ReproError):
+    """Raised when a sweep specification is malformed."""
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point of a sweep."""
+
+    workload: str
+    scheme: str
+    scale: float
+    shots: int
+
+    def key(self) -> Tuple[str, str, float, int]:
+        return (self.workload, self.scheme, self.scale, self.shots)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative (workload x scheme x scale x shots) sweep grid.
+
+    ``workloads=None`` means "every registered workload" *resolved at
+    execution time* — a spec written before a new family registered will
+    pick it up, which is exactly what a CI smoke sweep wants.  ``tags``
+    filters that resolution (e.g. ``("paper",)`` for the Figure-15 list).
+    """
+
+    workloads: Optional[Tuple[str, ...]] = None
+    tags: Optional[Tuple[str, ...]] = None
+    schemes: Tuple[str, ...] = SCHEMES
+    scales: Tuple[float, ...] = (1.0,)
+    shots: Tuple[int, ...] = (1,)
+    substitution_fraction: float = 0.25
+    device_seed: int = 1234
+    config: Optional[SimulationConfig] = None
+
+    def __post_init__(self):
+        # Normalize list inputs (e.g. straight from JSON) to tuples so
+        # equality and hashing behave; validate everything else.
+        for name in ("workloads", "tags", "schemes", "scales", "shots"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`SweepSpecError` on any malformed axis."""
+        if not self.schemes:
+            raise SweepSpecError("spec needs at least one scheme")
+        for scheme in self.schemes:
+            if scheme not in SCHEMES:
+                raise SweepSpecError(
+                    "unknown scheme {!r}; expected one of {}".format(
+                        scheme, SCHEMES))
+        if len(set(self.schemes)) != len(self.schemes):
+            raise SweepSpecError("duplicate schemes {}".format(self.schemes))
+        if not self.scales:
+            raise SweepSpecError("spec needs at least one scale")
+        for scale in self.scales:
+            if not 0.0 < scale <= 1.0:
+                raise SweepSpecError(
+                    "scale must be in (0, 1], got {}".format(scale))
+        if len(set(self.scales)) != len(self.scales):
+            raise SweepSpecError("duplicate scales {}".format(self.scales))
+        if not self.shots:
+            raise SweepSpecError("spec needs at least one shots value")
+        for shots in self.shots:
+            if not (isinstance(shots, int) and shots >= 1):
+                raise SweepSpecError(
+                    "shots must be integers >= 1, got {!r}".format(shots))
+        if len(set(self.shots)) != len(self.shots):
+            raise SweepSpecError("duplicate shots {}".format(self.shots))
+        if not 0.0 <= self.substitution_fraction <= 1.0:
+            raise SweepSpecError(
+                "substitution_fraction must be in [0, 1], got {}".format(
+                    self.substitution_fraction))
+        if self.workloads is not None and not self.workloads:
+            raise SweepSpecError(
+                "workloads must be None (= all registered) or non-empty")
+        if self.workloads is not None and \
+                len(set(self.workloads)) != len(self.workloads):
+            raise SweepSpecError(
+                "duplicate workloads {}".format(self.workloads))
+
+    def resolved_workloads(self) -> List[str]:
+        """Workload names this spec covers, in canonical registry order.
+
+        Explicit ``workloads`` are validated against the registry (typos
+        fail loudly, with the registered list in the message).
+        """
+        if self.workloads is not None:
+            for name in self.workloads:
+                registry.get_workload(name)  # raises on unknown names
+            return list(self.workloads)
+        return registry.workload_names(tags=self.tags)
+
+    def cells(self) -> List[SweepCell]:
+        """The full grid in deterministic (workload-major) order."""
+        return [SweepCell(workload=name, scheme=scheme, scale=scale,
+                          shots=shots)
+                for name in self.resolved_workloads()
+                for scale in self.scales
+                for shots in self.shots
+                for scheme in self.schemes]
+
+    def num_cells(self) -> int:
+        return len(self.cells())
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON-types dict; ``from_dict`` inverts it exactly."""
+        return {
+            "workloads": (list(self.workloads)
+                          if self.workloads is not None else None),
+            "tags": list(self.tags) if self.tags is not None else None,
+            "schemes": list(self.schemes),
+            "scales": list(self.scales),
+            "shots": list(self.shots),
+            "substitution_fraction": self.substitution_fraction,
+            "device_seed": self.device_seed,
+            "config": asdict(self.config) if self.config is not None
+                      else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SweepSpecError("spec must be a JSON object, got {}".format(
+                type(data).__name__))
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SweepSpecError(
+                "unknown spec fields {}; known: {}".format(
+                    sorted(unknown), sorted(known)))
+        kwargs = dict(data)
+        config = kwargs.get("config")
+        if config is not None:
+            if not isinstance(config, dict):
+                raise SweepSpecError("config must be an object or null")
+            try:
+                kwargs["config"] = SimulationConfig(**config)
+            except TypeError as exc:
+                raise SweepSpecError(
+                    "bad config: {}".format(exc)) from None
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SweepSpecError(str(exc)) from None
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError("invalid spec JSON: {}".format(exc)) \
+                from None
+        return cls.from_dict(data)

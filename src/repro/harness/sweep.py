@@ -1,0 +1,273 @@
+"""Declarative sweep CLI: run a :class:`~repro.harness.spec.SweepSpec`
+and emit a machine-readable ``BENCH_<name>.json`` artifact.
+
+The grid defaults to *every* registered workload (the paper's Figure-15
+families plus all self-registered extras) under all three
+synchronization schemes::
+
+    python -m repro.harness.sweep --scale 0.05 --out /tmp/bench
+
+CI-oriented switches:
+
+* ``--processes N`` fans cells over a process pool; results are
+  bit-identical to ``--processes 1`` (one execution core, fixed seeds),
+  and ``--verify-parallel`` runs both and proves it on the spot.
+* ``--baseline FILE --max-regression 0.25`` regression-gates the run
+  against a checked-in artifact (simulated ``makespan_cycles`` per cell
+  — deterministic, unlike wall-clock on shared runners).
+* ``--cache-dir DIR`` reuses the on-disk cell cache; ``--require-cached``
+  fails the run if any cell missed (the CI warm-cache check), and
+  ``--count-cells`` prints the grid size the expected hit count is
+  derived from.
+* ``--spec FILE`` loads the whole grid from a JSON spec instead of
+  flags; ``--print-spec`` shows the effective spec and exits.
+
+Everything outside the artifact's ``volatile`` block is deterministic
+for a fixed spec and seed; wall-clock timing is only recorded under
+``--timing-meta``, keeping default artifacts byte-comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.driver import SCHEMES
+from ..errors import ReproError
+from ..fidelity.decoherence import circuit_fidelity
+from ..sim.config import SimulationConfig
+from .parallel import (CacheStats, CellResult, SweepExecutionError,
+                       SweepTask, run_tasks, tasks_from_spec)
+from .runner import BenchmarkOutcome
+from .spec import SweepSpec
+from .benchjson import (compare_benches, load_bench, make_bench, write_bench)
+from .tables import render_figure15
+
+#: T1 = T2 value (us) behind the per-cell ``fidelity_proxy`` column — the
+#: midpoint of the paper's 30..300 us sweep (section 6.4.5).
+FIDELITY_T1_US = 150.0
+
+
+def sweep_rows(tasks: Sequence[SweepTask],
+               results: Dict[Tuple[str, str, float, int], CellResult]
+               ) -> List[Dict[str, object]]:
+    """Flatten executed cells into schema-shaped BENCH result rows."""
+    rows = []
+    for task in tasks:
+        cell = results[task.key()]
+        config = task.config or SimulationConfig()
+        shot_makespans = cell.shot_makespan_cycles or \
+            (cell.makespan_cycles,)
+        rows.append({
+            "workload": cell.spec_name,
+            "scheme": cell.scheme,
+            "scale": task.scale,
+            "shots": cell.shots,
+            "num_qubits": cell.num_qubits,
+            "num_ops": cell.num_ops,
+            "feedback_ops": cell.feedback_ops,
+            "makespan_cycles": cell.makespan_cycles,
+            "sync_stall_cycles": cell.sync_stall_cycles,
+            "runtime_ns": config.ns(cell.makespan_cycles),
+            "mean_shot_makespan_cycles":
+                sum(shot_makespans) / len(shot_makespans),
+            "max_shot_makespan_cycles": max(shot_makespans),
+            "fidelity_proxy": circuit_fidelity(cell.lifetimes_ns,
+                                               t1_us=FIDELITY_T1_US),
+        })
+    return rows
+
+
+def run_sweep(spec: SweepSpec,
+              processes: Optional[int] = None,
+              start_method: Optional[str] = None,
+              cache_dir: Optional[str] = None,
+              verbose: bool = False
+              ) -> Tuple[List[Dict[str, object]], CacheStats]:
+    """Execute ``spec`` and return (BENCH rows, cache stats).
+
+    The single entry point the CLI, tests and CI all use; ``processes=1``
+    is the serial runner, anything else the multiprocessing fan-out —
+    same cells, same seeds, same rows either way.
+    """
+    tasks = tasks_from_spec(spec)
+    results, stats = run_tasks(tasks, processes=processes,
+                               start_method=start_method,
+                               cache_dir=cache_dir, verbose=verbose)
+    return sweep_rows(tasks, results), stats
+
+
+def _outcomes_from_rows(rows: List[Dict[str, object]],
+                        schemes: Sequence[str]) -> List[BenchmarkOutcome]:
+    """Regroup per-cell rows into per-workload outcomes (for the
+    Figure-15 table rendering)."""
+    outcomes: Dict[str, BenchmarkOutcome] = {}
+    for row in rows:
+        name = row["workload"]
+        outcome = outcomes.get(name)
+        if outcome is None:
+            outcome = outcomes[name] = BenchmarkOutcome(
+                name=name, num_qubits=row["num_qubits"],
+                num_ops=row["num_ops"], feedback_ops=row["feedback_ops"])
+        outcome.makespan_cycles[row["scheme"]] = row["makespan_cycles"]
+        outcome.stall_cycles[row["scheme"]] = row["sync_stall_cycles"]
+    return [o for o in outcomes.values()
+            if all(s in o.makespan_cycles for s in schemes)]
+
+
+def _spec_from_args(args) -> SweepSpec:
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            return SweepSpec.from_json(handle.read())
+    return SweepSpec(
+        workloads=tuple(args.workloads) if args.workloads else None,
+        tags=tuple(args.tags) if args.tags else None,
+        schemes=tuple(args.schemes),
+        scales=tuple(args.scale),
+        shots=tuple(args.shots),
+        substitution_fraction=args.substitution_fraction,
+        device_seed=args.seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Declarative (workload x scheme x scale x shots) sweep "
+                    "over the workload registry, with BENCH JSON artifacts")
+    parser.add_argument("--spec", default=None,
+                        help="load the sweep spec from this JSON file "
+                             "(overrides the grid flags)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="registered workload names (default: all)")
+    parser.add_argument("--tags", nargs="+", default=None,
+                        help="restrict to workloads with any of these tags")
+    parser.add_argument("--schemes", nargs="+", default=list(SCHEMES),
+                        choices=SCHEMES,
+                        help="synchronization schemes (default: all three)")
+    parser.add_argument("--scale", nargs="+", type=float, default=[1.0],
+                        help="workload scale factor(s) (1.0 = paper sizes)")
+    parser.add_argument("--shots", nargs="+", type=int, default=[1],
+                        help="shots-per-cell value(s)")
+    parser.add_argument("--substitution-fraction", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="device seed used for every cell")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker processes (default: all cores; "
+                             "1 = serial in-process)")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"))
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk cell cache")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write BENCH_<name>.json into DIR")
+    parser.add_argument("--name", default="sweep",
+                        help="artifact name (file: BENCH_<name>.json)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="regression-gate against this BENCH artifact")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed per-cell makespan growth vs the "
+                             "baseline (fraction, default 0.25)")
+    parser.add_argument("--timing-meta", action="store_true",
+                        help="record wall-clock in the artifact's volatile "
+                             "block (off by default: keeps artifacts "
+                             "byte-identical across runs)")
+    parser.add_argument("--count-cells", action="store_true",
+                        help="print the grid size and exit")
+    parser.add_argument("--print-spec", action="store_true",
+                        help="print the effective spec JSON and exit")
+    parser.add_argument("--require-cached", action="store_true",
+                        help="fail if any cell missed the cache "
+                             "(CI warm-cache check)")
+    parser.add_argument("--verify-parallel", action="store_true",
+                        help="run serially AND in parallel, fail unless "
+                             "the rows are identical")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the text table")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = _spec_from_args(args)
+        if args.print_spec:
+            print(spec.to_json(indent=2))
+            return 0
+        if args.count_cells:
+            print(spec.num_cells())
+            return 0
+
+        started = time.perf_counter()
+        rows, stats = run_sweep(spec, processes=args.processes,
+                                start_method=args.start_method,
+                                cache_dir=args.cache_dir,
+                                verbose=not args.quiet)
+        wall_seconds = time.perf_counter() - started
+
+        if args.verify_parallel:
+            serial_rows, _ = run_sweep(spec, processes=1)
+            if serial_rows != rows:
+                sys.stderr.write(
+                    "error: serial and parallel sweeps disagree\n")
+                for serial_row, row in zip(serial_rows, rows):
+                    if serial_row != row:
+                        sys.stderr.write("  serial:   {!r}\n"
+                                         "  parallel: {!r}\n".format(
+                                             serial_row, row))
+                return 1
+            if not args.quiet:
+                print("verify-parallel: serial and parallel rows identical "
+                      "({} cells)".format(len(rows)))
+
+        if not args.quiet:
+            for row in rows:
+                print("{workload:>18s}/{scheme:<8s} scale={scale:<5g} "
+                      "shots={shots:<3d} makespan={makespan_cycles}"
+                      .format(**row))
+            outcomes = _outcomes_from_rows(rows, ("bisp", "lockstep"))
+            if outcomes and len(args.scale) == 1 and len(args.shots) == 1 \
+                    and {"bisp", "lockstep"} <= set(spec.schemes):
+                print()
+                print(render_figure15(outcomes))
+
+        volatile = None
+        if args.timing_meta:
+            volatile = {"wall_seconds": wall_seconds,
+                        "processes": args.processes}
+        doc = make_bench(args.name, rows, kind="sweep",
+                         spec=spec.to_dict(),
+                         cache={"hits": stats.hits, "misses": stats.misses},
+                         volatile=volatile)
+        if args.out:
+            path = write_bench(args.out, doc)
+            if not args.quiet:
+                print("wrote {}".format(path))
+
+        if args.require_cached and stats.misses:
+            sys.stderr.write(
+                "error: expected a fully warm cache, but {} of {} cell(s) "
+                "missed\n".format(stats.misses, stats.hits + stats.misses))
+            return 1
+
+        if args.baseline:
+            baseline = load_bench(args.baseline)
+            violations = compare_benches(
+                baseline, doc, max_regression=args.max_regression)
+            if violations:
+                sys.stderr.write("error: regression gate failed:\n")
+                for violation in violations:
+                    sys.stderr.write("  {}\n".format(violation))
+                return 1
+            if not args.quiet:
+                print("regression gate: OK ({} baseline cells, "
+                      "max +{:.0f}%)".format(len(baseline["results"]),
+                                             100 * args.max_regression))
+    except SweepExecutionError as exc:
+        exc.render(sys.stderr)
+        return 1
+    except (ReproError, OSError) as exc:
+        sys.stderr.write("error: {}\n".format(exc))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

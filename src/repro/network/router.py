@@ -18,8 +18,8 @@ synchronization overhead of section 4.4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..errors import SynchronizationError
 from .messages import BookingMessage, TimePointMessage

@@ -10,7 +10,7 @@ the quantum simulators' execution format.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import QuantumStateError

@@ -24,10 +24,10 @@ Odd ``m >= 3`` uses ``m - 1`` ancillas (one idles).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..errors import CompilationError
-from .circuit import Operation, QuantumCircuit
+from .circuit import QuantumCircuit
 
 
 def append_long_range_cnot(circuit: QuantumCircuit, control: int,

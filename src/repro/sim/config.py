@@ -8,7 +8,7 @@ hardware decoder data cited as [2] (section 6.4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

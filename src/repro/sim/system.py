@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..core.config import ACQ_ADDRESS, CENTRAL_ADDRESS, CoreConfig
+from ..core.config import CENTRAL_ADDRESS, CoreConfig
 from ..core.node import HISQCore
-from ..errors import ExecutionError, SynchronizationError, TopologyError
+from ..errors import ExecutionError, SynchronizationError
 from ..isa.program import Program
 from ..network.messages import BookingMessage, TimePointMessage
 from ..network.router import Router, SyncGroupInfo

@@ -35,7 +35,6 @@ class TestCalibration:
 
     def test_experiments_run_through_hisq_stack(self):
         """The programs must actually exercise sync + codewords."""
-        from repro.analog.experiments import AnalogControlSystem
         bench = CalibrationBench(seed=1)
         records = bench._run_point(
             control_actions=[],

@@ -1,6 +1,5 @@
 """Benchmark circuit generators: functional correctness."""
 
-import math
 
 import pytest
 
@@ -86,7 +85,6 @@ class TestQFT:
 
     def test_qft_frequency_state(self):
         # QFT|1> has uniform magnitudes with linear phase ramp.
-        import numpy as np
         circuit = build_qft(3)
         from repro.quantum.statevector import StatevectorBackend
         backend = StatevectorBackend(3)

@@ -1,0 +1,120 @@
+"""Registry circuit families: clifford_t, hidden_shift, repetition, qaoa."""
+
+import pytest
+
+from repro.circuits.clifford_t import build_clifford_t
+from repro.circuits.hidden_shift import build_hidden_shift, default_shift
+from repro.circuits.qaoa import build_qaoa, maxcut_edges
+from repro.circuits.repetition import build_repetition_code
+from repro.quantum.statevector import run_statevector
+
+
+class TestCliffordT:
+    def test_deterministic_default_seed(self):
+        a = build_clifford_t(12)
+        b = build_clifford_t(12)
+        assert a.operations == b.operations
+
+    def test_t_fraction_extremes(self):
+        clifford_only = build_clifford_t(10, t_fraction=0.0)
+        assert clifford_only.is_clifford
+        t_only = build_clifford_t(10, t_fraction=1.0)
+        names = {op.name for op in t_only if len(op.qubits) == 1}
+        assert names <= {"t", "tdg"}
+        assert not t_only.is_clifford
+
+    def test_has_long_range_cx(self):
+        circuit = build_clifford_t(30, seed=5)
+        distances = {abs(op.qubits[0] - op.qubits[1])
+                     for op in circuit.two_qubit_ops()}
+        assert max(distances) > 1  # geometric tail reaches beyond neighbors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_clifford_t(1)
+        with pytest.raises(ValueError):
+            build_clifford_t(8, t_fraction=1.5)
+
+
+class TestHiddenShift:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_recovers_default_shift(self, n):
+        circuit = build_hidden_shift(n)
+        _, cbits = run_statevector(circuit, seed=0)
+        measured = sum(bit << i for i, bit in enumerate(cbits))
+        assert measured == default_shift(n)
+
+    def test_recovers_custom_shift(self):
+        circuit = build_hidden_shift(6, shift=0b011010)
+        _, cbits = run_statevector(circuit, seed=0)
+        assert sum(bit << i for i, bit in enumerate(cbits)) == 0b011010
+
+    def test_odd_size_rounds_up_to_even(self):
+        assert build_hidden_shift(5).num_qubits == 6
+
+    def test_entangling_gates_span_half_register(self):
+        circuit = build_hidden_shift(12)
+        spans = {abs(op.qubits[0] - op.qubits[1])
+                 for op in circuit.two_qubit_ops()}
+        assert spans == {6}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_hidden_shift(1)
+        with pytest.raises(ValueError):
+            build_hidden_shift(4, shift=1 << 10)
+
+
+class TestRepetitionCode:
+    def test_layout_and_counts(self):
+        d, rounds = 4, 3
+        circuit = build_repetition_code(d, rounds=rounds)
+        assert circuit.num_qubits == 2 * d - 1
+        assert circuit.num_clbits == rounds * (d - 1) + d
+        # One feedback reset per ancilla per round.
+        feedback = [op for op in circuit if op.is_conditional]
+        assert len(feedback) == rounds * (d - 1)
+        assert circuit.has_feedback
+
+    def test_noiseless_memory_reads_zero(self):
+        circuit = build_repetition_code(3, rounds=2)
+        _, cbits = run_statevector(circuit, seed=7)
+        assert set(cbits) == {0}  # no errors injected -> trivial syndromes
+
+    def test_active_reset_off_is_static_rounds(self):
+        circuit = build_repetition_code(3, rounds=2, active_reset=False)
+        assert not circuit.has_feedback
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_repetition_code(1)
+        with pytest.raises(ValueError):
+            build_repetition_code(3, rounds=0)
+
+
+class TestQaoa:
+    def test_deterministic_default_seed(self):
+        a = build_qaoa(10)
+        b = build_qaoa(10)
+        assert a.operations == b.operations
+
+    def test_edges_unique_and_connected(self):
+        edges = maxcut_edges(12, seed=3)
+        assert len({tuple(sorted(e)) for e in edges}) == len(edges)
+        ring = [(q, (q + 1) % 12) for q in range(12)]
+        assert all(e in edges for e in ring)
+        assert len(edges) > 12  # chords landed
+
+    def test_structure(self):
+        circuit = build_qaoa(8, layers=2)
+        counts = circuit.count_ops()
+        assert counts["measure"] == 8
+        assert counts["h"] == 8
+        assert counts["rx"] == 2 * 8  # one mixer layer per round
+        assert counts["cx"] == 2 * counts["rz"]  # cx.rz.cx per cost edge
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_qaoa(2)
+        with pytest.raises(ValueError):
+            build_qaoa(8, layers=0)

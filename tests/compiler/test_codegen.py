@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler.codegen import lower_circuit
 from repro.compiler.streams import (Cond, Cw, Measure, RecvBit, SendBit,
                                     SyncN, SyncR, Wait)
 from repro.errors import CompilationError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler.emit import (VALUE_REG, emit_program, emit_wait,
+from repro.compiler.emit import (emit_program, emit_wait,
                                  expand_items, load_bit, store_bit)
 from repro.compiler.streams import (Cond, Cw, Measure, RecvBit, SendBit,
                                     SyncN, SyncR, Wait)

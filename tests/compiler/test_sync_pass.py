@@ -1,6 +1,6 @@
 """BISP booking (hoisting) pass."""
 
-from repro.compiler.streams import Cw, Measure, SyncN, SyncR, Wait
+from repro.compiler.streams import Measure, SyncN, SyncR, Wait
 from repro.compiler.sync_pass import demand_gaps, hoist_bookings
 from repro.quantum.circuit import QuantumCircuit
 from repro.testing import lower_to_streams as lowered_for
@@ -51,7 +51,6 @@ class TestNearbyHoisting:
         assert sync.gap == 0
 
     def test_partial_hoist_residual_gap(self):
-        import repro.sim.config as cfg
         circuit = QuantumCircuit(2)
         circuit.h(0).h(1)
         circuit.cx(0, 1)

@@ -1,6 +1,5 @@
 """Decoherence model and fidelity metrics."""
 
-import math
 
 import pytest
 

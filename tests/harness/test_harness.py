@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.harness import (fig15_suite, figure5_nearby,
+from repro.harness import (figure5_nearby,
                            figure7_overhead_sweep, figure13_waveforms,
                            figure14_depths, figure16_sweep, render_figure15,
-                           render_figure16, render_table1, run_spec,
-                           run_suite)
+                           render_figure16, render_table1)
 from repro.harness.tables import ascii_bar_chart, format_table
 
 

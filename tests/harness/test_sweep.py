@@ -1,0 +1,265 @@
+"""Sweep specs, BENCH artifacts, regression gate, sweep CLI."""
+
+import os
+
+import pytest
+
+from repro.harness.benchjson import (BenchSchemaError, compare_benches,
+                                     load_bench, make_bench,
+                                     validate_bench, write_bench)
+from repro.harness.parallel import (SweepExecutionError, run_tasks,
+                                    tasks_from_spec)
+from repro.harness.registry import Workload, register, unregister
+from repro.harness.spec import SweepSpec, SweepSpecError
+from repro.harness.sweep import main as sweep_main
+from repro.harness.sweep import run_sweep
+from repro.sim.config import SimulationConfig
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def broken_workload(name, message):
+    def explode(size):
+        raise RuntimeError(message)
+    return Workload(name=name, builder=explode, size=4, tags=("test",))
+
+#: The golden sweep: small, fixed seed, both paper and extra families.
+TINY_SPEC = SweepSpec(
+    workloads=("bv_n400", "logical_t_n432", "clifford_t_n100",
+               "hidden_shift_n64", "repetition_d25", "qaoa_n60"),
+    schemes=("bisp", "lockstep"), scales=(0.02,), shots=(1, 3),
+    device_seed=1234)
+
+
+class TestSweepSpec:
+    def test_round_trip_identity(self):
+        assert SweepSpec.from_json(TINY_SPEC.to_json()) == TINY_SPEC
+
+    def test_round_trip_with_config_and_defaults(self):
+        spec = SweepSpec(config=SimulationConfig(neighbor_link_cycles=9))
+        rebuilt = SweepSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.config.neighbor_link_cycles == 9
+
+    def test_cells_grid_order_and_size(self):
+        spec = SweepSpec(workloads=("bv_n400", "qft_n30"),
+                         schemes=("bisp", "lockstep"), scales=(0.02, 0.05),
+                         shots=(1,))
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2
+        assert [c.workload for c in cells[:4]] == ["bv_n400"] * 4
+        assert cells[0].key() == ("bv_n400", "bisp", 0.02, 1)
+
+    def test_default_spec_covers_registry_all_schemes(self):
+        spec = SweepSpec(scales=(0.05,))
+        assert len(spec.resolved_workloads()) >= 17
+        assert spec.num_cells() == len(spec.resolved_workloads()) * 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"schemes": ()},
+        {"schemes": ("bisp", "bisp")},
+        {"schemes": ("warp",)},
+        {"scales": (0.0,)},
+        {"scales": (1.5,)},
+        {"scales": (0.1, 0.1)},
+        {"shots": (0,)},
+        {"shots": (1.5,)},
+        {"shots": (2, 2)},
+        {"substitution_fraction": 2.0},
+        {"workloads": ()},
+        {"workloads": ("bv_n400", "bv_n400")},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SweepSpecError):
+            SweepSpec(**kwargs)
+
+    def test_unknown_json_field_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown spec field"):
+            SweepSpec.from_dict({"scalez": [0.1]})
+
+    def test_unknown_workload_rejected_at_resolution(self):
+        spec = SweepSpec(workloads=("nope",))
+        with pytest.raises(Exception, match="nope"):
+            spec.resolved_workloads()
+
+
+class TestExecution:
+    def test_serial_parallel_rows_identical(self):
+        spec = SweepSpec(workloads=("bv_n400", "repetition_d25"),
+                         schemes=("bisp", "lockstep"), scales=(0.02,))
+        serial, _ = run_sweep(spec, processes=1)
+        parallel, _ = run_sweep(spec, processes=2)
+        assert serial == parallel
+        assert len(serial) == 4
+
+    def test_shots_axis_recorded(self):
+        spec = SweepSpec(workloads=("repetition_d25",), schemes=("bisp",),
+                         scales=(0.02,), shots=(3,))
+        rows, _ = run_sweep(spec, processes=1)
+        (row,) = rows
+        assert row["shots"] == 3
+        assert row["max_shot_makespan_cycles"] >= row["makespan_cycles"]
+
+    def test_failing_cell_raises_aggregated_error(self):
+        register(broken_workload("toy_broken", "boom"))
+        try:
+            spec = SweepSpec(workloads=("bv_n400", "toy_broken"),
+                             schemes=("bisp",), scales=(0.02,))
+            with pytest.raises(SweepExecutionError) as excinfo:
+                run_tasks(tasks_from_spec(spec), processes=1)
+            (failure,) = excinfo.value.failures
+            assert failure[0].spec_name == "toy_broken"
+            assert "boom" in failure[1]
+        finally:
+            unregister("toy_broken")
+
+    def test_cache_round_trip_with_shots(self, tmp_path):
+        spec = SweepSpec(workloads=("bv_n400",), schemes=("bisp",),
+                         scales=(0.02,), shots=(2,))
+        tasks = tasks_from_spec(spec)
+        cold, stats_cold = run_tasks(tasks, processes=1,
+                                     cache_dir=str(tmp_path))
+        warm, stats_warm = run_tasks(tasks, processes=1,
+                                     cache_dir=str(tmp_path))
+        assert stats_cold.misses == 1 and stats_warm.hits == 1
+        assert cold == warm
+
+
+class TestBenchJson:
+    def test_make_bench_validates(self):
+        doc = make_bench("demo", [{"label": "x", "value": 1}])
+        assert validate_bench(doc) is doc
+
+    def test_write_and_load(self, tmp_path):
+        doc = make_bench("demo", [{"label": "x", "value": 1}])
+        path = write_bench(str(tmp_path), doc)
+        assert os.path.basename(path) == "BENCH_demo.json"
+        assert load_bench(path)["results"] == doc["results"]
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.pop("machine"), "machine"),
+        (lambda d: d.update(name="no spaces"), "name"),
+        (lambda d: d.update(kind="other"), "kind"),
+        (lambda d: d.update(results=[]), "non-empty"),
+        (lambda d: d.update(results=[{"label": {}}]), "results"),
+        (lambda d: d.update(results_sha256="feed"), "digest"),
+        (lambda d: d.update(extra_key=1), "extra_key"),
+    ])
+    def test_schema_violations_rejected(self, mutate, match):
+        doc = make_bench("demo", [{"label": "x", "value": 1}])
+        mutate(doc)
+        with pytest.raises(BenchSchemaError, match=match):
+            validate_bench(doc)
+
+    def test_sweep_rows_require_cell_identity(self):
+        with pytest.raises(BenchSchemaError, match="workload"):
+            make_bench("demo", [{"value": 1}], kind="sweep")
+
+    def test_benchmark_rows_need_a_number(self):
+        with pytest.raises(BenchSchemaError, match="numeric"):
+            make_bench("demo", [{"label": "only-strings"}])
+
+    def test_regression_gate(self):
+        base_row = {"workload": "w", "scheme": "bisp", "scale": 0.1,
+                    "shots": 1, "num_qubits": 2, "num_ops": 2,
+                    "feedback_ops": 0, "makespan_cycles": 100,
+                    "sync_stall_cycles": 0, "runtime_ns": 400.0,
+                    "fidelity_proxy": 1.0}
+        baseline = make_bench("base", [base_row], kind="sweep")
+        ok = make_bench("now", [dict(base_row, makespan_cycles=120)],
+                        kind="sweep")
+        slow = make_bench("now", [dict(base_row, makespan_cycles=130)],
+                          kind="sweep")
+        gone = make_bench("now", [dict(base_row, workload="other")],
+                          kind="sweep")
+        assert compare_benches(baseline, ok, max_regression=0.25) == []
+        assert any("regression" in v for v in
+                   compare_benches(baseline, slow, max_regression=0.25))
+        assert any("coverage loss" in v for v in
+                   compare_benches(baseline, gone, max_regression=0.25))
+
+
+class TestGoldenArtifact:
+    def test_golden_bench_json(self, update_golden):
+        """The tiny fixed-seed sweep reproduces the checked-in artifact
+        bit for bit (results + digest; the machine block may differ)."""
+        rows, stats = run_sweep(TINY_SPEC, processes=1)
+        doc = make_bench("sweep_tiny", rows, kind="sweep",
+                         spec=TINY_SPEC.to_dict(),
+                         cache={"hits": stats.hits, "misses": stats.misses})
+        golden_path = os.path.join(GOLDEN_DIR, "BENCH_sweep_tiny.json")
+        if update_golden:
+            write_bench(GOLDEN_DIR, doc)
+            pytest.skip("golden artifact rewritten")
+        golden = load_bench(golden_path)
+        assert doc["spec"] == golden["spec"]
+        assert doc["results"] == golden["results"]
+        assert doc["results_sha256"] == golden["results_sha256"]
+
+
+class TestSweepCli:
+    def test_count_cells(self, capsys):
+        assert sweep_main(["--count-cells", "--tags", "paper",
+                           "--schemes", "bisp", "lockstep",
+                           "--scale", "0.05"]) == 0
+        assert capsys.readouterr().out.strip() == "24"
+
+    def test_print_spec_round_trips(self, capsys):
+        assert sweep_main(["--print-spec", "--scale", "0.05",
+                           "--workloads", "bv_n400"]) == 0
+        spec = SweepSpec.from_json(capsys.readouterr().out)
+        assert spec.workloads == ("bv_n400",)
+
+    def test_out_writes_valid_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "artifacts")
+        code = sweep_main(["--scale", "0.02", "--schemes", "bisp",
+                           "--workloads", "bv_n400", "--out", out,
+                           "--name", "cli_demo", "--quiet"])
+        assert code == 0
+        doc = load_bench(os.path.join(out, "BENCH_cli_demo.json"))
+        assert doc["kind"] == "sweep"
+        assert doc["spec"]["workloads"] == ["bv_n400"]
+
+    def test_spec_file_input(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w") as handle:
+            handle.write(SweepSpec(workloads=("qft_n30",),
+                                   schemes=("bisp",),
+                                   scales=(0.02,)).to_json())
+        out = str(tmp_path / "artifacts")
+        assert sweep_main(["--spec", spec_path, "--out", out,
+                           "--quiet"]) == 0
+        doc = load_bench(os.path.join(out, "BENCH_sweep.json"))
+        assert [r["workload"] for r in doc["results"]] == ["qft_n30"]
+
+    def test_failing_cell_exits_nonzero(self, capsys):
+        register(broken_workload("toy_cli_broken", "cli boom"))
+        try:
+            code = sweep_main(["--scale", "0.02", "--schemes", "bisp",
+                               "--workloads", "toy_cli_broken",
+                               "--processes", "1", "--quiet"])
+        finally:
+            unregister("toy_cli_broken")
+        assert code == 1
+        assert "cli boom" in capsys.readouterr().err
+
+    def test_require_cached_fails_cold(self, tmp_path, capsys):
+        code = sweep_main(["--scale", "0.02", "--schemes", "bisp",
+                           "--workloads", "bv_n400", "--quiet",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--require-cached"])
+        assert code == 1
+        assert "warm cache" in capsys.readouterr().err
+
+    def test_regression_gate_cli(self, tmp_path, capsys):
+        out = str(tmp_path / "a")
+        args = ["--scale", "0.02", "--schemes", "bisp",
+                "--workloads", "bv_n400", "--quiet"]
+        assert sweep_main(args + ["--out", out, "--name", "base"]) == 0
+        baseline = os.path.join(out, "BENCH_base.json")
+        assert sweep_main(args + ["--baseline", baseline]) == 0
+        # Tighten the gate to impossible (-100%): every cell "regresses".
+        code = sweep_main(args + ["--baseline", baseline,
+                                  "--max-regression", "-1.0"])
+        assert code == 1
+        assert "regression" in capsys.readouterr().err

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AssemblyError
 from repro.isa.instructions import (Instruction, addi, add, beq, bne, cw_ii,
-                                    cw_ir, cw_ri, cw_rr, halt, jal, lui, nop,
+                                    cw_ir, cw_ri, cw_rr, halt, jal, nop,
                                     recv, send, send_i, sync, waiti, waitr)
 
 

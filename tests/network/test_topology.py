@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.network.topology import Topology, build_topology, grid_dimensions
+from repro.network.topology import build_topology, grid_dimensions
 
 
 class TestGridDimensions:

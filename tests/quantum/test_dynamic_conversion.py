@@ -7,7 +7,7 @@ from repro.circuits.dynamic import (cnot_distance_histogram,
                                     count_feedback_ops, decompose_to_native,
                                     to_dynamic)
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.statevector import StatevectorBackend, run_statevector
+from repro.quantum.statevector import run_statevector
 
 
 class TestDecompose:

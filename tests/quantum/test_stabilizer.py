@@ -5,8 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import QuantumStateError
-from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.stabilizer import StabilizerBackend, run_stabilizer
+from repro.quantum.stabilizer import StabilizerBackend
 from repro.quantum.statevector import StatevectorBackend
 
 

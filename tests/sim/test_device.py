@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core.config import ACQ_ADDRESS
-from repro.core.node import HISQCore
-from repro.errors import ExecutionError
 from repro.quantum.statevector import StatevectorBackend
 from repro.sim.config import SimulationConfig
 from repro.sim.device import GateAction, MarkerAction, MeasureAction, QuantumDevice
