@@ -6,7 +6,7 @@ EXPERIMENTS.md: avg normalized 0.692 vs the paper's 0.772).
 """
 
 
-from repro.fidelity.metrics import arithmetic_mean
+from repro.fidelity import arithmetic_mean
 from repro.harness import fig15_suite, render_figure15, run_suite
 from repro.harness.parallel import run_suite_parallel
 from repro.harness.tables import ascii_bar_chart

@@ -1,6 +1,11 @@
-"""Figure 16: infidelity vs relaxation time for the long-range CNOT."""
+"""Figure 16: infidelity vs relaxation time for the long-range CNOT.
 
-from repro.harness.figures import T1_SWEEP_US, figure16_sweep
+Fidelity APIs come from the ``repro.fidelity`` package surface — deep
+``repro.fidelity.decoherence`` imports are deprecated.
+"""
+
+from repro.harness.figures import (T1_SWEEP_US, figure16_noise_overlay,
+                                   figure16_sweep)
 from repro.harness.tables import render_figure16
 
 
@@ -26,3 +31,19 @@ def test_fig16_infidelity_sweep(benchmark, bench_recorder):
     sweep = data["baseline"]
     t1s = data["t1_values_us"]
     assert all(sweep[a] > sweep[b] for a, b in zip(t1s, t1s[1:]))
+
+
+def test_fig16_empirical_reduction(bench_recorder):
+    """The Monte-Carlo estimate reproduces the headline claim: the
+    baseline's extra idling costs it several-fold more infidelity."""
+    rows = figure16_noise_overlay(distance=41, t1_values_us=(150,),
+                                  shots=4000)
+    by_scheme = {row["scheme"]: row for row in rows}
+    ratio = (by_scheme["lockstep"]["infidelity_empirical"] /
+             by_scheme["bisp"]["infidelity_empirical"])
+    print("\nempirical reduction ratio at T1=150us: {:.2f}x".format(ratio))
+    bench_recorder.add_rows(
+        dict(row, label="empirical_{}_t1_150us".format(row["scheme"]))
+        for row in rows)
+    bench_recorder.add("empirical_reduction", reduction_ratio=ratio)
+    assert ratio > 3.0

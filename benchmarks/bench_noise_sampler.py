@@ -1,0 +1,103 @@
+"""Noise-sampler benchmarks: Pauli-frame speedup + Figure-16 overlay.
+
+Asserts the acceptance property of the Monte-Carlo subsystem: on a
+Clifford workload the Pauli-frame sampler is at least 10x faster than
+the noisy batched-statevector path (in practice it is orders of
+magnitude faster — frames are O(shots * ops) bit operations, the
+statevector is O(shots * ops * 2**n) complex arithmetic), and the
+empirical Figure-16 curve tracks the closed-form proxy.
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits.bv import build_bv
+from repro.circuits.dynamic import to_dynamic
+from repro.harness.figures import figure16_noise_overlay
+from repro.noise import NoiseModel, preset, sample_noisy, survival_fidelity
+
+SHOTS = 64
+
+
+def _clifford_workload():
+    """A Figure-15-style dynamic BV instance: Clifford, 14 qubits —
+    inside statevector reach, so both paths can run the same cells."""
+    return to_dynamic(build_bv(12), distance_threshold=1,
+                      substitution_fraction=0.25)
+
+
+def test_frame_sampler_speedup(benchmark, bench_recorder):
+    circuit = _clifford_workload()
+    model = preset("depolarizing_1e3")
+    assert circuit.is_clifford
+
+    frame = benchmark.pedantic(
+        sample_noisy, args=(circuit, model, SHOTS),
+        kwargs={"seed": 5, "method": "frame"}, rounds=3, iterations=1)
+    frame_seconds = benchmark.stats.stats.mean
+
+    started = time.perf_counter()
+    statevector = sample_noisy(circuit, model, SHOTS, seed=5,
+                               method="statevector")
+    statevector_seconds = time.perf_counter() - started
+
+    speedup = statevector_seconds / frame_seconds
+    print("\n=== Pauli-frame sampler vs noisy statevector ===")
+    print("n={} ops={} shots={}: frame {:.4f}s, statevector {:.4f}s "
+          "({:.0f}x)".format(circuit.num_qubits, len(circuit), SHOTS,
+                             frame_seconds, statevector_seconds, speedup))
+    bench_recorder.add(
+        "frame_vs_statevector", num_qubits=circuit.num_qubits,
+        num_ops=len(circuit), shots=SHOTS,
+        fidelity_frame=survival_fidelity(frame).estimate,
+        fidelity_statevector=survival_fidelity(statevector).estimate)
+    bench_recorder.note_volatile(frame_seconds=frame_seconds,
+                                 statevector_seconds=statevector_seconds,
+                                 speedup=speedup)
+    # The acceptance bar; real runs clear it by orders of magnitude.
+    assert speedup >= 10.0
+    # Same noise draws feed both paths: the estimates must be close.
+    assert abs(survival_fidelity(frame).estimate -
+               survival_fidelity(statevector).estimate) <= 0.1
+
+
+def test_fig16_noise_overlay(bench_recorder):
+    rows = figure16_noise_overlay(distance=15,
+                                  t1_values_us=(30, 90, 150, 300),
+                                  shots=4000)
+    print("\n=== Figure 16 overlay: proxy vs Monte-Carlo ===")
+    for row in rows:
+        print("{scheme:>9s} t1={t1_us:>3g}us proxy={infidelity_proxy:.4f} "
+              "empirical={infidelity_empirical:.4f} "
+              "[{infidelity_ci_low:.4f}, {infidelity_ci_high:.4f}]"
+              .format(**row))
+    bench_recorder.add_rows(
+        dict(row, label="{}_t1_{:g}us".format(row["scheme"], row["t1_us"]))
+        for row in rows)
+    for row in rows:
+        proxy = row["infidelity_proxy"]
+        empirical = row["infidelity_empirical"]
+        # Monte-Carlo is at most the proxy (it forgives pre-measurement
+        # Z errors) and stays within a third of it.
+        assert empirical <= proxy + 3.0 * (row["infidelity_ci_high"] -
+                                           row["infidelity_empirical"])
+        assert empirical >= 0.66 * proxy
+    # The scheme gap survives sampling: lockstep idles longer, so its
+    # empirical infidelity exceeds bisp's at every T1.
+    by_scheme = {}
+    for row in rows:
+        by_scheme.setdefault(row["scheme"], {})[row["t1_us"]] = \
+            row["infidelity_empirical"]
+    for t1, bisp_value in by_scheme["bisp"].items():
+        assert by_scheme["lockstep"][t1] > bisp_value
+
+
+def test_zero_rate_model_is_noiseless(bench_recorder):
+    circuit = _clifford_workload()
+    sample = sample_noisy(circuit, NoiseModel(), SHOTS, seed=5)
+    assert sample.record_error_count == 0
+    assert int(np.count_nonzero(sample.flips)) == 0
+    assert survival_fidelity(sample).estimate == 1.0
+    bench_recorder.add("zero_rate", shots=SHOTS,
+                       fidelity=survival_fidelity(sample).estimate)

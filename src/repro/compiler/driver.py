@@ -51,13 +51,22 @@ class CompilationResult:
 
     def build_system(self, backend=None, device_seed: int = 12345,
                      strict_timing: bool = False,
-                     record_gate_log: bool = True) -> ControlSystem:
-        """Instantiate a ready-to-run :class:`ControlSystem`."""
+                     record_gate_log: bool = True,
+                     noise_model=None,
+                     noise_seed: int = 0x5EED) -> ControlSystem:
+        """Instantiate a ready-to-run :class:`ControlSystem`.
+
+        ``noise_model`` (a :class:`repro.noise.model.NoiseModel`) arms
+        the device's error-injection hooks; measurement outcomes then
+        include readout flips and backend states pick up sampled Pauli
+        errors after every gate.
+        """
         system = ControlSystem(
             self.qmap.num_controllers, config=self.config,
             mesh_kind="line", topology=self.topology, backend=backend,
             device_seed=device_seed, strict_timing=strict_timing,
-            record_gate_log=record_gate_log)
+            record_gate_log=record_gate_log, noise_model=noise_model,
+            noise_seed=noise_seed)
         for address, program in self.programs.items():
             system.load_program(address, program)
         for address, table in self.codeword_tables.items():
@@ -206,7 +215,9 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                 until: Optional[int] = None,
                 record_gate_log: bool = True,
                 shots: int = 1,
-                executor=None) -> RunResult:
+                executor=None,
+                noise_model=None,
+                noise_seed: int = 0x5EED) -> RunResult:
     """Compile, simulate and collect statistics in one call.
 
     ``shots`` > 1 reruns the compiled system with deterministic per-shot
@@ -214,7 +225,9 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
     ``RunResult.shot_stats``; ``executor`` (anything with a ``map`` method —
     ``concurrent.futures`` executors, ``multiprocessing.Pool``) fans the
     extra shots out in parallel.  The quantum-state ``backend``, if any, is
-    attached to shot 0 only; extra shots are timing-only.
+    attached to shot 0 only; extra shots are timing-only.  ``noise_model``
+    arms the device's error-injection hooks for shot 0 (see
+    :meth:`CompilationResult.build_system`).
     """
     if shots < 1:
         raise CompilationError("shots must be >= 1, got {}".format(shots))
@@ -223,7 +236,9 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
         qubits_per_controller=qubits_per_controller, mesh_kind=mesh_kind)
     system = compilation.build_system(backend=backend,
                                       device_seed=device_seed,
-                                      record_gate_log=record_gate_log)
+                                      record_gate_log=record_gate_log,
+                                      noise_model=noise_model,
+                                      noise_seed=noise_seed)
     stats = system.run(until=until)
     result = RunResult(compilation=compilation, system=system, stats=stats)
     if shots > 1:

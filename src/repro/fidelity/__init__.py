@@ -1,5 +1,21 @@
-"""Decoherence and fidelity metrics (Figure 16)."""
+"""Fidelity metrics: the Figure-16 decoherence proxy and its
+Monte-Carlo empirical twin.
 
+This package is the supported import surface for all fidelity APIs —
+the closed-form proxy (:func:`circuit_fidelity` and friends), the
+aggregate runtime metrics, and the noise subsystem's empirical
+estimator (:func:`estimate_fidelity`, :class:`FidelityEstimate`,
+re-exported from :mod:`repro.noise.estimator`).
+
+Deep submodule imports (``repro.fidelity.decoherence``,
+``repro.fidelity.metrics``) are **deprecated** for external use: import
+from ``repro.fidelity`` instead, so the proxy and the estimator can
+keep moving together without breaking callers.
+"""
+
+from ..noise.estimator import (FidelityEstimate, estimate_fidelity,
+                               logical_error_rate, record_fidelity,
+                               survival_fidelity, wilson_interval)
 from .decoherence import (circuit_fidelity, circuit_infidelity,
                           infidelity_sweep, reduction_ratio,
                           survival_probability)
@@ -7,8 +23,10 @@ from .metrics import (arithmetic_mean, geometric_mean, normalized_runtime,
                       runtime_reduction_percent, summarize_lifetimes)
 
 __all__ = [
-    "arithmetic_mean", "circuit_fidelity", "circuit_infidelity",
-    "geometric_mean", "infidelity_sweep", "normalized_runtime",
-    "reduction_ratio", "runtime_reduction_percent", "summarize_lifetimes",
-    "survival_probability",
+    "FidelityEstimate", "arithmetic_mean", "circuit_fidelity",
+    "circuit_infidelity", "estimate_fidelity", "geometric_mean",
+    "infidelity_sweep", "logical_error_rate", "normalized_runtime",
+    "record_fidelity", "reduction_ratio", "runtime_reduction_percent",
+    "summarize_lifetimes", "survival_fidelity", "survival_probability",
+    "wilson_interval",
 ]

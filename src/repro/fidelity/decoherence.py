@@ -32,8 +32,12 @@ def survival_probability(duration_ns: float, t1_us: float,
     if duration_ns < 0:
         raise ReproError("negative duration")
     if t1_us <= 0:
-        raise ReproError("T1 must be positive")
+        raise ReproError("T1 must be positive, got {}".format(t1_us))
     t2_us = t2_us if t2_us is not None else t1_us
+    if t2_us <= 0:
+        # Guard the exp(-t/T2) below: T2 = 0 used to divide by zero and
+        # negative T2 silently produced "fidelities" above 1.
+        raise ReproError("T2 must be positive, got {}".format(t2_us))
     if t2_us > 2 * t1_us + 1e-12:
         raise ReproError("T2 cannot exceed 2*T1")
     t_ns = duration_ns
@@ -65,6 +69,10 @@ def circuit_infidelity(lifetimes_ns: Mapping[int, float], t1_us: float,
 def infidelity_sweep(lifetimes_ns: Mapping[int, float],
                      t1_values_us) -> Dict[float, float]:
     """Infidelity for each T1 (= T2) value in ``t1_values_us``."""
+    bad = [t1 for t1 in t1_values_us if t1 <= 0]
+    if bad:
+        raise ReproError(
+            "T1 sweep values must be positive, got {}".format(bad))
     return {t1: circuit_infidelity(lifetimes_ns, t1) for t1 in t1_values_us}
 
 

@@ -13,17 +13,26 @@ def normalized_runtime(baseline_cycles: int, scheme_cycles: int) -> float:
     return scheme_cycles / baseline_cycles
 
 
-def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean (robust average for normalized runtimes)."""
+def geometric_mean(values: Sequence[float],
+                   metric: str = "values") -> float:
+    """Geometric mean (robust average for normalized runtimes).
+
+    ``metric`` names what is being averaged, so an empty input fails
+    with the caller's metric in the message instead of a bare
+    "no values".
+    """
     if not values:
-        raise ValueError("no values")
+        raise ValueError(
+            "geometric_mean of {}: empty input".format(metric))
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def arithmetic_mean(values: Sequence[float]) -> float:
+def arithmetic_mean(values: Sequence[float],
+                    metric: str = "values") -> float:
     """Plain mean (the paper's Figure 15 'avg' bar is arithmetic)."""
     if not values:
-        raise ValueError("no values")
+        raise ValueError(
+            "arithmetic_mean of {}: empty input".format(metric))
     return sum(values) / len(values)
 
 

@@ -7,10 +7,10 @@ grepping stdout.  The schema is enforced by :func:`validate_bench`
 (hand-rolled: the container deliberately has no ``jsonschema``
 dependency) both when writing and when loading.
 
-Document layout (schema version 1)::
+Document layout (schema version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "name": "sweep",                  # -> file BENCH_sweep.json
       "kind": "sweep" | "benchmark",
       "machine": {"platform": ..., "python": ..., "cpu_count": ...},
@@ -23,11 +23,20 @@ Document layout (schema version 1)::
 
 ``results`` rows are flat string-to-scalar maps.  ``kind="sweep"`` rows
 must carry the full cell identity + metrics (:data:`SWEEP_ROW_KEYS`);
+noisy sweeps add the Monte-Carlo columns of
+:data:`SWEEP_NOISE_ROW_KEYS` (``fidelity_empirical`` with its
+confidence interval plus shot/seed/method metadata — type-checked
+whenever present, required as a group when any one appears).
 ``kind="benchmark"`` rows are free-form but need at least one numeric
 value.  Everything outside ``volatile`` is deterministic for a fixed
 spec and seed — byte-identical between serial and parallel execution —
 which is why wall-clock timings are *only* allowed inside ``volatile``
 (it is excluded from ``results_sha256``).
+
+Version history: v2 added the noise columns and the optional ``noise``/
+``noise_shots`` spec fields.  v1 artifacts (pre-noise) still *load* —
+the validator accepts them read-only so old baselines keep gating — but
+:func:`write_bench` only emits the current version.
 """
 
 from __future__ import annotations
@@ -41,7 +50,11 @@ from typing import Dict, List, Optional
 
 from ..errors import ReproError
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_bench` accepts on *load*; only the
+#: current version may be written (older artifacts are read-only).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Required keys (and checked types) of every ``kind="sweep"`` result row.
 SWEEP_ROW_KEYS = {
@@ -56,6 +69,17 @@ SWEEP_ROW_KEYS = {
     "sync_stall_cycles": int,
     "runtime_ns": (int, float),
     "fidelity_proxy": (int, float),
+}
+
+#: Monte-Carlo columns of noisy sweep rows (schema v2): all-or-none per
+#: row, type-checked when present.
+SWEEP_NOISE_ROW_KEYS = {
+    "fidelity_empirical": (int, float),
+    "fidelity_ci_low": (int, float),
+    "fidelity_ci_high": (int, float),
+    "noise_method": str,
+    "noise_shots": int,
+    "noise_seed": int,
 }
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -124,10 +148,11 @@ def _check_type(path: str, value: object, types, optional: bool = False):
 
 
 def validate_bench(doc: object) -> Dict[str, object]:
-    """Validate a BENCH document against schema version 1.
+    """Validate a BENCH document against the schema.
 
-    Returns the document on success; raises :class:`BenchSchemaError`
-    naming the offending path otherwise.
+    Both schema versions in :data:`SUPPORTED_SCHEMA_VERSIONS` validate
+    (v1 artifacts remain loadable); returns the document on success and
+    raises :class:`BenchSchemaError` naming the offending path otherwise.
     """
     if not isinstance(doc, dict):
         raise BenchSchemaError("document must be a JSON object")
@@ -140,9 +165,9 @@ def validate_bench(doc: object) -> Dict[str, object]:
     extra = set(doc) - allowed
     if extra:
         _fail(sorted(extra)[0], "unknown top-level key")
-    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
-        _fail("schema_version", "expected {}, got {!r}".format(
-            BENCH_SCHEMA_VERSION, doc["schema_version"]))
+    if doc["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
+        _fail("schema_version", "expected one of {}, got {!r}".format(
+            SUPPORTED_SCHEMA_VERSIONS, doc["schema_version"]))
     _check_type("name", doc["name"], str)
     if not doc["name"] or not all(
             c.isalnum() or c == "_" for c in doc["name"]):
@@ -174,6 +199,15 @@ def validate_bench(doc: object) -> Dict[str, object]:
                 if key not in row:
                     _fail("{}.{}".format(path, key), "missing sweep-row key")
                 _check_type("{}.{}".format(path, key), row[key], types)
+            present = [key for key in SWEEP_NOISE_ROW_KEYS if key in row]
+            if present and len(present) != len(SWEEP_NOISE_ROW_KEYS):
+                missing = sorted(set(SWEEP_NOISE_ROW_KEYS) - set(present))
+                _fail("{}.{}".format(path, missing[0]),
+                      "noisy sweep rows need all of {}".format(
+                          sorted(SWEEP_NOISE_ROW_KEYS)))
+            for key in present:
+                _check_type("{}.{}".format(path, key), row[key],
+                            SWEEP_NOISE_ROW_KEYS[key])
         elif not any(isinstance(v, (int, float)) and not isinstance(v, bool)
                      for v in row.values()):
             _fail(path, "benchmark row needs at least one numeric value")
@@ -193,8 +227,17 @@ def bench_filename(name: str) -> str:
 
 def write_bench(directory: str, doc: Dict[str, object]) -> str:
     """Validate and atomically write ``BENCH_<name>.json`` under
-    ``directory`` (created if missing).  Returns the file path."""
+    ``directory`` (created if missing).  Returns the file path.
+
+    Only the current schema version may be written — older artifacts
+    load read-only; rebuild them through :func:`make_bench` to migrate.
+    """
     validate_bench(doc)
+    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise BenchSchemaError(
+            "schema_version: refusing to write version {} (older "
+            "artifacts are read-only; current version is {})".format(
+                doc["schema_version"], BENCH_SCHEMA_VERSION))
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, bench_filename(doc["name"]))
     payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.driver import SCHEMES, run_circuit
 from ..errors import ReproError
+from ..noise.model import NoiseModel, derive_seed
 from ..sim.config import SimulationConfig
 from . import registry
 from .runner import BenchmarkOutcome
@@ -46,7 +47,8 @@ from .tables import render_figure15
 #: Bump when CellResult or the simulation semantics change incompatibly —
 #: stale cache entries are keyed away instead of deserialized wrongly.
 #: v2: workloads resolved through the registry; shots joined the grid.
-CACHE_FORMAT_VERSION = 2
+#: v3: Monte-Carlo noise joined the task (empirical-fidelity columns).
+CACHE_FORMAT_VERSION = 3
 
 
 class SweepExecutionError(ReproError):
@@ -93,10 +95,19 @@ class SweepTask:
     #: before lookup, so families outside the builtin list work too.
     module: Optional[str] = None
     config: Optional[SimulationConfig] = None
+    #: Monte-Carlo noise model; None keeps the cell noiseless.
+    noise: Optional[NoiseModel] = None
+    noise_shots: int = 256
 
     def key(self) -> Tuple[str, str, float, int]:
         """Grid coordinates of this cell (workload, scheme, scale, shots)."""
         return (self.spec_name, self.scheme, self.scale, self.shots)
+
+    def noise_seed(self) -> int:
+        """crc32-derived sampler seed, a pure function of the cell
+        identity — serial, parallel and cache-replayed runs agree."""
+        return derive_seed("cell-noise", self.spec_name, self.scheme,
+                           repr(self.scale), self.shots, self.device_seed)
 
     def cache_key(self) -> str:
         """Stable content hash identifying this cell's result."""
@@ -110,6 +121,9 @@ class SweepTask:
             ("device_seed", self.device_seed),
             ("shots", self.shots),
             ("config", tuple(sorted(asdict(config).items()))),
+            ("noise", self.noise.to_json() if self.noise is not None
+             else None),
+            ("noise_shots", self.noise_shots),
         )
         return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
@@ -122,7 +136,8 @@ def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
                       substitution_fraction=spec.substitution_fraction,
                       device_seed=spec.device_seed, shots=cell.shots,
                       module=registry.origin_module(cell.workload),
-                      config=spec.config)
+                      config=spec.config, noise=spec.noise,
+                      noise_shots=spec.noise_shots)
             for cell in spec.cells()]
 
 
@@ -141,6 +156,13 @@ class CellResult:
     shots: int = 1
     #: per-shot makespans (single entry when shots == 1).
     shot_makespan_cycles: Tuple[int, ...] = ()
+    #: Monte-Carlo empirical fidelity (None when the cell ran noiseless).
+    fidelity_empirical: Optional[float] = None
+    fidelity_ci_low: Optional[float] = None
+    fidelity_ci_high: Optional[float] = None
+    noise_method: Optional[str] = None
+    noise_shots: Optional[int] = None
+    noise_seed: Optional[int] = None
 
 
 def run_cell(task: SweepTask) -> CellResult:
@@ -166,7 +188,7 @@ def run_cell(task: SweepTask) -> CellResult:
                          backend=None, device_seed=task.device_seed,
                          mesh_kind=spec.mesh_kind, record_gate_log=False,
                          shots=task.shots)
-    return CellResult(
+    cell = CellResult(
         spec_name=task.spec_name, scheme=task.scheme,
         num_qubits=circuit.num_qubits, num_ops=len(circuit),
         feedback_ops=count_feedback_ops(circuit),
@@ -175,6 +197,23 @@ def run_cell(task: SweepTask) -> CellResult:
         lifetimes_ns=result.system.device.lifetimes_ns(),
         shots=task.shots,
         shot_makespan_cycles=tuple(result.shot_makespans))
+    if task.noise is not None:
+        # Empirical fidelity rides on the timing run: the scheme's own
+        # per-qubit activity windows drive the model's idle decoherence,
+        # so schemes that idle longer really do score lower.
+        from ..noise.estimator import estimate_fidelity
+        seed = task.noise_seed()
+        estimate = estimate_fidelity(
+            circuit, task.noise, task.noise_shots, seed=seed,
+            lifetimes_ns=cell.lifetimes_ns,
+            config=task.config or SimulationConfig())
+        cell.fidelity_empirical = estimate.estimate
+        cell.fidelity_ci_low = estimate.ci_low
+        cell.fidelity_ci_high = estimate.ci_high
+        cell.noise_method = estimate.method
+        cell.noise_shots = task.noise_shots
+        cell.noise_seed = seed
+    return cell
 
 
 def _guarded_run_cell(task: SweepTask):

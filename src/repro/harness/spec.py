@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..compiler.driver import SCHEMES
 from ..errors import ReproError
+from ..noise.model import NoiseModel
 from ..sim.config import SimulationConfig
 from . import registry
 
@@ -61,6 +62,10 @@ class SweepSpec:
     substitution_fraction: float = 0.25
     device_seed: int = 1234
     config: Optional[SimulationConfig] = None
+    #: optional Monte-Carlo noise model; when set, every cell also runs
+    #: ``noise_shots`` noisy samples and reports ``fidelity_empirical``.
+    noise: Optional[NoiseModel] = None
+    noise_shots: int = 256
 
     def __post_init__(self):
         # Normalize list inputs (e.g. straight from JSON) to tuples so
@@ -109,6 +114,14 @@ class SweepSpec:
                 len(set(self.workloads)) != len(self.workloads):
             raise SweepSpecError(
                 "duplicate workloads {}".format(self.workloads))
+        if not (isinstance(self.noise_shots, int) and self.noise_shots >= 1):
+            raise SweepSpecError(
+                "noise_shots must be an integer >= 1, got {!r}".format(
+                    self.noise_shots))
+        if self.noise is not None and not isinstance(self.noise, NoiseModel):
+            raise SweepSpecError(
+                "noise must be a NoiseModel or None, got {!r}".format(
+                    type(self.noise).__name__))
 
     def resolved_workloads(self) -> List[str]:
         """Workload names this spec covers, in canonical registry order.
@@ -149,6 +162,9 @@ class SweepSpec:
             "device_seed": self.device_seed,
             "config": asdict(self.config) if self.config is not None
                       else None,
+            "noise": self.noise.to_dict() if self.noise is not None
+                     else None,
+            "noise_shots": self.noise_shots,
         }
 
     @classmethod
@@ -172,6 +188,12 @@ class SweepSpec:
             except TypeError as exc:
                 raise SweepSpecError(
                     "bad config: {}".format(exc)) from None
+        noise = kwargs.get("noise")
+        if noise is not None:
+            try:
+                kwargs["noise"] = NoiseModel.from_dict(noise)
+            except ReproError as exc:
+                raise SweepSpecError("bad noise: {}".format(exc)) from None
         try:
             return cls(**kwargs)
         except TypeError as exc:

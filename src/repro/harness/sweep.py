@@ -21,6 +21,12 @@ CI-oriented switches:
   derived from.
 * ``--spec FILE`` loads the whole grid from a JSON spec instead of
   flags; ``--print-spec`` shows the effective spec and exits.
+* ``--noise <preset|file>`` attaches a Monte-Carlo
+  :class:`~repro.noise.model.NoiseModel`: every cell additionally runs
+  ``--noise-shots`` Pauli-frame (or noisy-statevector) samples seeded
+  from its grid coordinates and reports ``fidelity_empirical`` with a
+  binomial confidence interval next to the closed-form
+  ``fidelity_proxy`` (BENCH schema v2).
 
 Everything outside the artifact's ``volatile`` block is deterministic
 for a fixed spec and seed; wall-clock timing is only recorded under
@@ -34,9 +40,12 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from dataclasses import replace
+
 from ..compiler.driver import SCHEMES
 from ..errors import ReproError
-from ..fidelity.decoherence import circuit_fidelity
+from ..fidelity import circuit_fidelity
+from ..noise.model import resolve_noise_model
 from ..sim.config import SimulationConfig
 from .parallel import (CacheStats, CellResult, SweepExecutionError,
                        SweepTask, run_tasks, tasks_from_spec)
@@ -60,7 +69,7 @@ def sweep_rows(tasks: Sequence[SweepTask],
         config = task.config or SimulationConfig()
         shot_makespans = cell.shot_makespan_cycles or \
             (cell.makespan_cycles,)
-        rows.append({
+        row = {
             "workload": cell.spec_name,
             "scheme": cell.scheme,
             "scale": task.scale,
@@ -76,7 +85,17 @@ def sweep_rows(tasks: Sequence[SweepTask],
             "max_shot_makespan_cycles": max(shot_makespans),
             "fidelity_proxy": circuit_fidelity(cell.lifetimes_ns,
                                                t1_us=FIDELITY_T1_US),
-        })
+        }
+        if cell.fidelity_empirical is not None:
+            row.update({
+                "fidelity_empirical": cell.fidelity_empirical,
+                "fidelity_ci_low": cell.fidelity_ci_low,
+                "fidelity_ci_high": cell.fidelity_ci_high,
+                "noise_method": cell.noise_method,
+                "noise_shots": cell.noise_shots,
+                "noise_seed": cell.noise_seed,
+            })
+        rows.append(row)
     return rows
 
 
@@ -120,7 +139,19 @@ def _outcomes_from_rows(rows: List[Dict[str, object]],
 def _spec_from_args(args) -> SweepSpec:
     if args.spec is not None:
         with open(args.spec) as handle:
-            return SweepSpec.from_json(handle.read())
+            spec = SweepSpec.from_json(handle.read())
+        # --noise and --noise-shots each override the spec file
+        # independently; a flag the user did not pass leaves the spec's
+        # value untouched (argparse defaults must not clobber it).
+        if args.noise is not None:
+            spec = replace(spec, noise=resolve_noise_model(args.noise))
+        if args.noise_shots is not None:
+            spec = replace(spec, noise_shots=args.noise_shots)
+        return spec
+    kwargs = {}
+    if args.noise_shots is not None:
+        # Omitted flag -> SweepSpec's own default stays authoritative.
+        kwargs["noise_shots"] = args.noise_shots
     return SweepSpec(
         workloads=tuple(args.workloads) if args.workloads else None,
         tags=tuple(args.tags) if args.tags else None,
@@ -128,7 +159,10 @@ def _spec_from_args(args) -> SweepSpec:
         scales=tuple(args.scale),
         shots=tuple(args.shots),
         substitution_fraction=args.substitution_fraction,
-        device_seed=args.seed)
+        device_seed=args.seed,
+        noise=(resolve_noise_model(args.noise)
+               if args.noise is not None else None),
+        **kwargs)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -152,6 +186,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--substitution-fraction", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=1234,
                         help="device seed used for every cell")
+    parser.add_argument("--noise", default=None, metavar="PRESET|FILE",
+                        help="Monte-Carlo noise model: a preset name "
+                             "(e.g. depolarizing_1e3) or a NoiseModel "
+                             "JSON file; adds fidelity_empirical to "
+                             "every cell")
+    parser.add_argument("--noise-shots", type=int, default=None,
+                        help="Monte-Carlo shots behind each cell's "
+                             "empirical fidelity (default 256, or the "
+                             "--spec file's value)")
     parser.add_argument("--processes", type=int, default=None,
                         help="worker processes (default: all cores; "
                              "1 = serial in-process)")
@@ -219,9 +262,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if not args.quiet:
             for row in rows:
-                print("{workload:>18s}/{scheme:<8s} scale={scale:<5g} "
-                      "shots={shots:<3d} makespan={makespan_cycles}"
-                      .format(**row))
+                line = ("{workload:>18s}/{scheme:<8s} scale={scale:<5g} "
+                        "shots={shots:<3d} makespan={makespan_cycles}"
+                        .format(**row))
+                if "fidelity_empirical" in row:
+                    line += (" fidelity={fidelity_empirical:.4f} "
+                             "[{fidelity_ci_low:.4f}, "
+                             "{fidelity_ci_high:.4f}] ({noise_method})"
+                             .format(**row))
+                print(line)
             outcomes = _outcomes_from_rows(rows, ("bisp", "lockstep"))
             if outcomes and len(args.scale) == 1 and len(args.shots) == 1 \
                     and {"bisp", "lockstep"} <= set(spec.schemes):

@@ -46,7 +46,8 @@ def render_figure15(outcomes: List[BenchmarkOutcome],
                      outcome.makespan_cycles[scheme],
                      "{:.3f}".format(normalized)))
     rows.append(("avg", "", "", "", "",
-                 "{:.3f}".format(arithmetic_mean(normals))))
+                 "{:.3f}".format(arithmetic_mean(
+                     normals, metric="normalized runtimes"))))
     table = format_table(
         ["benchmark", "qubits", "feedback",
          "{} (cycles)".format(baseline), "{} (cycles)".format(scheme),

@@ -83,12 +83,24 @@ class QuantumDevice:
 
     def __init__(self, engine, telf, config: SimulationConfig,
                  backend=None, seed: int = 12345,
-                 record_gate_log: bool = True):
+                 record_gate_log: bool = True,
+                 noise_model=None, noise_seed: int = 0x5EED):
         self.engine = engine
         self.telf = telf
         self.config = config
         self.backend = backend
         self.rng = np.random.default_rng(seed)
+        #: optional :class:`repro.noise.model.NoiseModel` (duck-typed to
+        #: avoid a sim <-> noise import cycle); draws come from a
+        #: dedicated stream so enabling noise never perturbs the
+        #: existing measurement-sampling RNG.
+        self.noise_model = noise_model
+        self.noise_rng = np.random.default_rng(noise_seed)
+        self.noise_events = 0
+        #: (name, qubits) -> resolved channel list; the model is frozen,
+        #: so identical gate slots reuse one channel object instead of
+        #: rebuilding (validate + sort) on every event in the hot loop.
+        self._noise_channels: Dict[tuple, list] = {}
         self.record_gate_log = record_gate_log
         self.gate_log: List[Tuple[int, str, Tuple[int, ...]]] = []
         self.activity: Dict[int, QubitActivity] = defaultdict(QubitActivity)
@@ -157,6 +169,18 @@ class QuantumDevice:
             self.gate_log.append((now, name, qubits))
         if self.backend is not None:
             self.backend.apply_gate(name, qubits, tuple(params))
+            if self.noise_model is not None:
+                key = (name, qubits)
+                channels = self._noise_channels.get(key)
+                if channels is None:
+                    channels = self.noise_model.gate_channels(
+                        name, qubits, self.config.ns(duration))
+                    self._noise_channels[key] = channels
+                for noise_qubits, channel in channels:
+                    if self.backend.apply_channel(
+                            channel, noise_qubits,
+                            rng=self.noise_rng) is not None:
+                        self.noise_events += 1
 
     def _handle_measure(self, core, qubit: int, now: int) -> None:
         duration = self.config.measurement_cycles
@@ -172,6 +196,13 @@ class QuantumDevice:
             outcome = self.backend.measure(qubit)
         else:
             outcome = int(self.rng.integers(0, 2))
+        if self.noise_model is not None and \
+                self.noise_model.measure_flip > 0.0:
+            # Readout error: the *reported* bit flips; the post-
+            # measurement state is untouched.
+            if self.noise_rng.random() < self.noise_model.measure_flip:
+                outcome ^= 1
+                self.noise_events += 1
         self.telf.log(now, "device", "meas", port=qubit, value=outcome)
         self.engine.after(duration,
                           lambda: core.deliver_message(ACQ_ADDRESS, outcome))

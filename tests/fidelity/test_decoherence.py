@@ -39,6 +39,15 @@ class TestSurvival:
         with pytest.raises(ReproError):
             survival_probability(-1.0, 10.0)
 
+    @pytest.mark.parametrize("t1,t2", [
+        (0.0, None), (-5.0, None),       # used to raise, still must
+        (10.0, 0.0),                     # used to divide by zero
+        (10.0, -3.0),                    # used to return F > 1
+    ])
+    def test_nonpositive_times_rejected(self, t1, t2):
+        with pytest.raises(ReproError, match="positive"):
+            survival_probability(100.0, t1, t2)
+
     def test_small_time_expansion(self):
         # 1 - F ~ (3/4) t (1/T1' terms); check first-order scale.
         t1_us = 100.0
@@ -65,6 +74,12 @@ class TestCircuitFidelity:
         sweep = infidelity_sweep({0: 3000.0}, [30, 100, 300])
         assert sweep[30] > sweep[100] > sweep[300]
 
+    def test_sweep_rejects_nonpositive_t1_values(self):
+        with pytest.raises(ReproError, match=r"positive.*\[0\]"):
+            infidelity_sweep({0: 3000.0}, [30, 0])
+        with pytest.raises(ReproError, match="positive"):
+            infidelity_sweep({0: 3000.0}, [-10.0])
+
     def test_reduction_ratio(self):
         base = {30: 0.10, 300: 0.01}
         ours = {30: 0.02, 300: 0.002}
@@ -89,6 +104,24 @@ class TestMetrics:
     def test_means(self):
         assert arithmetic_mean([0.5, 1.0]) == pytest.approx(0.75)
         assert geometric_mean([0.25, 1.0]) == pytest.approx(0.5)
+
+    def test_empty_means_name_the_metric(self):
+        with pytest.raises(ValueError,
+                           match="geometric_mean of normalized runtime"):
+            geometric_mean([], metric="normalized runtime")
+        with pytest.raises(ValueError,
+                           match="arithmetic_mean of makespans"):
+            arithmetic_mean([], metric="makespans")
+
+    def test_estimator_api_reexported(self):
+        # The package surface is the supported import path; deep
+        # submodule imports are deprecated.
+        from repro.fidelity import (FidelityEstimate, estimate_fidelity,
+                                    survival_fidelity, wilson_interval)
+        assert callable(estimate_fidelity) and callable(survival_fidelity)
+        assert callable(wilson_interval)
+        assert FidelityEstimate.from_counts(3, 4).estimate == \
+            pytest.approx(0.75)
 
     def test_reduction_percent(self):
         assert runtime_reduction_percent([0.772]) == pytest.approx(22.8)

@@ -1,0 +1,101 @@
+"""Pauli channels: validation, sampling, composition, twirl identities."""
+
+import pytest
+
+from repro.fidelity import survival_probability
+from repro.noise import (NoiseChannelError, PauliChannel, depolarizing,
+                         idle_channels_from_lifetimes, measurement_flip,
+                         pauli_twirled_damping)
+
+
+class TestPauliChannel:
+    def test_terms_canonicalized_and_merged(self):
+        channel = PauliChannel(1, (("z", 0.1), ("X", 0.05), ("Z", 0.1)))
+        assert channel.terms == (("X", 0.05), ("Z", 0.2))
+        assert channel.identity_probability == pytest.approx(0.75)
+
+    def test_sampling_bins(self):
+        channel = PauliChannel(1, (("X", 0.25), ("Z", 0.25)))
+        assert channel.sample(0.1) == "X"
+        assert channel.sample(0.3) == "Z"
+        assert channel.sample(0.9) is None
+
+    @pytest.mark.parametrize("terms,match", [
+        ((("I", 0.1),), "identity"),
+        ((("X", -0.2),), "negative"),
+        ((("X", 0.7), ("Z", 0.7)), "sum"),
+        ((("XY", 0.1),), "length"),
+        ((("Q", 0.1),), "I/X/Y/Z"),
+    ])
+    def test_invalid_channels_rejected(self, terms, match):
+        with pytest.raises(NoiseChannelError, match=match):
+            PauliChannel(1, terms)
+
+    def test_compose_self_inverse_errors_cancel(self):
+        flip = PauliChannel(1, (("X", 1.0),))
+        composed = flip.compose(flip)
+        # X then X is certainly the identity.
+        assert composed.identity_probability == pytest.approx(1.0)
+
+    def test_compose_independent_rates(self):
+        a = PauliChannel(1, (("X", 0.1),))
+        b = PauliChannel(1, (("Z", 0.2),))
+        combined = dict(a.compose(b).terms)
+        assert combined["X"] == pytest.approx(0.1 * 0.8)
+        assert combined["Z"] == pytest.approx(0.9 * 0.2)
+        assert combined["Y"] == pytest.approx(0.1 * 0.2)  # X*Z ~ Y
+
+
+class TestStandardChannels:
+    def test_depolarizing_1q_shares(self):
+        channel = depolarizing(0.3, 1)
+        assert dict(channel.terms) == pytest.approx(
+            {"X": 0.1, "Y": 0.1, "Z": 0.1})
+
+    def test_depolarizing_2q_covers_15_paulis(self):
+        channel = depolarizing(0.15, 2)
+        assert len(channel.terms) == 15
+        assert channel.error_probability == pytest.approx(0.15)
+
+    def test_depolarizing_validation(self):
+        with pytest.raises(NoiseChannelError):
+            depolarizing(1.5, 1)
+        with pytest.raises(NoiseChannelError):
+            depolarizing(0.1, 3)
+
+    def test_twirled_damping_matches_proxy_survival(self):
+        # The twirled channel's identity probability IS the Figure-16
+        # per-qubit survival — the analytic/Monte-Carlo link.
+        for duration, t1, t2 in [(500.0, 150.0, 150.0), (2000.0, 30.0, 50.0),
+                                 (100.0, 200.0, 400.0)]:
+            channel = pauli_twirled_damping(duration, t1, t2)
+            assert channel.identity_probability == pytest.approx(
+                survival_probability(duration, t1, t2), abs=1e-12)
+
+    def test_twirled_damping_limits(self):
+        # t -> infinity approaches the fully depolarizing channel.
+        late = dict(pauli_twirled_damping(1e12, 50.0).terms)
+        assert late["X"] == pytest.approx(0.25, abs=1e-6)
+        assert late["Z"] == pytest.approx(0.25, abs=1e-6)
+        # Pure amplitude damping (T2 = 2*T1): dephasing vanishes to
+        # first order (the exact residue is (1 - e^{-t/T2})^2 / 4).
+        pure = dict(pauli_twirled_damping(1000.0, 50.0, 100.0).terms)
+        assert pure.get("Z", 0.0) == pytest.approx(0.0, abs=1e-4)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"t1_us": 0.0}, {"t1_us": -3.0}, {"t1_us": 50.0, "t2_us": 0.0},
+        {"t1_us": 50.0, "t2_us": -1.0}, {"t1_us": 50.0, "t2_us": 150.0},
+    ])
+    def test_twirled_damping_guards(self, kwargs):
+        with pytest.raises(NoiseChannelError):
+            pauli_twirled_damping(100.0, **kwargs)
+
+    def test_measurement_flip(self):
+        assert dict(measurement_flip(0.02).terms) == {"X": 0.02}
+
+    def test_idle_channels_from_lifetimes(self):
+        channels = idle_channels_from_lifetimes(
+            {0: 40000.0, 1: 0.0, 2: 10000.0}, t1_us=150.0)
+        assert sorted(channels) == [0, 2]
+        assert channels[0].error_probability > \
+            channels[2].error_probability
