@@ -1,6 +1,8 @@
 """End-to-end compilation driver: circuit -> HISQ binaries -> simulation.
 
-The three supported synchronization schemes (section 6.4):
+Synchronization schemes are resolved through the pluggable registry of
+:mod:`repro.compiler.schemes` (section 6.4's three-way comparison plus
+any scheme registered since).  The core trio:
 
 * ``"bisp"``    — Distributed-HISQ: independent streams, booked syncs
   (hoisted over deterministic work), point-to-point feedback.
@@ -13,7 +15,7 @@ The three supported synchronization schemes (section 6.4):
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CompilationError
 from ..isa.program import Program
@@ -22,13 +24,10 @@ from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
 from ..sim.system import ControlSystem
 from ..sim.telf import ExecutionStats
-from .codegen import lower_circuit
 from .emit import emit_program
-from .lockstep_gen import lower_lockstep
 from .mapping import QubitMap
-from .sync_pass import demand_gaps, hoist_bookings
-
-SCHEMES = ("bisp", "demand", "lockstep")
+from .schemes import SCHEMES as SCHEMES  # re-export (live registry view)
+from .schemes import get_scheme
 
 
 @dataclass
@@ -44,6 +43,11 @@ class CompilationResult:
     codeword_tables: Dict[int, dict]
     sync_groups: Dict[int, List[int]]
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Resolved controller-mesh kind the topology was built with
+    #: ("interaction" resolves to "custom" + explicit edges).
+    mesh_kind: str = "line"
+    #: Explicit mesh edges (only for ``mesh_kind="custom"``).
+    mesh_edges: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def total_instructions(self) -> int:
@@ -63,7 +67,8 @@ class CompilationResult:
         """
         system = ControlSystem(
             self.qmap.num_controllers, config=self.config,
-            mesh_kind="line", topology=self.topology, backend=backend,
+            mesh_kind=self.mesh_kind, topology=self.topology,
+            backend=backend,
             device_seed=device_seed, strict_timing=strict_timing,
             record_gate_log=record_gate_log, noise_model=noise_model,
             noise_seed=noise_seed)
@@ -80,11 +85,15 @@ def compile_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                     config: Optional[SimulationConfig] = None,
                     qubits_per_controller: int = 1,
                     mesh_kind: str = "line") -> CompilationResult:
-    """Compile ``circuit`` into per-controller HISQ programs."""
-    if scheme not in SCHEMES:
-        raise CompilationError("unknown scheme {!r}; expected one of {}"
-                               .format(scheme, SCHEMES))
-    config = config or SimulationConfig()
+    """Compile ``circuit`` into per-controller HISQ programs.
+
+    ``scheme`` is a registered scheme name (see
+    :mod:`repro.compiler.schemes`) or a :class:`~repro.compiler.schemes.
+    Scheme` instance; unknown names raise a :class:`CompilationError`
+    listing every registered scheme.
+    """
+    scheme_obj = get_scheme(scheme)
+    config = scheme_obj.effective_config(config or SimulationConfig())
     qmap = QubitMap(circuit.num_qubits, qubits_per_controller)
     mesh_edges = None
     if mesh_kind == "interaction":
@@ -100,17 +109,8 @@ def compile_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
         mesh_kind=mesh_kind, mesh_edges=mesh_edges,
         neighbor_link_cycles=config.neighbor_link_cycles,
         router_hop_cycles=config.router_hop_cycles)
-    if scheme == "lockstep":
-        lowered = lower_lockstep(circuit, qmap, topology, config)
-        pass_stats: Dict[str, int] = {}
-    else:
-        lowered = lower_circuit(circuit, qmap, topology, config)
-        if scheme == "bisp":
-            pass_stats = hoist_bookings(lowered,
-                                        config.neighbor_link_cycles)
-        else:
-            demand_gaps(lowered, config.neighbor_link_cycles)
-            pass_stats = {}
+    lowered, pass_stats = scheme_obj.lower_and_optimize(
+        circuit, qmap, topology, config)
     programs = {}
     for address, items in lowered.streams.items():
         if not items:
@@ -125,9 +125,11 @@ def compile_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
     }
     stats.update(pass_stats)
     return CompilationResult(
-        circuit=circuit, scheme=scheme, config=config, qmap=qmap,
+        circuit=circuit, scheme=scheme_obj.name, config=config, qmap=qmap,
         topology=topology, programs=programs, codeword_tables=tables,
-        sync_groups=lowered.sync_groups, stats=stats)
+        sync_groups=lowered.sync_groups, stats=stats,
+        mesh_kind=mesh_kind,
+        mesh_edges=tuple(mesh_edges) if mesh_edges is not None else None)
 
 
 @dataclass

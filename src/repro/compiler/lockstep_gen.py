@@ -21,7 +21,7 @@ internally; blocks on different bits serialize — this is exactly the
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..core.config import CENTRAL_ADDRESS
 from ..errors import CompilationError
@@ -143,20 +143,22 @@ class LockstepLowering:
         for controller in self.offset:
             self.offset[controller] = 0
 
-    def _do_conditional_block(self, ops) -> None:
-        bit, value = ops[0].condition
+    def _require_broadcast(self, bit: int) -> None:
+        """Barrier (broadcast window) until ``bit`` is available locally."""
         if bit in self.pending_bits or bit not in self.broadcast_bits:
             self._barrier()
         if bit not in self.broadcast_bits:
             raise CompilationError(
                 "classical bit {} used before being measured".format(bit))
-        self.out.num_feedback_ops += len(ops)
-        # Strict lock-step: the reserved slot starts once every controller
-        # reaches the segment's current completion point.
-        start = max(self.ready) if self.ready else 0
-        for controller in self.out.streams:
-            self._pad(controller, start)
-        # ASAP schedule of the block, relative to the block start.
+
+    def _schedule_block(self, ops) -> Tuple[Dict[int, List], int]:
+        """ASAP schedule of one conditional block, relative to its start.
+
+        Returns ``(bodies, reserve)``: the per-controller body streams
+        (internally padded) and the block's total reserved duration.
+        Shared by the strict scheme and the windowed variant — only the
+        slot *placement* policy differs between them.
+        """
         block_ready = [0] * self.circuit.num_qubits
         bodies: Dict[int, List] = {}
         body_offset: Dict[int, int] = {}
@@ -184,7 +186,18 @@ class LockstepLowering:
                     self._cw(controller, qubit, action))
             for q in op.qubits:
                 block_ready[q] = op_start + duration
-        reserve = max(block_ready)
+        return bodies, max(block_ready)
+
+    def _do_conditional_block(self, ops) -> None:
+        bit, value = ops[0].condition
+        self._require_broadcast(bit)
+        self.out.num_feedback_ops += len(ops)
+        # Strict lock-step: the reserved slot starts once every controller
+        # reaches the segment's current completion point.
+        start = max(self.ready) if self.ready else 0
+        for controller in self.out.streams:
+            self._pad(controller, start)
+        bodies, reserve = self._schedule_block(ops)
         for controller, body in bodies.items():
             self.out.streams[controller].append(
                 Cond(bit, value, body, reserve=reserve))

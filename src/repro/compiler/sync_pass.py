@@ -112,16 +112,26 @@ def hoist_bookings(lowered: LoweredProgram,
     return stats
 
 
-def demand_gaps(lowered: LoweredProgram, neighbor_countdown: int) -> None:
+def demand_gaps(lowered: LoweredProgram,
+                neighbor_countdown: int) -> Dict[str, int]:
     """QubiC-style placement: no hoisting, full latency gap on every sync.
 
-    Code generation already emits unhoisted gaps, so this is a no-op kept
-    for symmetry/explicitness in the driver.
+    Code generation already emits unhoisted gaps; this pass re-asserts
+    them and returns the residual-gap statistics (same keys as
+    :func:`hoist_bookings`, with ``hoisted_cycles`` pinned to zero), so
+    the demand-vs-BISP synchronization overhead is inspectable per
+    compile via ``CompilationResult.stats``.
     """
+    stats = {"syncs": 0, "hoisted_cycles": 0, "residual_gap_cycles": 0}
     for stream in lowered.streams.values():
         for item in stream:
             if isinstance(item, SyncN):
                 item.gap = neighbor_countdown
+                stats["syncs"] += 1
+                stats["residual_gap_cycles"] += item.gap
             elif isinstance(item, SyncR):
                 item.delta = 1
                 item.gap = 1
+                stats["syncs"] += 1
+                stats["residual_gap_cycles"] += item.gap
+    return stats

@@ -33,7 +33,7 @@ def __getattr__(name):
     raise AttributeError(
         "module {!r} has no attribute {!r}".format(__name__, name))
 from .tables import (ascii_bar_chart, format_table, render_figure15,
-                     render_figure16, render_table1)
+                     render_figure16, render_scheme_matrix, render_table1)
 
 __all__ = [
     "BenchSchemaError", "BenchmarkOutcome", "BenchmarkSpec", "CacheStats",
@@ -44,7 +44,8 @@ __all__ = [
     "figure14_depths", "figure16_sweep", "figure5_nearby",
     "figure7_overhead_sweep", "format_table", "get_workload", "load_bench",
     "make_bench", "register_workload", "render_figure15", "render_figure16",
-    "render_table1", "run_cell", "run_spec", "run_suite",
-    "run_suite_parallel", "run_sweep", "run_tasks", "suite", "sweep_rows",
-    "tasks_from_spec", "validate_bench", "workload_names", "write_bench",
+    "render_scheme_matrix", "render_table1", "run_cell", "run_spec",
+    "run_suite", "run_suite_parallel", "run_sweep", "run_tasks", "suite",
+    "sweep_rows", "tasks_from_spec", "validate_bench", "workload_names",
+    "write_bench",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.driver import run_circuit
+from ..compiler.schemes import get_scheme
 from ..fidelity import (circuit_infidelity, estimate_fidelity,
                         infidelity_sweep, reduction_ratio)
 from ..isa.assembler import assemble
@@ -151,36 +152,42 @@ def figure14_depths(distances: Sequence[int]) -> List[Tuple[int, int, int]]:
 def figure16_sweep(distance: int = 41,
                    t1_values_us: Sequence[float] = T1_SWEEP_US,
                    config: Optional[SimulationConfig] = None,
-                   data_qubits_only: bool = True) -> Dict:
+                   data_qubits_only: bool = True,
+                   scheme: str = "bisp",
+                   baseline: str = "lockstep") -> Dict:
     """Figure 16: infidelity of the long-range CNOT circuit vs T1.
 
-    Runs the Figure-14 circuit under both schemes, derives per-qubit
-    activity windows from the device model, and applies the decoherence
-    model across the T1 sweep.  ``data_qubits_only`` restricts the
-    fidelity to the two qubits that carry the produced entangled pair
-    (the ancillas are measured and discarded); the baseline's serialized
-    feedback chain stretches exactly those qubits' idle windows.
+    Runs the Figure-14 circuit under ``scheme`` and ``baseline`` (any
+    registered synchronization schemes; the paper's pair by default),
+    derives per-qubit activity windows from the device model, and
+    applies the decoherence model across the T1 sweep.
+    ``data_qubits_only`` restricts the fidelity to the two qubits that
+    carry the produced entangled pair (the ancillas are measured and
+    discarded); the baseline's serialized feedback chain stretches
+    exactly those qubits' idle windows.
     """
+    for name in (scheme, baseline):
+        get_scheme(name)  # unknown schemes fail before the sweep runs
     circuit = build_long_range_cnot_circuit(distance)
     # Final data measurements so every qubit's window closes.
     circuit.measure(0, circuit.num_clbits - 2)
     circuit.measure(distance, circuit.num_clbits - 1)
     sweeps = {}
     makespans = {}
-    for scheme in ("bisp", "lockstep"):
-        result = run_circuit(circuit, scheme=scheme, config=config,
+    for name in (scheme, baseline):
+        result = run_circuit(circuit, scheme=name, config=config,
                              backend=None, device_seed=5,
                              record_gate_log=False)
         lifetimes = result.system.device.lifetimes_ns()
         if data_qubits_only:
             lifetimes = {q: lifetimes[q] for q in (0, distance)}
-        sweeps[scheme] = infidelity_sweep(lifetimes, t1_values_us)
-        makespans[scheme] = result.makespan_cycles
-    ratio = reduction_ratio(sweeps["lockstep"], sweeps["bisp"])
+        sweeps[name] = infidelity_sweep(lifetimes, t1_values_us)
+        makespans[name] = result.makespan_cycles
+    ratio = reduction_ratio(sweeps[baseline], sweeps[scheme])
     return {
         "t1_values_us": list(t1_values_us),
-        "baseline": sweeps["lockstep"],
-        "hisq": sweeps["bisp"],
+        "baseline": sweeps[baseline],
+        "hisq": sweeps[scheme],
         "reduction_ratio": ratio,
         "makespans": makespans,
     }
@@ -190,7 +197,9 @@ def figure16_noise_overlay(distance: int = 41,
                            t1_values_us: Sequence[float] = T1_SWEEP_US,
                            shots: int = 2000, seed: int = 16,
                            config: Optional[SimulationConfig] = None,
-                           data_qubits_only: bool = True) -> List[Dict]:
+                           data_qubits_only: bool = True,
+                           schemes: Sequence[str] = ("bisp", "lockstep")
+                           ) -> List[Dict]:
     """Figure-16 overlay: closed-form proxy vs Monte-Carlo empirical.
 
     Re-runs the :func:`figure16_sweep` experiment, but next to each
@@ -204,11 +213,13 @@ def figure16_noise_overlay(distance: int = 41,
     Monte-Carlo credits Z errors that land right before a Z-basis
     measurement (physically harmless), which the closed form charges.
     """
+    for name in schemes:
+        get_scheme(name)  # unknown schemes fail before the sweep runs
     circuit = build_long_range_cnot_circuit(distance)
     circuit.measure(0, circuit.num_clbits - 2)
     circuit.measure(distance, circuit.num_clbits - 1)
     rows: List[Dict] = []
-    for scheme in ("bisp", "lockstep"):
+    for scheme in schemes:
         result = run_circuit(circuit, scheme=scheme, config=config,
                              backend=None, device_seed=5,
                              record_gate_log=False)

@@ -35,6 +35,7 @@ import traceback
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..compiler import schemes as scheme_registry
 from ..compiler.driver import SCHEMES, run_circuit
 from ..errors import ReproError
 from ..noise.model import NoiseModel, derive_seed
@@ -94,6 +95,8 @@ class SweepTask:
     #: module that registered the workload; spawn workers import it
     #: before lookup, so families outside the builtin list work too.
     module: Optional[str] = None
+    #: module that registered the scheme (same spawn-safety contract).
+    scheme_module: Optional[str] = None
     config: Optional[SimulationConfig] = None
     #: Monte-Carlo noise model; None keeps the cell noiseless.
     noise: Optional[NoiseModel] = None
@@ -136,6 +139,8 @@ def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
                       substitution_fraction=spec.substitution_fraction,
                       device_seed=spec.device_seed, shots=cell.shots,
                       module=registry.origin_module(cell.workload),
+                      scheme_module=scheme_registry.origin_module(
+                          cell.scheme),
                       config=spec.config, noise=spec.noise,
                       noise_shots=spec.noise_shots)
             for cell in spec.cells()]
@@ -175,12 +180,13 @@ def run_cell(task: SweepTask) -> CellResult:
     """
     from ..circuits.dynamic import count_feedback_ops
 
-    if task.module and task.module != "__main__":
-        try:
-            import importlib
-            importlib.import_module(task.module)
-        except ImportError:
-            pass  # get_workload reports the missing name with context
+    import importlib
+    for module in (task.module, task.scheme_module):
+        if module and module != "__main__":
+            try:
+                importlib.import_module(module)
+            except ImportError:
+                pass  # the registry lookup reports the missing name
     workload = registry.get_workload(task.spec_name)
     spec = workload.spec(task.scale, task.substitution_fraction)
     circuit = spec.circuit()
@@ -296,7 +302,9 @@ def build_tasks(scale: float,
     return [SweepTask(spec_name=name, scheme=scheme, scale=scale,
                       substitution_fraction=substitution_fraction,
                       device_seed=device_seed, shots=shots,
-                      module=registry.origin_module(name), config=config)
+                      module=registry.origin_module(name),
+                      scheme_module=scheme_registry.origin_module(scheme),
+                      config=config)
             for name in names for scheme in schemes]
 
 

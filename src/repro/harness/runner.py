@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuits.dynamic import count_feedback_ops, to_dynamic
+from ..compiler import schemes as scheme_registry
 from ..compiler.driver import run_circuit
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
@@ -95,11 +96,27 @@ class BenchmarkOutcome:
         return self.makespan_cycles[scheme] / self.makespan_cycles[baseline]
 
 
+def resolve_schemes(schemes: Optional[Sequence[str]]) -> List[str]:
+    """Scheme names for a harness run: ``None`` means every registered
+    scheme (canonical registry order); explicit names are validated
+    through the scheme registry (typos fail loudly, with the registered
+    list in the message)."""
+    if schemes is None:
+        return scheme_registry.scheme_names()
+    for scheme in schemes:
+        scheme_registry.get_scheme(scheme)  # raises on unknown names
+    return list(schemes)
+
+
 def run_spec(spec: BenchmarkSpec,
-             schemes: Sequence[str] = ("bisp", "lockstep"),
+             schemes: Optional[Sequence[str]] = ("bisp", "lockstep"),
              config: Optional[SimulationConfig] = None,
              device_seed: int = 1234) -> BenchmarkOutcome:
-    """Run one workload under each scheme (timing-only, no state backend)."""
+    """Run one workload under each scheme (timing-only, no state backend).
+
+    ``schemes`` defaults to the Figure-15 pair; ``None`` runs every
+    registered scheme."""
+    schemes = resolve_schemes(schemes)
     circuit = spec.circuit()
     outcome = BenchmarkOutcome(
         name=spec.name, num_qubits=circuit.num_qubits,
@@ -116,10 +133,13 @@ def run_spec(spec: BenchmarkSpec,
 
 
 def run_suite(specs: Optional[List[BenchmarkSpec]] = None,
-              schemes: Sequence[str] = ("bisp", "lockstep"),
+              schemes: Optional[Sequence[str]] = ("bisp", "lockstep"),
               config: Optional[SimulationConfig] = None,
               verbose: bool = False) -> List[BenchmarkOutcome]:
-    """Run the whole suite; returns one outcome per workload."""
+    """Run the whole suite; returns one outcome per workload.
+
+    ``schemes=None`` runs every registered scheme."""
+    schemes = resolve_schemes(schemes)
     specs = specs if specs is not None else fig15_suite()
     outcomes = []
     for spec in specs:

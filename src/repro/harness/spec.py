@@ -20,7 +20,8 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
-from ..compiler.driver import SCHEMES
+from ..compiler import schemes as scheme_registry
+from ..compiler.schemes import SchemeRegistryError
 from ..errors import ReproError
 from ..noise.model import NoiseModel
 from ..sim.config import SimulationConfig
@@ -52,11 +53,15 @@ class SweepSpec:
     execution time* — a spec written before a new family registered will
     pick it up, which is exactly what a CI smoke sweep wants.  ``tags``
     filters that resolution (e.g. ``("paper",)`` for the Figure-15 list).
+    ``schemes=None`` works the same way on the scheme axis: every
+    scheme registered (in canonical registry order) at the time the
+    grid is resolved, so a third-party scheme registered at import time
+    joins the sweep with zero spec edits.
     """
 
     workloads: Optional[Tuple[str, ...]] = None
     tags: Optional[Tuple[str, ...]] = None
-    schemes: Tuple[str, ...] = SCHEMES
+    schemes: Optional[Tuple[str, ...]] = None
     scales: Tuple[float, ...] = (1.0,)
     shots: Tuple[int, ...] = (1,)
     substitution_fraction: float = 0.25
@@ -78,15 +83,18 @@ class SweepSpec:
 
     def validate(self) -> None:
         """Raise :class:`SweepSpecError` on any malformed axis."""
-        if not self.schemes:
-            raise SweepSpecError("spec needs at least one scheme")
-        for scheme in self.schemes:
-            if scheme not in SCHEMES:
+        if self.schemes is not None:
+            if not self.schemes:
                 raise SweepSpecError(
-                    "unknown scheme {!r}; expected one of {}".format(
-                        scheme, SCHEMES))
-        if len(set(self.schemes)) != len(self.schemes):
-            raise SweepSpecError("duplicate schemes {}".format(self.schemes))
+                    "schemes must be None (= all registered) or non-empty")
+            for scheme in self.schemes:
+                try:
+                    scheme_registry.get_scheme(scheme)
+                except SchemeRegistryError as exc:
+                    raise SweepSpecError(str(exc)) from None
+            if len(set(self.schemes)) != len(self.schemes):
+                raise SweepSpecError(
+                    "duplicate schemes {}".format(self.schemes))
         if not self.scales:
             raise SweepSpecError("spec needs at least one scale")
         for scale in self.scales:
@@ -135,14 +143,22 @@ class SweepSpec:
             return list(self.workloads)
         return registry.workload_names(tags=self.tags)
 
+    def resolved_schemes(self) -> List[str]:
+        """Scheme names this spec covers, in canonical registry order
+        when ``schemes`` is ``None`` (explicit lists keep their order)."""
+        if self.schemes is not None:
+            return list(self.schemes)
+        return scheme_registry.scheme_names()
+
     def cells(self) -> List[SweepCell]:
         """The full grid in deterministic (workload-major) order."""
+        schemes = self.resolved_schemes()
         return [SweepCell(workload=name, scheme=scheme, scale=scale,
                           shots=shots)
                 for name in self.resolved_workloads()
                 for scale in self.scales
                 for shots in self.shots
-                for scheme in self.schemes]
+                for scheme in schemes]
 
     def num_cells(self) -> int:
         return len(self.cells())
@@ -155,7 +171,8 @@ class SweepSpec:
             "workloads": (list(self.workloads)
                           if self.workloads is not None else None),
             "tags": list(self.tags) if self.tags is not None else None,
-            "schemes": list(self.schemes),
+            "schemes": (list(self.schemes)
+                        if self.schemes is not None else None),
             "scales": list(self.scales),
             "shots": list(self.shots),
             "substitution_fraction": self.substitution_fraction,

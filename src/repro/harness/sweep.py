@@ -2,8 +2,8 @@
 and emit a machine-readable ``BENCH_<name>.json`` artifact.
 
 The grid defaults to *every* registered workload (the paper's Figure-15
-families plus all self-registered extras) under all three
-synchronization schemes::
+families plus all self-registered extras) under *every* registered
+synchronization scheme (see ``--list-schemes``)::
 
     python -m repro.harness.sweep --scale 0.05 --out /tmp/bench
 
@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import replace
 
-from ..compiler.driver import SCHEMES
+from ..compiler import schemes as scheme_registry
 from ..errors import ReproError
 from ..fidelity import circuit_fidelity
 from ..noise.model import resolve_noise_model
@@ -52,7 +52,7 @@ from .parallel import (CacheStats, CellResult, SweepExecutionError,
 from .runner import BenchmarkOutcome
 from .spec import SweepSpec
 from .benchjson import (compare_benches, load_bench, make_bench, write_bench)
-from .tables import render_figure15
+from .tables import render_figure15, render_scheme_matrix
 
 #: T1 = T2 value (us) behind the per-cell ``fidelity_proxy`` column — the
 #: midpoint of the paper's 30..300 us sweep (section 6.4.5).
@@ -136,6 +136,15 @@ def _outcomes_from_rows(rows: List[Dict[str, object]],
             if all(s in o.makespan_cycles for s in schemes)]
 
 
+def _split_names(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated name flags:
+    ``--schemes oracle,lockstep_window`` == ``--schemes oracle
+    lockstep_window``."""
+    if not values:
+        return None
+    return [name for value in values for name in value.split(",") if name]
+
+
 def _spec_from_args(args) -> SweepSpec:
     if args.spec is not None:
         with open(args.spec) as handle:
@@ -152,10 +161,13 @@ def _spec_from_args(args) -> SweepSpec:
     if args.noise_shots is not None:
         # Omitted flag -> SweepSpec's own default stays authoritative.
         kwargs["noise_shots"] = args.noise_shots
+    workloads = _split_names(args.workloads)
+    tags = _split_names(args.tags)
+    schemes = _split_names(args.schemes)
     return SweepSpec(
-        workloads=tuple(args.workloads) if args.workloads else None,
-        tags=tuple(args.tags) if args.tags else None,
-        schemes=tuple(args.schemes),
+        workloads=tuple(workloads) if workloads else None,
+        tags=tuple(tags) if tags else None,
+        schemes=tuple(schemes) if schemes else None,
         scales=tuple(args.scale),
         shots=tuple(args.shots),
         substitution_fraction=args.substitution_fraction,
@@ -176,9 +188,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="registered workload names (default: all)")
     parser.add_argument("--tags", nargs="+", default=None,
                         help="restrict to workloads with any of these tags")
-    parser.add_argument("--schemes", nargs="+", default=list(SCHEMES),
-                        choices=SCHEMES,
-                        help="synchronization schemes (default: all three)")
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        help="registered synchronization schemes, space- "
+                             "or comma-separated (default: every "
+                             "registered scheme; see --list-schemes)")
+    parser.add_argument("--list-schemes", action="store_true",
+                        help="print the registered schemes (name, tags, "
+                             "description) and exit")
     parser.add_argument("--scale", nargs="+", type=float, default=[1.0],
                         help="workload scale factor(s) (1.0 = paper sizes)")
     parser.add_argument("--shots", nargs="+", type=int, default=[1],
@@ -230,6 +246,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
+        if args.list_schemes:
+            for scheme in scheme_registry.all_schemes():
+                tags = ",".join(scheme.tags) or "-"
+                print("{:<18s} {:<14s} {}".format(scheme.name, tags,
+                                                  scheme.description))
+            return 0
         spec = _spec_from_args(args)
         if args.print_spec:
             print(spec.to_json(indent=2))
@@ -271,11 +293,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "{fidelity_ci_high:.4f}] ({noise_method})"
                              .format(**row))
                 print(line)
-            outcomes = _outcomes_from_rows(rows, ("bisp", "lockstep"))
-            if outcomes and len(args.scale) == 1 and len(args.shots) == 1 \
-                    and {"bisp", "lockstep"} <= set(spec.schemes):
-                print()
-                print(render_figure15(outcomes))
+            swept = spec.resolved_schemes()
+            if len(args.scale) == 1 and len(args.shots) == 1:
+                outcomes = _outcomes_from_rows(rows, ("bisp", "lockstep"))
+                if outcomes and {"bisp", "lockstep"} <= set(swept):
+                    print()
+                    print(render_figure15(outcomes))
+                matrix = _outcomes_from_rows(rows, swept)
+                if matrix and len(swept) > 2:
+                    print()
+                    print(render_scheme_matrix(matrix, schemes=swept))
 
         volatile = None
         if args.timing_meta:

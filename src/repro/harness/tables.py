@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
 
+from ..compiler import schemes as scheme_registry
 from ..fidelity.metrics import arithmetic_mean, runtime_reduction_percent
 from ..hardware.resources import table1
 from .runner import BenchmarkOutcome
@@ -56,6 +57,51 @@ def render_figure15(outcomes: List[BenchmarkOutcome],
     footer = ("\naverage runtime reduction: {:.1f}%  "
               "(paper: 22.8%, avg normalized 0.772)").format(reduction)
     return table + footer
+
+
+def render_scheme_matrix(outcomes: List[BenchmarkOutcome],
+                         schemes: Optional[Sequence[str]] = None,
+                         baseline: Optional[str] = None) -> str:
+    """Makespan matrix: one column per synchronization scheme.
+
+    ``schemes=None`` renders every registered scheme an outcome carries
+    (canonical registry order); ``baseline`` (default: ``"lockstep"``
+    when present, else the last column) adds a normalized-to-baseline
+    column per scheme in the footer row.
+    """
+    if schemes is None:
+        present = set()
+        for outcome in outcomes:
+            present.update(outcome.makespan_cycles)
+        schemes = [s for s in scheme_registry.scheme_names()
+                   if s in present]
+        schemes += sorted(present - set(schemes))  # unregistered extras
+    else:
+        schemes = list(schemes)
+    if not schemes:
+        raise ValueError("no schemes to render")
+    if baseline is None:
+        baseline = "lockstep" if "lockstep" in schemes else schemes[-1]
+    rows = []
+    sums = {scheme: [0.0, 0] for scheme in schemes}
+    for outcome in outcomes:
+        row = [outcome.name, outcome.num_qubits, outcome.feedback_ops]
+        base = outcome.makespan_cycles.get(baseline)
+        for scheme in schemes:
+            cycles = outcome.makespan_cycles.get(scheme)
+            row.append(cycles if cycles is not None else "-")
+            if cycles is not None and base:
+                sums[scheme][0] += cycles / base
+                sums[scheme][1] += 1
+        rows.append(tuple(row))
+    footer = ["avg vs {}".format(baseline), "", ""]
+    for scheme in schemes:
+        total, count = sums[scheme]
+        footer.append("{:.3f}".format(total / count) if count else "-")
+    rows.append(tuple(footer))
+    headers = ["benchmark", "qubits", "feedback"] + \
+        ["{} (cycles)".format(s) for s in schemes]
+    return format_table(headers, rows)
 
 
 def render_figure16(t1_values_us: Sequence[float],

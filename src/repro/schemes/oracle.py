@@ -1,0 +1,52 @@
+"""Oracle scheme: zero-latency synchronization, the idealized lower bound.
+
+Every real scheme pays for classical communication somewhere — BISP
+hides it behind deterministic work, demand pays it on every sync,
+lock-step pays a broadcast per feedback point.  The oracle removes the
+cost entirely: all classical links (neighbor mesh, router tree, the
+baseline's central broadcast) have zero latency, so synchronization
+still *aligns* both sides of every cross-controller gate (the sync
+handshake completes the moment the later side arrives) but never adds
+communication overhead on top.
+
+Under the zero-latency config the demand-style gap assignment *is*
+already optimal — nearby syncs get their full "latency" gap of zero
+cycles, region syncs keep only the mandatory 1-cycle booking lead
+(``delta >= 1`` by ISA convention) — so the scheme is simply the BISP
+lowering + :data:`~repro.compiler.schemes.DEMAND_GAPS_PASS` compiled
+and simulated with free communication.
+
+This makes ``oracle`` the natural normalization anchor for Figure-15
+style comparisons: ``makespan(scheme) / makespan(oracle)`` is exactly
+the synchronization overhead a scheme adds over the circuit's inherent
+critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..compiler.codegen import LoweredProgram, lower_circuit
+from ..compiler.schemes import DEMAND_GAPS_PASS, register_scheme
+
+
+def _zero_latency_config(config):
+    """The same timing grid with every classical link latency at zero."""
+    return replace(config,
+                   neighbor_link_cycles=0,
+                   router_hop_cycles=0,
+                   router_process_cycles=0,
+                   baseline_broadcast_cycles=0)
+
+
+@register_scheme(
+    "oracle",
+    description="Idealized zero-latency synchronization: syncs align "
+                "cross-controller gates but classical communication is "
+                "free — the lower bound every real scheme is measured "
+                "against",
+    passes=(DEMAND_GAPS_PASS,),
+    adapt_config=_zero_latency_config,
+    tags=("extra", "anchor"))
+def _lower_oracle(circuit, qmap, topology, config) -> LoweredProgram:
+    return lower_circuit(circuit, qmap, topology, config)

@@ -16,7 +16,11 @@ from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.stabilizer import StabilizerBackend
 from repro.quantum.statevector import StatevectorBackend
 
-SCHEMES = ("bisp", "demand", "lockstep")
+from repro.compiler.schemes import scheme_names
+
+#: Every registered scheme — the equivalence tests are the contract a
+#: new scheme must pass to join the registry.
+SCHEMES = tuple(scheme_names())
 
 
 def random_dynamic_circuit(num_qubits, rng, ops=20):

@@ -67,6 +67,11 @@ def test_codegen_matches_golden(scheme, update_golden):
 
 
 def test_schemes_differ_from_each_other():
-    """Sanity: the three schemes must not collapse to identical programs."""
-    texts = {scheme: render_compilation(scheme) for scheme in SCHEMES}
+    """Sanity: the paper's three schemes must not collapse to identical
+    programs.  (The registry's extra schemes are allowed to coincide with
+    a core scheme on this tiny circuit — lockstep_window only diverges
+    from lockstep once a circuit has several feedback blocks, pinned in
+    tests/compiler/test_schemes.py.)"""
+    texts = {scheme: render_compilation(scheme)
+             for scheme in ("bisp", "demand", "lockstep")}
     assert len(set(texts.values())) == 3

@@ -9,6 +9,7 @@ from repro.harness.benchjson import (BenchSchemaError, compare_benches,
                                      validate_bench, write_bench)
 from repro.harness.parallel import (SweepExecutionError, run_tasks,
                                     tasks_from_spec)
+from repro.compiler.schemes import scheme_names
 from repro.harness.registry import Workload, register, unregister
 from repro.harness.spec import SweepSpec, SweepSpecError
 from repro.harness.sweep import main as sweep_main
@@ -53,7 +54,12 @@ class TestSweepSpec:
     def test_default_spec_covers_registry_all_schemes(self):
         spec = SweepSpec(scales=(0.05,))
         assert len(spec.resolved_workloads()) >= 17
-        assert spec.num_cells() == len(spec.resolved_workloads()) * 3
+        schemes = spec.resolved_schemes()
+        assert schemes == scheme_names()
+        assert {"bisp", "demand", "lockstep", "oracle",
+                "lockstep_window"} <= set(schemes)
+        assert spec.num_cells() == \
+            len(spec.resolved_workloads()) * len(schemes)
 
     @pytest.mark.parametrize("kwargs", [
         {"schemes": ()},
@@ -81,6 +87,28 @@ class TestSweepSpec:
         spec = SweepSpec(workloads=("nope",))
         with pytest.raises(Exception, match="nope"):
             spec.resolved_workloads()
+
+    def test_unknown_scheme_error_names_it_and_lists_registered(self):
+        with pytest.raises(SweepSpecError) as excinfo:
+            SweepSpec(schemes=("warp",))
+        message = str(excinfo.value)
+        assert "warp" in message
+        for name in ("bisp", "oracle", "lockstep_window"):
+            assert name in message
+
+    def test_unknown_scheme_rejected_from_json(self):
+        text = SweepSpec(workloads=("bv_n400",)).to_json()
+        broken = text.replace('"schemes": null',
+                              '"schemes": ["bisp", "warp"]')
+        assert '"warp"' in broken
+        with pytest.raises(SweepSpecError, match="warp"):
+            SweepSpec.from_json(broken)
+
+    def test_schemes_none_round_trips_and_resolves(self):
+        spec = SweepSpec(workloads=("bv_n400",))
+        assert spec.schemes is None
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        assert spec.resolved_schemes() == scheme_names()
 
 
 class TestExecution:
@@ -242,6 +270,26 @@ class TestSweepCli:
             unregister("toy_cli_broken")
         assert code == 1
         assert "cli boom" in capsys.readouterr().err
+
+    def test_unknown_scheme_exits_nonzero_naming_it(self, capsys):
+        code = sweep_main(["--scale", "0.02", "--schemes", "warp",
+                           "--workloads", "bv_n400", "--quiet"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "warp" in err
+        assert "bisp" in err  # registered schemes listed
+
+    def test_list_schemes(self, capsys):
+        assert sweep_main(["--list-schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in scheme_names():
+            assert name in out
+
+    def test_comma_separated_schemes(self, capsys):
+        assert sweep_main(["--count-cells", "--workloads", "bv_n400",
+                           "--schemes", "oracle,lockstep_window",
+                           "--scale", "0.02"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
 
     def test_require_cached_fails_cold(self, tmp_path, capsys):
         code = sweep_main(["--scale", "0.02", "--schemes", "bisp",
