@@ -1,0 +1,127 @@
+"""Hot-path overhaul benchmark: fast-path vs legacy interpreter, end to end.
+
+The perf-trajectory artifact of the simulator core: runs the full
+paper-tag Figure-15 sweep serially twice — once on the pre-decoded
+fast path (HISQ pre-decode + basic-block fast-forward + timing-wheel
+engine) and once with ``REPRO_NO_FASTPATH=1`` (the original
+per-instruction interpreter) — and records both wall-clocks plus their
+ratio in ``BENCH_hotpath.json``.  The two sweeps must be *bit-identical*
+(same per-cell makespans, stalls and lifetimes); only the clock may
+differ.
+
+Also benchmarks the bit-packed stabilizer tableau against the uint8
+reference layout on an n-scaled random Clifford + measurement workload
+(the quantum half of the overhaul; not part of the timing sweep, which
+is state-free).
+
+``REPRO_SCALE`` scales the workloads (default 0.15; the paper-scale
+acceptance number uses 0.1); ``REPRO_BENCH_DIR`` redirects the artifact.
+"""
+
+import dataclasses
+import os
+import random
+import time
+
+from repro.harness.parallel import run_tasks, tasks_from_spec
+from repro.harness.spec import SweepSpec
+from repro.quantum.stabilizer import StabilizerBackend
+
+#: Conservative CI floor for the *flag-delta* (fast path vs
+#: ``REPRO_NO_FASTPATH=1``, everything else equal) on shared runners.
+#: The flag only toggles pre-decode + fast-forward — the rest of the
+#: overhaul (interning, timing wheel, tuple TELF, ...) benefits both
+#: sides, and the end-to-end gain vs the pre-overhaul core is ~3x (see
+#: README "Performance").  Below this floor the fast path is materially
+#: *slower* than stepwise, i.e. it regressed.
+#: Overridable for very noisy/tiny-scale CI legs.
+MIN_SWEEP_SPEEDUP = float(os.environ.get("REPRO_HOTPATH_MIN_SPEEDUP",
+                                         "0.75"))
+
+#: Floor for packed-vs-uint8 tableau measurement throughput at n=300.
+MIN_TABLEAU_SPEEDUP = 2.0
+
+
+def _sweep_rows(tasks):
+    results, _ = run_tasks(tasks, processes=1)
+    return [dataclasses.asdict(results[task.key()]) for task in tasks]
+
+
+def test_sweep_fastpath_speedup(bench_recorder, scale):
+    spec = SweepSpec(tags=("paper",), scales=(float(scale),))
+    tasks = tasks_from_spec(spec)
+
+    # The comparison needs the flag off for the first sweep and on for
+    # the second, whatever the ambient environment; restore it after.
+    previous = os.environ.pop("REPRO_NO_FASTPATH", None)
+    try:
+        started = time.perf_counter()
+        fast_rows = _sweep_rows(tasks)
+        fast_seconds = time.perf_counter() - started
+
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+        started = time.perf_counter()
+        legacy_rows = _sweep_rows(tasks)
+        legacy_seconds = time.perf_counter() - started
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = previous
+
+    speedup = legacy_seconds / fast_seconds
+    print("\n=== serial paper-tag sweep (scale={}) ===".format(scale))
+    print("fast path: {:.2f}s   legacy: {:.2f}s   speedup {:.2f}x".format(
+        fast_seconds, legacy_seconds, speedup))
+    bench_recorder.add(
+        "sweep_scale_{:g}".format(float(scale)), cells=len(tasks),
+        scale=float(scale), identical=int(fast_rows == legacy_rows),
+        makespan_sum=sum(row["makespan_cycles"] for row in fast_rows))
+    bench_recorder.note_volatile(fast_seconds=fast_seconds,
+                                 legacy_seconds=legacy_seconds,
+                                 sweep_speedup=speedup)
+    # Bit-identity is the hard requirement; the wall-clock floor guards
+    # against the fast path silently regressing to the legacy cost.
+    assert fast_rows == legacy_rows
+    assert speedup >= MIN_SWEEP_SPEEDUP, (fast_seconds, legacy_seconds)
+
+
+def _tableau_workload(backend, rng, gates):
+    n = backend.num_qubits
+    for _ in range(gates):
+        roll = rng.random()
+        if roll < 0.4:
+            backend.h(rng.randrange(n))
+        elif roll < 0.6:
+            backend.s(rng.randrange(n))
+        else:
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                backend.cx(a, b)
+    for q in range(n):
+        backend.measure(q)
+
+
+def test_packed_tableau_speedup(bench_recorder):
+    n, gates, seed = 300, 2000, 20260730
+    timings = {}
+    outcomes = {}
+    for packed in (True, False):
+        backend = StabilizerBackend(n, seed=seed, packed=packed)
+        rng = random.Random(seed)
+        started = time.perf_counter()
+        _tableau_workload(backend, rng, gates)
+        timings[packed] = time.perf_counter() - started
+        outcomes[packed] = backend.canonical_stabilizers()
+    speedup = timings[False] / timings[True]
+    print("\n=== stabilizer tableau, n={} ({} gates + measure-all) ==="
+          .format(n, gates))
+    print("packed: {:.3f}s   uint8: {:.3f}s   speedup {:.1f}x".format(
+        timings[True], timings[False], speedup))
+    bench_recorder.add("tableau_n{}".format(n), num_qubits=n, gates=gates,
+                       identical=int(outcomes[True] == outcomes[False]))
+    bench_recorder.note_volatile(packed_seconds=timings[True],
+                                 uint8_seconds=timings[False],
+                                 tableau_speedup=speedup)
+    assert outcomes[True] == outcomes[False]
+    assert speedup >= MIN_TABLEAU_SPEEDUP, timings

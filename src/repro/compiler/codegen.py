@@ -16,7 +16,7 @@ from ..errors import CompilationError
 from ..network.topology import Topology
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
-from ..sim.device import GateAction, MeasureAction
+from ..sim.device import GateAction, MeasureAction, gate_action
 from .codewords import CodewordAllocator, drive_port, measure_port
 from .mapping import QubitMap
 from .streams import (Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR,
@@ -111,7 +111,7 @@ class Lowering:
         if op.name == "delay":
             append_wait(sink, self.config.cycles(op.params[0]))
             return
-        action = GateAction(op.name, (qubit,), tuple(op.params))
+        action = gate_action(op.name, (qubit,), tuple(op.params))
         sink.append(self._drive_cw(controller, action))
         append_wait(sink, self._gate_cycles(1))
 
@@ -124,7 +124,7 @@ class Lowering:
         if c1 == c2:
             sink = (body_sinks[c1] if body_sinks is not None
                     else self._stream(c1))
-            action = GateAction(op.name, tuple(op.qubits), tuple(op.params))
+            action = gate_action(op.name, tuple(op.qubits), tuple(op.params))
             local = self.qmap.local_index(q1)
             port = drive_port(local)
             cw = self.out.allocators[c1].allocate(port, action)
@@ -145,8 +145,8 @@ class Lowering:
             else:
                 # delta >= 1 by ISA convention; unhoisted lead is 1 cycle.
                 sink.append(SyncR(group, delta=1, gap=1))
-            action = GateAction(op.name, tuple(op.qubits), tuple(op.params),
-                                half=half, total_halves=2)
+            action = gate_action(op.name, tuple(op.qubits), tuple(op.params),
+                                 half=half, total_halves=2)
             local = self.qmap.local_index(qubit)
             port = drive_port(local)
             cw = self.out.allocators[controller].allocate(port, action)
@@ -177,7 +177,7 @@ class Lowering:
         self.bit_present = {(c, b) for (c, b) in self.bit_present
                             if b != scratch_bit}
         self.bit_present.add((controller, scratch_bit))
-        action = GateAction("x", (qubit,), ())
+        action = gate_action("x", (qubit,), ())
         body = [self._drive_cw(controller, action)]
         append_wait(body, self._gate_cycles(1))
         self._stream(controller).append(Cond(scratch_bit, 1, body))

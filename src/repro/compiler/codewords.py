@@ -23,20 +23,22 @@ class CodewordAllocator:
         self._memo: Dict[tuple, Tuple[int, int]] = {}
 
     def _key(self, port: int, action) -> tuple:
-        if isinstance(action, GateAction):
+        cls = action.__class__
+        if cls is GateAction or isinstance(action, GateAction):
             return ("gate", port, action.name, action.qubits, action.params,
                     action.half, action.total_halves)
-        if isinstance(action, MeasureAction):
+        if cls is MeasureAction or isinstance(action, MeasureAction):
             return ("meas", port, action.qubit)
-        if isinstance(action, MarkerAction):
+        if cls is MarkerAction or isinstance(action, MarkerAction):
             return ("marker", port, action.tag)
         raise TypeError("unknown action {!r}".format(action))
 
     def allocate(self, port: int, action) -> int:
         """Return the codeword for ``action`` on ``port`` (idempotent)."""
         key = self._key(port, action)
-        if key in self._memo:
-            return self._memo[key][1]
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit[1]
         codeword = self._next.get(port, 1)  # codeword 0 reserved = no-op
         self._next[port] = codeword + 1
         self.table[(port, codeword)] = action

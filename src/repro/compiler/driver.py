@@ -56,6 +56,7 @@ class CompilationResult:
     def build_system(self, backend=None, device_seed: int = 12345,
                      strict_timing: bool = False,
                      record_gate_log: bool = True,
+                     record_telf: bool = True,
                      noise_model=None,
                      noise_seed: int = 0x5EED) -> ControlSystem:
         """Instantiate a ready-to-run :class:`ControlSystem`.
@@ -70,7 +71,8 @@ class CompilationResult:
             mesh_kind=self.mesh_kind, topology=self.topology,
             backend=backend,
             device_seed=device_seed, strict_timing=strict_timing,
-            record_gate_log=record_gate_log, noise_model=noise_model,
+            record_gate_log=record_gate_log, record_telf=record_telf,
+            noise_model=noise_model,
             noise_seed=noise_seed)
         for address, program in self.programs.items():
             system.load_program(address, program)
@@ -174,7 +176,8 @@ def simulate_shot(compilation: CompilationResult, device_seed: int,
     branches — and therefore makespans — vary shot to shot.
     """
     system = compilation.build_system(backend=None, device_seed=device_seed,
-                                      record_gate_log=False)
+                                      record_gate_log=False,
+                                      record_telf=False)
     stats = system.run(until=until)
     return {
         "device_seed": device_seed,
@@ -216,6 +219,7 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                 mesh_kind: str = "line",
                 until: Optional[int] = None,
                 record_gate_log: bool = True,
+                record_telf: bool = True,
                 shots: int = 1,
                 executor=None,
                 noise_model=None,
@@ -239,6 +243,7 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
     system = compilation.build_system(backend=backend,
                                       device_seed=device_seed,
                                       record_gate_log=record_gate_log,
+                                      record_telf=record_telf,
                                       noise_model=noise_model,
                                       noise_seed=noise_seed)
     stats = system.run(until=until)

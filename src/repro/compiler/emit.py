@@ -5,16 +5,21 @@ Register conventions: ``t0`` (x5) holds received/loaded classical values,
 memory at address ``4 * bit``, so any number of measurement results can be
 stored and reloaded (``sw``/``lw``), matching how real control firmware
 spills feedback state.
+
+Expansion leans on instruction interning: the handful of instruction
+shapes a stream expands to (waits, codewords, spill/load pairs, the fixed
+ACQ receive) are memoized, so the hot loop is dict lookups and list
+appends rather than dataclass construction.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..core.config import ACQ_ADDRESS
 from ..errors import CompilationError
-from ..isa.instructions import (Instruction, cw_ii, halt, recv, send, sync,
-                                waiti)
+from ..isa.instructions import (Instruction, cw_ii, halt, interned, recv,
+                                send, sync, waiti)
 from ..isa.program import Program
 from .streams import Cond, Cw, Measure, RecvBit, SendBit, SyncN, SyncR, Wait
 
@@ -23,9 +28,60 @@ ADDR_REG = 6    # t1
 
 _MAX_WAIT = (1 << 20) - 1
 
+#: The fixed measurement receive: every Measure expands to the same
+#: blocking ACQ read into VALUE_REG.
+_RECV_ACQ = recv(VALUE_REG, ACQ_ADDRESS)
+
+_wait_memo: Dict[int, Instruction] = {}
+_bit_ops_memo: Dict[Tuple[int, str], tuple] = {}
+#: (port, codeword) / (peer, delta) / src / dst memos: one dict get per
+#: stream item instead of the helper-ctor + interner call pair.
+_cw_memo: Dict[Tuple[int, int], Instruction] = {}
+_sync_memo: Dict[Tuple[int, int], Instruction] = {}
+_recv_memo: Dict[int, Instruction] = {}
+_send_memo: Dict[int, Instruction] = {}
+
+
+def _cw_of(port: int, codeword: int) -> Instruction:
+    key = (port, codeword)
+    instr = _cw_memo.get(key)
+    if instr is None:
+        if len(_cw_memo) >= (1 << 15):
+            _cw_memo.clear()
+        instr = _cw_memo[key] = cw_ii(port, codeword)
+    return instr
+
+
+def _sync_of(target: int, delta: int) -> Instruction:
+    key = (target, delta)
+    instr = _sync_memo.get(key)
+    if instr is None:
+        instr = _sync_memo[key] = sync(target, delta)
+    return instr
+
+
+def _recv_of(src: int) -> Instruction:
+    instr = _recv_memo.get(src)
+    if instr is None:
+        instr = _recv_memo[src] = recv(VALUE_REG, src)
+    return instr
+
+
+def _send_of(dst: int) -> Instruction:
+    instr = _send_memo.get(dst)
+    if instr is None:
+        instr = _send_memo[dst] = send(dst, VALUE_REG)
+    return instr
+
 
 def emit_wait(cycles: int, out: List[Instruction]) -> None:
     """Append waiti instruction(s) totalling ``cycles``."""
+    if 0 < cycles <= _MAX_WAIT:
+        instr = _wait_memo.get(cycles)
+        if instr is None:
+            instr = _wait_memo[cycles] = waiti(cycles)
+        out.append(instr)
+        return
     if cycles < 0:
         raise CompilationError("negative wait {}".format(cycles))
     while cycles > _MAX_WAIT:
@@ -35,78 +91,88 @@ def emit_wait(cycles: int, out: List[Instruction]) -> None:
         out.append(waiti(cycles))
 
 
-def _bit_address_ops(bit: int, mnemonic: str) -> List[Instruction]:
+def _bit_address_ops(bit: int, mnemonic: str) -> tuple:
     """lw/sw of VALUE_REG at the spill slot of classical ``bit``."""
+    key = (bit, mnemonic)
+    ops = _bit_ops_memo.get(key)
+    if ops is not None:
+        return ops
     address = 4 * bit
     if address <= 2047:
         if mnemonic == "sw":
-            return [Instruction("sw", rs2=VALUE_REG, rs1=0, imm=address)]
-        return [Instruction("lw", rd=VALUE_REG, rs1=0, imm=address)]
-    low = address & 0xFFF
-    if low >= 0x800:
-        low -= 0x1000
-    high = (address - low) >> 12
-    ops = [Instruction("lui", rd=ADDR_REG, imm=high & 0xFFFFF)]
-    if low:
-        ops.append(Instruction("addi", rd=ADDR_REG, rs1=ADDR_REG, imm=low))
-    if mnemonic == "sw":
-        ops.append(Instruction("sw", rs2=VALUE_REG, rs1=ADDR_REG, imm=0))
+            ops = (interned("sw", 0, 0, VALUE_REG, address),)
+        else:
+            ops = (interned("lw", VALUE_REG, 0, 0, address),)
     else:
-        ops.append(Instruction("lw", rd=VALUE_REG, rs1=ADDR_REG, imm=0))
+        low = address & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = (address - low) >> 12
+        parts = [interned("lui", ADDR_REG, 0, 0, high & 0xFFFFF)]
+        if low:
+            parts.append(interned("addi", ADDR_REG, ADDR_REG, 0, low))
+        if mnemonic == "sw":
+            parts.append(interned("sw", 0, ADDR_REG, VALUE_REG, 0))
+        else:
+            parts.append(interned("lw", VALUE_REG, ADDR_REG, 0, 0))
+        ops = tuple(parts)
+    if len(_bit_ops_memo) < (1 << 14):
+        _bit_ops_memo[key] = ops
     return ops
 
 
 def store_bit(bit: int) -> List[Instruction]:
     """Spill VALUE_REG into classical bit ``bit``'s memory slot."""
-    return _bit_address_ops(bit, "sw")
+    return list(_bit_address_ops(bit, "sw"))
 
 
 def load_bit(bit: int) -> List[Instruction]:
     """Load classical bit ``bit`` into VALUE_REG."""
-    return _bit_address_ops(bit, "lw")
+    return list(_bit_address_ops(bit, "lw"))
 
 
 def expand_items(items) -> List[Instruction]:
     """Expand a stream into instructions (no trailing halt)."""
     out: List[Instruction] = []
+    append = out.append
+    extend = out.extend
     for item in items:
-        if isinstance(item, Wait):
+        cls = item.__class__
+        if cls is Wait:
             emit_wait(item.cycles, out)
-        elif isinstance(item, Cw):
-            out.append(cw_ii(item.port, item.codeword))
-        elif isinstance(item, SyncN):
-            out.append(sync(item.peer, 0))
+        elif cls is Cw:
+            append(_cw_of(item.port, item.codeword))
+        elif cls is SyncN:
+            append(_sync_of(item.peer, 0))
             emit_wait(item.gap, out)
-        elif isinstance(item, SyncR):
+        elif cls is SyncR:
             if item.delta < 1:
                 raise CompilationError("region sync delta must be >= 1")
-            out.append(sync(item.group, item.delta))
+            append(_sync_of(item.group, item.delta))
             emit_wait(item.gap, out)
-        elif isinstance(item, Measure):
-            out.append(cw_ii(item.port, item.codeword))
-            out.append(recv(VALUE_REG, ACQ_ADDRESS))
-            out.extend(store_bit(item.bit))
-        elif isinstance(item, SendBit):
-            out.extend(load_bit(item.bit))
-            out.append(send(item.dst, VALUE_REG))
-        elif isinstance(item, RecvBit):
-            out.append(recv(VALUE_REG, item.src))
-            out.extend(store_bit(item.bit))
-        elif isinstance(item, Cond):
+        elif cls is Measure:
+            append(_cw_of(item.port, item.codeword))
+            append(_RECV_ACQ)
+            extend(_bit_address_ops(item.bit, "sw"))
+        elif cls is SendBit:
+            extend(_bit_address_ops(item.bit, "lw"))
+            append(_send_of(item.dst))
+        elif cls is RecvBit:
+            append(_recv_of(item.src))
+            extend(_bit_address_ops(item.bit, "sw"))
+        elif cls is Cond:
             body = expand_items(item.body)
-            out.extend(load_bit(item.bit))
+            extend(_bit_address_ops(item.bit, "lw"))
             offset = len(body) + 1
             if item.value == 1:
-                out.append(Instruction("beq", rs1=VALUE_REG, rs2=0,
-                                       imm=offset))
+                append(interned("beq", 0, VALUE_REG, 0, offset))
             elif item.value == 0:
-                out.append(Instruction("bne", rs1=VALUE_REG, rs2=0,
-                                       imm=offset))
+                append(interned("bne", 0, VALUE_REG, 0, offset))
             else:
                 raise CompilationError(
                     "condition value must be 0 or 1, got {}".format(
                         item.value))
-            out.extend(body)
+            extend(body)
             emit_wait(item.reserve, out)
         else:
             raise CompilationError("unknown stream item {!r}".format(item))

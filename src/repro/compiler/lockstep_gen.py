@@ -28,7 +28,7 @@ from ..errors import CompilationError
 from ..network.topology import Topology
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
-from ..sim.device import GateAction, MeasureAction
+from ..sim.device import GateAction, MeasureAction, gate_action
 from .codegen import LoweredProgram
 from .codewords import drive_port, measure_port
 from .mapping import QubitMap
@@ -87,16 +87,16 @@ class LockstepLowering:
         if len(controllers) == 1:
             (controller, _), = controllers.items()
             self._pad(controller, start)
-            action = GateAction(op.name, tuple(op.qubits), tuple(op.params))
+            action = gate_action(op.name, tuple(op.qubits), tuple(op.params))
             self.out.streams[controller].append(
                 self._cw(controller, op.qubits[0], action))
         else:
             for half, qubit in enumerate(op.qubits):
                 controller = self.qmap.controller_of(qubit)
                 self._pad(controller, start)
-                action = GateAction(op.name, tuple(op.qubits),
-                                    tuple(op.params), half=half,
-                                    total_halves=2)
+                action = gate_action(op.name, tuple(op.qubits),
+                                     tuple(op.params), half=half,
+                                     total_halves=2)
                 self.out.streams[controller].append(
                     self._cw(controller, qubit, action))
         for q in op.qubits:
@@ -130,13 +130,16 @@ class LockstepLowering:
         global_max = max(self.ready) if self.ready else 0
         for controller in self.out.streams:
             self._pad(controller, global_max)
+        streams = list(self.out.streams.values())
         for bit in self.pending_bits:
             owner = self.bit_owner[bit]
             self.out.streams[owner].append(SendBit(CENTRAL_ADDRESS, bit))
             self.out.num_messages += 1
-            for controller in self.out.streams:
-                self.out.streams[controller].append(
-                    RecvBit(CENTRAL_ADDRESS, bit))
+            # Every controller receives the same broadcast: one shared
+            # (read-only) stream item serves them all.
+            item = RecvBit(CENTRAL_ADDRESS, bit)
+            for stream in streams:
+                stream.append(item)
             self.broadcast_bits.add(bit)
         self.pending_bits = []
         self.ready = [0] * len(self.ready)
@@ -178,7 +181,7 @@ class LockstepLowering:
                 if not multi and half > 0:
                     continue
                 body_pad(controller, op_start)
-                action = GateAction(
+                action = gate_action(
                     op.name, tuple(op.qubits), tuple(op.params),
                     half=half if multi else 0,
                     total_halves=2 if multi else 1)

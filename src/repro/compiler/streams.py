@@ -3,31 +3,59 @@
 The code generator lowers a circuit into one item stream per controller;
 the BISP booking pass (:mod:`repro.compiler.sync_pass`) hoists sync items;
 :mod:`repro.compiler.emit` expands streams into executable instructions.
+
+Items are hand-rolled ``__slots__`` classes rather than dataclasses: the
+lowering loops create one item per gate/wait/feedback op, and a slotted
+``__init__`` is measurably cheaper (no per-instance ``__dict__``) on the
+compile hot path.  Construction signatures, equality and reprs match the
+previous dataclass behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 
-@dataclass
-class Wait:
+class _StreamItem:
+    """Shared repr/eq over ``__slots__`` (dataclass-like semantics)."""
+
+    __slots__ = ()
+    # Like the former dataclasses (eq without frozen): not hashable.
+    __hash__ = None
+
+    def __repr__(self):
+        return "{}({})".format(
+            type(self).__name__,
+            ", ".join("{}={!r}".format(name, getattr(self, name))
+                      for name in self.__slots__))
+
+    def __eq__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
+
+
+class Wait(_StreamItem):
     """Advance the timeline by ``cycles``."""
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
 
 
-@dataclass
-class Cw:
+class Cw(_StreamItem):
     """Emit ``codeword`` on ``port`` at the current position."""
 
-    port: int
-    codeword: int
+    __slots__ = ("port", "codeword")
+
+    def __init__(self, port: int, codeword: int):
+        self.port = port
+        self.codeword = codeword
 
 
-@dataclass
-class SyncN:
+class SyncN(_StreamItem):
     """Nearby BISP sync with controller ``peer``.
 
     ``pair_key`` identifies the logical sync so the booking pass can
@@ -36,13 +64,15 @@ class SyncN:
     ``hoisted + gap >= countdown N``, equal on both sides).
     """
 
-    peer: int
-    pair_key: Tuple
-    gap: int
+    __slots__ = ("peer", "pair_key", "gap")
+
+    def __init__(self, peer: int, pair_key: Tuple, gap: int):
+        self.peer = peer
+        self.pair_key = pair_key
+        self.gap = gap
 
 
-@dataclass
-class SyncR:
+class SyncR(_StreamItem):
     """Region BISP sync through ``group``.
 
     ``delta`` is the booked lead (cycles from booking to the sync point);
@@ -50,38 +80,46 @@ class SyncR:
     hoisted amount).  ``delta`` >= 1 by ISA convention (0 means nearby).
     """
 
-    group: int
-    delta: int
-    gap: int
+    __slots__ = ("group", "delta", "gap")
+
+    def __init__(self, group: int, delta: int, gap: int):
+        self.group = group
+        self.delta = delta
+        self.gap = gap
 
 
-@dataclass
-class Measure:
+class Measure(_StreamItem):
     """Trigger a measurement and latch its result into classical ``bit``."""
 
-    port: int
-    codeword: int
-    bit: int
+    __slots__ = ("port", "codeword", "bit")
+
+    def __init__(self, port: int, codeword: int, bit: int):
+        self.port = port
+        self.codeword = codeword
+        self.bit = bit
 
 
-@dataclass
-class SendBit:
+class SendBit(_StreamItem):
     """Transmit stored classical ``bit`` to controller ``dst``."""
 
-    dst: int
-    bit: int
+    __slots__ = ("dst", "bit")
+
+    def __init__(self, dst: int, bit: int):
+        self.dst = dst
+        self.bit = bit
 
 
-@dataclass
-class RecvBit:
+class RecvBit(_StreamItem):
     """Receive classical ``bit`` from ``src`` and store it locally."""
 
-    src: int
-    bit: int
+    __slots__ = ("src", "bit")
+
+    def __init__(self, src: int, bit: int):
+        self.src = src
+        self.bit = bit
 
 
-@dataclass
-class Cond:
+class Cond(_StreamItem):
     """Classically conditioned block.
 
     ``body`` executes iff stored ``bit`` == ``value``; ``reserve`` cycles
@@ -89,10 +127,13 @@ class Cond:
     reserved time slot; 0 for BISP/demand schemes).
     """
 
-    bit: int
-    value: int
-    body: List
-    reserve: int = 0
+    __slots__ = ("bit", "value", "body", "reserve")
+
+    def __init__(self, bit: int, value: int, body: List, reserve: int = 0):
+        self.bit = bit
+        self.value = value
+        self.body = body
+        self.reserve = reserve
 
 
 def stream_wait_cycles(items) -> int:
@@ -112,7 +153,9 @@ def append_wait(items: List, cycles: int) -> None:
     """Append (or merge into a trailing) wait of ``cycles``."""
     if cycles <= 0:
         return
-    if items and isinstance(items[-1], Wait):
-        items[-1].cycles += cycles
-    else:
-        items.append(Wait(cycles))
+    if items:
+        last = items[-1]
+        if last.__class__ is Wait:
+            last.cycles += cycles
+            return
+    items.append(Wait(cycles))

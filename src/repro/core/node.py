@@ -17,6 +17,22 @@ conditions (countdown + neighbor signal, or booked time-point + router Tm).
 The core talks to the outside world through a *fabric* object provided by
 the system builder (:mod:`repro.sim.system`) with four methods:
 ``sync_signal``, ``send_booking``, ``send_message``, ``emit_codeword``.
+
+Fast path
+---------
+Programs are pre-decoded (:mod:`repro.isa.decoded`) into dense opcode
+tuples plus *fast blocks*: maximal straight-line runs of deterministic
+timeline instructions.  The pipeline replays a fast block's precompiled
+item templates in bulk — one Python loop over tuples instead of a
+per-instruction fetch/decode/dispatch — and falls back to stepwise
+execution at branches, feedback receives, device interactions and
+whenever the TCU queue could fill.  Replay is engineered to be *exactly*
+equivalent to stepwise execution: same instruction counts per scheduler
+activation (so continuations land on the same cycles), same queue
+contents, same TELF traces, counters and stall accounting.  Setting
+``REPRO_NO_FASTPATH=1`` disables pre-decode and runs the original
+per-instruction interpreter (the debugging escape hatch; differential
+tests assert both paths agree).
 """
 
 from __future__ import annotations
@@ -24,6 +40,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ExecutionError, TimingViolation
+from ..fastpath import fastpath_enabled
+from ..isa.decoded import (CW_OPS, OP_ADD, OP_ADDI, OP_AND, OP_ANDI,
+                           OP_AUIPC, OP_BEQ, OP_BGE, OP_BGEU, OP_BLT,
+                           OP_BLTU, OP_BNE, OP_CW_II, OP_CW_IR, OP_CW_RI,
+                           OP_CW_RR, OP_HALT, OP_JAL, OP_JALR, OP_LUI,
+                           OP_LW, OP_NOP, OP_OR, OP_ORI, OP_RECV, OP_SEND,
+                           OP_SEND_I, OP_SLL, OP_SLLI, OP_SLT, OP_SLTI,
+                           OP_SLTIU, OP_SLTU, OP_SRA, OP_SRAI, OP_SRL,
+                           OP_SRLI, OP_SUB, OP_SW, OP_SYNC, OP_WAITI,
+                           OP_WAITR, OP_XOR, OP_XORI, decode_program)
 from ..isa.instructions import Instruction
 from ..isa.program import Program
 from ..isa.registers import RegisterFile, to_signed
@@ -33,6 +59,14 @@ from .queues import (EmitCodeword, ItemQueue, Resync, SendMessage,
                      SyncNearby, SyncRegion)
 from .sync_unit import SyncUnit
 from .timer import AbsoluteTimer
+
+
+
+
+#: opcode -> does this instruction stall on a full TCU queue?
+_IS_CW = [False] * 64
+for _op in CW_OPS:
+    _IS_CW[_op] = True
 
 
 class HISQCore:
@@ -46,6 +80,10 @@ class HISQCore:
         self.address = address
         self.engine = engine
         self.telf = telf
+        #: Raw TELF sink, or None when recording is disabled (skips even
+        #: the per-event tuple construction on the hot path).
+        self._telf_raw = telf._raw if getattr(telf, "enabled", True) \
+            else None
         self.config = config or CoreConfig()
         self.program = program or Program(name=name)
         #: Raise TimingViolation instead of counting it (used in tests).
@@ -66,6 +104,19 @@ class HISQCore:
         self._halted = False
         self._pipeline_blocked = False
         self._started = False
+        self._decoded = decode_program(self.program) \
+            if fastpath_enabled() else None
+        #: Prebound continuation callbacks (skip per-event bound-method
+        #: creation and the fast/legacy dispatch hop).
+        self._pipeline_entry = (self._pipeline_run_fast
+                                if self._decoded is not None
+                                else self._pipeline_run_legacy)
+        self._tcu_loop_cb = self._tcu_loop
+        self._do_recv_cb = self._do_recv_pending
+        self._delivered_cb = self._delivered
+        self._recv_rd = 0
+        self._recv_src = 0
+        self._refresh_fast_ctx()
 
         # Statistics.
         self.instructions_executed = 0
@@ -76,6 +127,18 @@ class HISQCore:
         self.pipeline_stall_cycles = 0
         self.last_event_time = 0
 
+    def _refresh_fast_ctx(self) -> None:
+        """Pre-assemble the fast interpreter's per-activation constants."""
+        decoded = self._decoded
+        queue = self._queue
+        if decoded is None:
+            self._fast_ctx = None
+            return
+        self._fast_ctx = (
+            decoded.steps, decoded.n, decoded.fast_block, _IS_CW,
+            self.config.classical_cpi, self.config.batch_limit,
+            queue._items, queue._items.append, queue.depth)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -83,6 +146,12 @@ class HISQCore:
     def load(self, program: Program) -> None:
         """Install a program and reset execution state."""
         self.program = program
+        self._decoded = decode_program(program) if fastpath_enabled() \
+            else None
+        self._pipeline_entry = (self._pipeline_run_fast
+                                if self._decoded is not None
+                                else self._pipeline_run_legacy)
+        self._refresh_fast_ctx()
         self.reset()
 
     def reset(self) -> None:
@@ -100,8 +169,13 @@ class HISQCore:
         """Schedule the pipeline to begin executing at cycle ``at``."""
         if self._started:
             raise ExecutionError("{}: already started".format(self.name))
+        if self._decoded is not None:
+            # Re-validate: picks up in-place program edits since load()
+            # (trust_pin=False catches same-length element swaps too).
+            self._decoded = decode_program(self.program, trust_pin=False)
+            self._refresh_fast_ctx()
         self._started = True
-        self.engine.at(at, self._pipeline_run)
+        self.engine.at(at, self._pipeline_entry)
 
     @property
     def halted(self) -> bool:
@@ -137,6 +211,13 @@ class HISQCore:
     # ------------------------------------------------------------------
 
     def _pipeline_run(self) -> None:
+        if self._decoded is not None:
+            self._pipeline_run_fast()
+        else:
+            self._pipeline_run_legacy()
+
+    def _pipeline_run_legacy(self) -> None:
+        """Original per-instruction interpreter (REPRO_NO_FASTPATH=1)."""
         if self._halted or self._pipeline_blocked:
             return
         cost = 0
@@ -164,8 +245,9 @@ class HISQCore:
                 return
             if instr.mnemonic == "recv":
                 # Flush accumulated cost, then block on the message unit.
-                self.engine.after(cost + self.config.classical_cpi,
-                                  lambda i=instr: self._do_recv(i))
+                self.engine.after(
+                    cost + self.config.classical_cpi,
+                    lambda rd=instr.rd, src=instr.imm: self._do_recv(rd, src))
                 self.pc += 1
                 self.instructions_executed += 1
                 self._pipeline_blocked = True
@@ -180,22 +262,291 @@ class HISQCore:
             self.engine.after(max(cost, 1), self._pipeline_run)
             return
 
-    def _do_recv(self, instr: Instruction) -> None:
-        def delivered(source, value):
-            self.regs.write(instr.rd, value)
-            # External trigger: the TCU timer may not pass the current
-            # position before the trigger arrival plus re-arm latency.
-            # Broadcasts from the lock-step central controller re-arm the
-            # timer *exactly* (common time base for all controllers).
-            exact = instr.imm == CENTRAL_ADDRESS
-            self._tcu_enqueue(Resync(
-                self.position,
-                self.engine.now + self.config.feedback_resync_cycles,
-                exact=exact))
-            self._pipeline_blocked = False
-            self.engine.after(self.config.classical_cpi, self._pipeline_run)
+    def _pipeline_run_fast(self) -> None:
+        """Decoded interpreter with basic-block fast-forward.
 
-        self.message_unit.receive(instr.imm, delivered)
+        Byte-identical to :meth:`_pipeline_run_legacy` in every observable
+        (queue contents, counters, TELF, continuation timing): the loop
+        consumes the same per-activation instruction budget, and block
+        replay is only admitted when stepwise execution could not have
+        stalled inside the replayed slice (see
+        :meth:`repro.isa.decoded.FastBlock.replay_end`).
+        """
+        if self._halted or self._pipeline_blocked:
+            return
+        (steps, nsteps, fast_block, is_cw, cpi, budget,
+         items_dq, append_item, depth) = self._fast_ctx
+        regs = self.regs
+        engine = self.engine
+        pc = self.pc
+        position = self.position
+        cost = 0
+        executed = 0
+        while budget > 0:
+            if not 0 <= pc < nsteps:
+                self._halted = True
+                self.pc = pc
+                self.position = position
+                self.instructions_executed += executed
+                self._tcu_kick()
+                return
+            block = fast_block[pc]
+            if block is not None:
+                j = pc - block.start
+                free = depth - len(items_dq)
+                pushes_j = block.pushes[j]
+                # Whole-tail admission with one comparison; partial
+                # replays go through the bisect-based replay_end.
+                if budget >= block.n - j and \
+                        block.cw_last - pushes_j < free:
+                    e = block.n
+                else:
+                    e = block.replay_end(j, budget, free)
+                if e > j:
+                    lo = pushes_j
+                    hi = block.pushes[e]
+                    base = position - block.pos_cum[j]
+                    if hi > lo:
+                        for kind, off, a, b in block.items[lo:hi]:
+                            if kind == 0:
+                                append_item(EmitCodeword(base + off, a, b))
+                            elif kind == 1:
+                                append_item(SyncNearby(base + off, a))
+                            elif kind == 2:
+                                append_item(SyncRegion(base + off, a, b))
+                            else:
+                                append_item(SendMessage(base + off, a, b))
+                    consumed = e - j
+                    pc += consumed
+                    position = base + block.pos_cum[e]
+                    executed += consumed
+                    cost += consumed * cpi
+                    budget -= consumed
+                    if hi > lo:
+                        self.pc = pc
+                        self.position = position
+                        self._tcu_kick()
+                    continue
+                # else: the next codeword cannot fit — execute it stepwise
+                # below, which re-checks the live queue and stalls exactly
+                # like the legacy loop.
+            op, rd, rs1, rs2, imm, imm2 = steps[pc]
+            if is_cw[op] and len(items_dq) >= depth:
+                self.pc = pc
+                self.position = position
+                self.instructions_executed += executed
+                self._pipeline_blocked = True
+                stall_from = engine.now + cost
+
+                def resume(stall_from=stall_from):
+                    self._pipeline_blocked = False
+                    self.pipeline_stall_cycles += max(
+                        0, self.engine.now - stall_from)
+                    self._pipeline_run()
+
+                self._queue.wait_for_space(
+                    lambda: engine.after(0, resume))
+                return
+            if op == OP_RECV:
+                # Only one receive can be outstanding (the pipeline blocks
+                # on it), so the operands ride on the core instead of a
+                # fresh closure per recv.
+                self._recv_rd = rd
+                self._recv_src = imm
+                engine.after(cost + cpi, self._do_recv_cb)
+                self.pc = pc + 1
+                self.position = position
+                self.instructions_executed += executed + 1
+                self._pipeline_blocked = True
+                return
+            # -- stepwise decoded execution --------------------------------
+            next_pc = pc + 1
+            if op == OP_WAITI:
+                position += imm
+            elif op == OP_CW_II:
+                append_item(EmitCodeword(position, imm, imm2))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_SYNC:
+                if imm2:
+                    append_item(SyncRegion(position, imm, imm2))
+                else:
+                    append_item(SyncNearby(position, imm))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_SW:
+                addr = (regs.read(rs1) + imm) & 0xFFFFFFFF
+                if addr % 4:
+                    raise ExecutionError(
+                        "{}: misaligned store at {:#x}".format(self.name,
+                                                               addr))
+                self.memory[addr] = regs.read(rs2)
+            elif op == OP_LW:
+                addr = (regs.read(rs1) + imm) & 0xFFFFFFFF
+                if addr % 4:
+                    raise ExecutionError(
+                        "{}: misaligned load at {:#x}".format(self.name,
+                                                              addr))
+                regs.write(rd, self.memory.get(addr, 0))
+            elif op == OP_SEND:
+                append_item(SendMessage(position, imm, regs.read(rs1)))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_BEQ:
+                if regs.read(rs1) == regs.read(rs2):
+                    next_pc = pc + imm
+            elif op == OP_BNE:
+                if regs.read(rs1) != regs.read(rs2):
+                    next_pc = pc + imm
+            elif op == OP_HALT:
+                self._halted = True
+            elif op == OP_NOP:
+                pass
+            elif op == OP_SEND_I:
+                append_item(SendMessage(position, imm, imm2))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_WAITR:
+                position += to_signed(regs.read(rs1))
+            elif op == OP_CW_IR:
+                append_item(EmitCodeword(position, imm, regs.read(rs2)))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_CW_RI:
+                append_item(EmitCodeword(position, regs.read(rs1), imm2))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_CW_RR:
+                append_item(EmitCodeword(position, regs.read(rs1),
+                                         regs.read(rs2)))
+                self.pc = next_pc
+                self.position = position
+                self._tcu_kick()
+            elif op == OP_ADDI:
+                regs.write(rd, regs.read(rs1) + imm)
+            elif op == OP_ADD:
+                regs.write(rd, regs.read(rs1) + regs.read(rs2))
+            elif op == OP_SUB:
+                regs.write(rd, regs.read(rs1) - regs.read(rs2))
+            elif op == OP_AND:
+                regs.write(rd, regs.read(rs1) & regs.read(rs2))
+            elif op == OP_OR:
+                regs.write(rd, regs.read(rs1) | regs.read(rs2))
+            elif op == OP_XOR:
+                regs.write(rd, regs.read(rs1) ^ regs.read(rs2))
+            elif op == OP_ANDI:
+                regs.write(rd, regs.read(rs1) & (imm & 0xFFFFFFFF))
+            elif op == OP_ORI:
+                regs.write(rd, regs.read(rs1) | (imm & 0xFFFFFFFF))
+            elif op == OP_XORI:
+                regs.write(rd, regs.read(rs1) ^ (imm & 0xFFFFFFFF))
+            elif op == OP_SLT:
+                regs.write(rd, int(regs.read_signed(rs1) <
+                                   regs.read_signed(rs2)))
+            elif op == OP_SLTU:
+                regs.write(rd, int(regs.read(rs1) < regs.read(rs2)))
+            elif op == OP_SLTI:
+                regs.write(rd, int(regs.read_signed(rs1) < imm))
+            elif op == OP_SLTIU:
+                regs.write(rd, int(regs.read(rs1) < (imm & 0xFFFFFFFF)))
+            elif op == OP_SLL:
+                regs.write(rd, regs.read(rs1) << (regs.read(rs2) & 0x1F))
+            elif op == OP_SRL:
+                regs.write(rd, regs.read(rs1) >> (regs.read(rs2) & 0x1F))
+            elif op == OP_SRA:
+                regs.write(rd, regs.read_signed(rs1) >>
+                           (regs.read(rs2) & 0x1F))
+            elif op == OP_SLLI:
+                regs.write(rd, regs.read(rs1) << (imm & 0x1F))
+            elif op == OP_SRLI:
+                regs.write(rd, regs.read(rs1) >> (imm & 0x1F))
+            elif op == OP_SRAI:
+                regs.write(rd, regs.read_signed(rs1) >> (imm & 0x1F))
+            elif op == OP_LUI:
+                regs.write(rd, imm << 12)
+            elif op == OP_AUIPC:
+                regs.write(rd, (imm << 12) + pc * 4)
+            elif op == OP_BLT:
+                if regs.read_signed(rs1) < regs.read_signed(rs2):
+                    next_pc = pc + imm
+            elif op == OP_BGE:
+                if regs.read_signed(rs1) >= regs.read_signed(rs2):
+                    next_pc = pc + imm
+            elif op == OP_BLTU:
+                if regs.read(rs1) < regs.read(rs2):
+                    next_pc = pc + imm
+            elif op == OP_BGEU:
+                if regs.read(rs1) >= regs.read(rs2):
+                    next_pc = pc + imm
+            elif op == OP_JAL:
+                regs.write(rd, pc + 1)
+                next_pc = pc + imm
+            elif op == OP_JALR:
+                regs.write(rd, pc + 1)
+                next_pc = (regs.read(rs1) + imm) & 0xFFFFFFFF
+            else:
+                raise ExecutionError("{}: cannot execute opcode {}".format(
+                    self.name, op))
+            pc = next_pc
+            cost += cpi
+            budget -= 1
+            executed += 1
+            if self._halted:
+                self.pc = pc
+                self.position = position
+                self.instructions_executed += executed
+                self._tcu_kick()
+                return
+        self.pc = pc
+        self.position = position
+        self.instructions_executed += executed
+        engine.after(max(cost, 1), self._pipeline_entry)
+
+    def _do_recv(self, rd: int, src: int) -> None:
+        self._recv_rd = rd
+        self._recv_src = src
+        self.message_unit.receive(src, self._delivered_cb)
+
+    def _do_recv_pending(self) -> None:
+        """Prebound continuation of a scheduled recv (operands on self)."""
+        self.message_unit.receive(self._recv_src, self._delivered_cb)
+
+    def _delivered(self, source, value) -> None:
+        """A blocked receive's message arrived: write back and resync."""
+        self.regs.write(self._recv_rd, value)
+        # External trigger: the TCU timer may not pass the current
+        # position before the trigger arrival plus re-arm latency.
+        # Broadcasts from the lock-step central controller re-arm the
+        # timer *exactly* (common time base for all controllers).
+        exact = self._recv_src == CENTRAL_ADDRESS
+        earliest = self.engine.now + self.config.feedback_resync_cycles
+        position = self.position
+        if self._decoded is not None and self._sync_state is None \
+                and not self._queue._items:
+            # TCU idle: apply the resync inline — exactly what _tcu_loop
+            # would do with this single queued item, minus the queue
+            # round trip.
+            timer = self.timer
+            if position < timer.position:
+                self._violation(
+                    "item at position {} is behind the timer cursor "
+                    "{}".format(position, timer.position))
+                position = timer.position
+            if exact:
+                timer.realign_to(position, earliest)
+            else:
+                timer.advance_to(position,
+                                 max(timer.wall_of(position), earliest))
+        else:
+            self._tcu_enqueue(Resync(position, earliest, exact=exact))
+        self._pipeline_blocked = False
+        self.engine.after(self.config.classical_cpi, self._pipeline_entry)
 
     def _execute(self, instr: Instruction) -> None:
         m = instr.mnemonic
@@ -377,61 +728,98 @@ class HISQCore:
         by the stall, which is exactly BISP's synchronization overhead.
         """
         engine = self.engine
+        queue = self._queue
+        items_dq = queue._items
+        popleft = items_dq.popleft
+        depth = queue.depth
+        tcu_cb = self._tcu_loop_cb
+        timer = self.timer
+        telf_raw = self._telf_raw
+        name = self.name
         while True:
-            item = self._queue.peek()
-            if item is None:
+            if not items_dq:
                 self._tcu_busy = False
                 return
-            position = self._clamped_position(item.position)
+            item = items_dq[0]
+            position = item[0]
+            if position < timer.position:
+                self._violation(
+                    "item at position {} is behind the timer cursor "
+                    "{}".format(position, timer.position))
+                position = timer.position
+            cls = item.__class__
             if self._sync_state is not None:
-                fence = self._sync_state["fence"]
-                if position >= fence or isinstance(item, (SyncNearby,
-                                                          SyncRegion)):
+                if position >= self._sync_state["fence"] or \
+                        cls is SyncNearby or cls is SyncRegion:
                     # Blocked until the in-flight sync resolves.
                     self._tcu_busy = False
                     return
-            if isinstance(item, Resync):
-                self._queue.pop()
+            if cls is Resync:
+                popleft()
+                waiter = queue._space_waiter
+                if waiter is not None and len(items_dq) < depth:
+                    queue._space_waiter = None
+                    waiter()
                 if item.exact:
-                    self.timer.realign_to(position, item.earliest_wall)
+                    timer.realign_to(position, item.earliest_wall)
                 else:
-                    target = max(self.timer.wall_of(position),
+                    target = max(timer.wall_of(position),
                                  item.earliest_wall)
-                    self.timer.advance_to(position, target)
+                    timer.advance_to(position, target)
                 continue
-            target = self._action_wall(position)
-            if target > engine.now:
-                engine.at(target, self._tcu_loop)
+            # Inline _action_wall/advance_to: ``position`` is already
+            # clamped to the cursor, so ``wall_of`` cannot raise and any
+            # excess of the (clamped) target over nominal is stall time.
+            now = engine.now
+            target = timer.wall + (position - timer.position)
+            if target < now:
+                self._violation(
+                    "item at position {} is {} cycles late".format(
+                        position, now - target))
+                timer.stall_cycles += now - target
+                target = now
+            elif target > now:
+                engine.at(target, tcu_cb)
                 return
-            if isinstance(item, EmitCodeword):
-                self._queue.pop()
-                self.timer.advance_to(position, target)
+            timer.position = position
+            timer.wall = target
+            if cls is EmitCodeword:
+                popleft()
+                waiter = queue._space_waiter
+                if waiter is not None and len(items_dq) < depth:
+                    queue._space_waiter = None
+                    waiter()
                 self.codewords_emitted += 1
                 self.last_event_time = target
-                self.telf.log(target, self.name, "cw", port=item.port,
-                              value=item.codeword)
+                if telf_raw is not None:
+                    telf_raw.append((target, name, "cw", item[1], item[2],
+                                     ""))
                 if self.fabric is not None:
-                    self.fabric.emit_codeword(self, item.port, item.codeword)
+                    self.fabric.emit_codeword(self, item[1], item[2])
                 continue
-            if isinstance(item, SendMessage):
-                self._queue.pop()
-                self.timer.advance_to(position, target)
+            if cls is SendMessage:
+                popleft()
+                waiter = queue._space_waiter
+                if waiter is not None and len(items_dq) < depth:
+                    queue._space_waiter = None
+                    waiter()
                 self.messages_sent += 1
                 self.last_event_time = target
-                self.telf.log(target, self.name, "msg_tx",
-                              port=item.destination, value=item.value)
-                self.fabric.send_message(self, item.destination, item.value)
+                if telf_raw is not None:
+                    telf_raw.append((target, name, "msg_tx", item[1],
+                                     item[2], ""))
+                self.fabric.send_message(self, item[1], item[2])
                 continue
-            if isinstance(item, SyncNearby):
-                self._queue.pop()
+            if cls is SyncNearby:
+                queue.pop()
                 self._book_nearby_sync(item, position, target)
                 continue
-            if isinstance(item, SyncRegion):
-                self._queue.pop()
+            if cls is SyncRegion:
+                queue.pop()
                 self._book_region_sync(item, position, target)
                 continue
             raise ExecutionError("{}: unknown TCU item {!r}".format(
-                self.name, item))
+                name, item))
 
     # -- BISP nearby (booking + two conditions, Figure 4) ------------------
 
@@ -511,8 +899,10 @@ class HISQCore:
 
     def deliver_message(self, source: int, value: int) -> None:
         """Entry point used by the fabric to hand a message to the MsgU."""
-        self.telf.log(self.engine.now, self.name, "msg_rx", port=source,
-                      value=value)
+        telf_raw = self._telf_raw
+        if telf_raw is not None:
+            telf_raw.append((self.engine.now, self.name, "msg_rx", source,
+                             value, ""))
         self.message_unit.deliver(source, value)
 
     def __repr__(self):

@@ -3,17 +3,23 @@
 The pipeline runs ahead of real time and enqueues items tagged with their
 *timeline position*; the TCU issues them at precise wall-clock times
 (QuMA-style queue-based event timing, paper section 3.2).
+
+Items are ``NamedTuple``s rather than frozen dataclasses: they are created
+once per timed operation on the simulation hot path, and tuple construction
+is several times cheaper than a frozen dataclass's ``object.__setattr__``
+per field.  Field names and defaults are unchanged; note that (unlike the
+former dataclasses) NamedTuples compare equal to plain tuples and to other
+item types with the same values, so discriminate by type where it matters
+(the TCU loop dispatches on ``item.__class__``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 
-@dataclass(frozen=True)
-class EmitCodeword:
+class EmitCodeword(NamedTuple):
     """Send ``codeword`` to ``port`` when the timeline reaches ``position``."""
 
     position: int
@@ -21,16 +27,14 @@ class EmitCodeword:
     codeword: int
 
 
-@dataclass(frozen=True)
-class SyncNearby:
+class SyncNearby(NamedTuple):
     """Book neighbor-level synchronization with controller ``target``."""
 
     position: int
     target: int
 
 
-@dataclass(frozen=True)
-class SyncRegion:
+class SyncRegion(NamedTuple):
     """Book region-level synchronization through sync group ``group``.
 
     ``delta`` is the compile-time distance, in cycles, from the booking
@@ -42,8 +46,7 @@ class SyncRegion:
     delta: int
 
 
-@dataclass(frozen=True)
-class SendMessage:
+class SendMessage(NamedTuple):
     """Transmit ``value`` to controller ``destination`` at ``position``."""
 
     position: int
@@ -51,8 +54,7 @@ class SendMessage:
     value: int
 
 
-@dataclass(frozen=True)
-class Resync:
+class Resync(NamedTuple):
     """External-trigger resynchronization after a blocking feedback receive.
 
     The TCU timer may not pass ``position`` before wall-clock

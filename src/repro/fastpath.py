@@ -1,0 +1,25 @@
+"""The one switch for the simulator's fast paths.
+
+``REPRO_NO_FASTPATH=1`` (or ``true``/``yes``) reverts every component
+that has a fast/reference implementation pair to the reference side:
+the HISQ pre-decoded interpreter falls back to the per-instruction
+loop (:mod:`repro.core.node`) and the stabilizer tableau falls back to
+the byte-per-qubit layout (:mod:`repro.quantum.stabilizer`).  Results
+are bit-identical either way — the escape hatch exists for debugging
+and differential testing, and both consumers must parse the variable
+identically, which is why this helper lives in one place.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def fastpath_enabled() -> bool:
+    """Whether fast-path implementations should be used.
+
+    Read at object-creation/load time (not import time) so tests can
+    flip it per run.
+    """
+    return os.environ.get("REPRO_NO_FASTPATH", "").lower() not in (
+        "1", "true", "yes")

@@ -109,71 +109,96 @@ class Instruction:
 
 
 # ---------------------------------------------------------------------------
-# Convenience constructors (used by the compiler's code generator).
+# Interned construction (used by the compiler's code generator).
+#
+# Compiled programs repeat the same few instruction shapes hundreds of
+# thousands of times (the same wait durations, the same codeword/port pairs,
+# the same spill slots).  Instruction is frozen, so identical instances can
+# be shared: ``interned`` caches by operand tuple and skips the dataclass
+# construction (seven ``object.__setattr__`` calls plus validation) on every
+# repeat.  Only label-less instructions are interned — the assembler's
+# labeled instructions keep going through the plain constructor.
 # ---------------------------------------------------------------------------
+
+_INTERN_LIMIT = 1 << 16
+_interned_instructions: dict = {}
+
+
+def interned(mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+             imm: int = 0, imm2: int = 0) -> Instruction:
+    """A shared, label-less :class:`Instruction` with the given operands."""
+    key = (mnemonic, rd, rs1, rs2, imm, imm2)
+    instr = _interned_instructions.get(key)
+    if instr is None:
+        if len(_interned_instructions) >= _INTERN_LIMIT:
+            _interned_instructions.clear()
+        instr = Instruction(mnemonic, rd, rs1, rs2, imm, imm2)
+        _interned_instructions[key] = instr
+    return instr
+
 
 def nop() -> Instruction:
     """No-operation (encoded as addi $0,$0,0)."""
-    return Instruction("nop")
+    return interned("nop")
 
 
 def halt() -> Instruction:
     """Stop the classical pipeline."""
-    return Instruction("halt")
+    return interned("halt")
 
 
 def addi(rd: int, rs1: int, imm: int) -> Instruction:
-    return Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+    return interned("addi", rd, rs1, 0, imm)
 
 
 def add(rd: int, rs1: int, rs2: int) -> Instruction:
-    return Instruction("add", rd=rd, rs1=rs1, rs2=rs2)
+    return interned("add", rd, rs1, rs2)
 
 
 def lui(rd: int, imm: int) -> Instruction:
-    return Instruction("lui", rd=rd, imm=imm)
+    return interned("lui", rd, 0, 0, imm)
 
 
 def beq(rs1: int, rs2: int, off: int) -> Instruction:
-    return Instruction("beq", rs1=rs1, rs2=rs2, imm=off)
+    return interned("beq", 0, rs1, rs2, off)
 
 
 def bne(rs1: int, rs2: int, off: int) -> Instruction:
-    return Instruction("bne", rs1=rs1, rs2=rs2, imm=off)
+    return interned("bne", 0, rs1, rs2, off)
 
 
 def jal(rd: int, off: int) -> Instruction:
-    return Instruction("jal", rd=rd, imm=off)
+    return interned("jal", rd, 0, 0, off)
 
 
 def waiti(cycles: int) -> Instruction:
     """Advance the timeline cursor by ``cycles`` (immediate)."""
-    return Instruction("waiti", imm=cycles)
+    return interned("waiti", 0, 0, 0, cycles)
 
 
 def waitr(rs1: int) -> Instruction:
     """Advance the timeline cursor by the value of register ``rs1``."""
-    return Instruction("waitr", rs1=rs1)
+    return interned("waitr", 0, rs1)
 
 
 def cw_ii(port: int, codeword: int) -> Instruction:
     """Send immediate codeword to immediate port at the current position."""
-    return Instruction("cw.i.i", imm=port, imm2=codeword)
+    return interned("cw.i.i", 0, 0, 0, port, codeword)
 
 
 def cw_ir(port: int, rs2: int) -> Instruction:
     """Send register codeword to immediate port."""
-    return Instruction("cw.i.r", imm=port, rs2=rs2)
+    return interned("cw.i.r", 0, 0, rs2, port)
 
 
 def cw_ri(rs1: int, codeword: int) -> Instruction:
     """Send immediate codeword to register-selected port."""
-    return Instruction("cw.r.i", rs1=rs1, imm2=codeword)
+    return interned("cw.r.i", 0, rs1, 0, 0, codeword)
 
 
 def cw_rr(rs1: int, rs2: int) -> Instruction:
     """Send register codeword to register-selected port."""
-    return Instruction("cw.r.r", rs1=rs1, rs2=rs2)
+    return interned("cw.r.r", 0, rs1, rs2)
 
 
 def sync(tgt: int, delta: int = 0) -> Instruction:
@@ -183,19 +208,19 @@ def sync(tgt: int, delta: int = 0) -> Instruction:
     compile-time deterministic distance, in cycles, from the booking
     position to the synchronization point (paper section 4.3).
     """
-    return Instruction("sync", imm=tgt, imm2=delta)
+    return interned("sync", 0, 0, 0, tgt, delta)
 
 
 def send(dst: int, rs1: int) -> Instruction:
     """Send the value of ``rs1`` to controller ``dst`` via the message unit."""
-    return Instruction("send", imm=dst, rs1=rs1)
+    return interned("send", 0, rs1, 0, dst)
 
 
 def send_i(dst: int, value: int) -> Instruction:
     """Send an immediate value to controller ``dst``."""
-    return Instruction("send.i", imm=dst, imm2=value)
+    return interned("send.i", 0, 0, 0, dst, value)
 
 
 def recv(rd: int, src: int) -> Instruction:
     """Block until a message from ``src`` arrives; write it to ``rd``."""
-    return Instruction("recv", rd=rd, imm=src)
+    return interned("recv", rd, 0, 0, src)

@@ -1,12 +1,19 @@
-"""Message types exchanged on the control network."""
+"""Message types exchanged on the control network.
+
+``NamedTuple``s rather than frozen dataclasses: messages are created per
+hop on the simulation hot path, and tuple construction avoids a
+``object.__setattr__`` per field.  Field names are unchanged; note that
+(unlike the former dataclasses) NamedTuples compare equal to plain tuples
+and to other message types with the same values — discriminate by type,
+not by equality, where the distinction matters.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class BookingMessage:
+class BookingMessage(NamedTuple):
     """A controller's booked time-point traveling up the router tree.
 
     ``origin`` is the booking controller (or the child router that
@@ -22,8 +29,7 @@ class BookingMessage:
     time_point: int
 
 
-@dataclass(frozen=True)
-class TimePointMessage:
+class TimePointMessage(NamedTuple):
     """The common start time Tm broadcast down the router tree."""
 
     group: int
@@ -31,8 +37,7 @@ class TimePointMessage:
     time_point: int
 
 
-@dataclass(frozen=True)
-class DataMessage:
+class DataMessage(NamedTuple):
     """A classical payload (measurement result, syndrome, ...) between cores."""
 
     source: int

@@ -4,6 +4,24 @@ Scales to thousands of qubits for Clifford dynamic circuits, which covers
 the long-range CNOT teleportation construction (Figure 14) and the
 surface-code / lattice-surgery circuits (section 6.4.2): measurements and
 classically conditioned Paulis are exactly what the formalism handles.
+
+Two tableau layouts share one backend class:
+
+* **bit-packed** (default) — the X/Z blocks are ``uint64`` words, 64
+  qubits per word.  Clifford generators touch one word-column across all
+  ``2n + 1`` rows, rowsums are whole-word XOR/AND expressions with
+  table-driven popcounts, and the anticommuting-row elimination inside
+  ``measure`` is vectorized across rows — no per-qubit Python work and
+  no ``astype`` churn anywhere on the hot path.
+* **byte-per-qubit** (``packed=False``, or ``REPRO_NO_FASTPATH=1``) —
+  the original ``uint8`` layout, kept as the differential-testing
+  reference, with the temporary-allocation churn of the old
+  ``_rowsum``/``_row_mult`` (int8 casts, masked writes into a fresh
+  ``g``) replaced by branch-free uint8 mask algebra.
+
+Both layouts draw identically from the RNG and produce identical
+outcomes, canonical stabilizers and collapse behavior (asserted by the
+packed-vs-uint8 differential tests).
 """
 
 from __future__ import annotations
@@ -13,24 +31,56 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import QuantumStateError
+from ..fastpath import fastpath_enabled
 from .circuit import QuantumCircuit
+
+#: 16-bit popcount table: popcount of an arbitrary array = table lookup
+#: over its uint16 view, then sum.
+_POP16 = np.array([bin(value).count("1") for value in range(1 << 16)],
+                  dtype=np.uint8)
+
+
+def _popcount(words: np.ndarray) -> int:
+    """Total set bits in a contiguous uint64 array."""
+    return int(_POP16[words.view(np.uint16)].sum())
 
 
 class StabilizerBackend:
     """CHP tableau with n destabilizer + n stabilizer rows + 1 scratch row."""
 
-    def __init__(self, num_qubits: int, seed: Optional[int] = None):
+    def __init__(self, num_qubits: int, seed: Optional[int] = None,
+                 packed: Optional[bool] = None):
         if num_qubits < 1:
             raise QuantumStateError("need at least one qubit")
         n = num_qubits
         self.num_qubits = n
         self.rng = np.random.default_rng(seed)
-        self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
-        self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+        self.packed = fastpath_enabled() if packed is None else bool(packed)
         self.r = np.zeros(2 * n + 1, dtype=np.uint8)
-        for i in range(n):
-            self.x[i, i] = 1          # destabilizers X_i
-            self.z[n + i, i] = 1      # stabilizers Z_i
+        if self.packed:
+            words = (n + 63) >> 6
+            self._words = words
+            self.xw = np.zeros((2 * n + 1, words), dtype=np.uint64)
+            self.zw = np.zeros((2 * n + 1, words), dtype=np.uint64)
+            one = np.uint64(1)
+            for i in range(n):
+                self.xw[i, i >> 6] = one << np.uint64(i & 63)
+                self.zw[n + i, i >> 6] = one << np.uint64(i & 63)
+        else:
+            self.x = np.zeros((2 * n + 1, n), dtype=np.uint8)
+            self.z = np.zeros((2 * n + 1, n), dtype=np.uint8)
+            for i in range(n):
+                self.x[i, i] = 1          # destabilizers X_i
+                self.z[n + i, i] = 1      # stabilizers Z_i
+
+    # -- packed <-> byte views -------------------------------------------------
+
+    def _bits_of(self, wrow: np.ndarray) -> np.ndarray:
+        """Unpack one word row into a per-qubit uint8 row."""
+        n = self.num_qubits
+        qubits = np.arange(n)
+        return ((wrow[qubits >> 6] >> (qubits & 63).astype(np.uint64)) &
+                np.uint64(1)).astype(np.uint8)
 
     # -- Clifford primitives ---------------------------------------------------
 
@@ -40,11 +90,29 @@ class StabilizerBackend:
 
     def h(self, a: int) -> None:
         self._check(a)
+        if self.packed:
+            word, bit = a >> 6, np.uint64(a & 63)
+            xcol = self.xw[:, word]
+            zcol = self.zw[:, word]
+            xa = (xcol >> bit) & np.uint64(1)
+            za = (zcol >> bit) & np.uint64(1)
+            self.r ^= (xa & za).astype(np.uint8)
+            diff = (xa ^ za) << bit
+            xcol ^= diff
+            zcol ^= diff
+            return
         self.r ^= self.x[:, a] & self.z[:, a]
         self.x[:, a], self.z[:, a] = self.z[:, a].copy(), self.x[:, a].copy()
 
     def s(self, a: int) -> None:
         self._check(a)
+        if self.packed:
+            word, bit = a >> 6, np.uint64(a & 63)
+            xa = (self.xw[:, word] >> bit) & np.uint64(1)
+            za = (self.zw[:, word] >> bit) & np.uint64(1)
+            self.r ^= (xa & za).astype(np.uint8)
+            self.zw[:, word] ^= xa << bit
+            return
         self.r ^= self.x[:, a] & self.z[:, a]
         self.z[:, a] ^= self.x[:, a]
 
@@ -53,6 +121,18 @@ class StabilizerBackend:
         self._check(b)
         if a == b:
             raise QuantumStateError("control equals target")
+        if self.packed:
+            one = np.uint64(1)
+            wa, ba = a >> 6, np.uint64(a & 63)
+            wb, bb = b >> 6, np.uint64(b & 63)
+            xa = (self.xw[:, wa] >> ba) & one
+            za = (self.zw[:, wa] >> ba) & one
+            xb = (self.xw[:, wb] >> bb) & one
+            zb = (self.zw[:, wb] >> bb) & one
+            self.r ^= (xa & zb & (xb ^ za ^ one)).astype(np.uint8)
+            self.xw[:, wb] ^= xa << bb
+            self.zw[:, wa] ^= zb << ba
+            return
         self.r ^= self.x[:, a] & self.z[:, b] & (self.x[:, b] ^ self.z[:, a]
                                                  ^ 1)
         self.x[:, b] ^= self.x[:, a]
@@ -158,27 +238,74 @@ class StabilizerBackend:
 
     def _rowsum(self, h: int, i: int) -> None:
         """Row h *= row i with correct phase bookkeeping (CHP rowsum)."""
+        if self.packed:
+            self._rowsum_packed(h, i)
+            return
         xi, zi = self.x[i], self.z[i]
         xh, zh = self.x[h], self.z[h]
-        xi_i = xi.astype(np.int8)
-        zi_i = zi.astype(np.int8)
-        xh_i = xh.astype(np.int8)
-        zh_i = zh.astype(np.int8)
-        g = np.zeros(self.num_qubits, dtype=np.int8)
-        both = (xi == 1) & (zi == 1)
-        g[both] = (zh_i - xh_i)[both]
-        only_x = (xi == 1) & (zi == 0)
-        g[only_x] = (zh_i * (2 * xh_i - 1))[only_x]
-        only_z = (xi == 0) & (zi == 1)
-        g[only_z] = (xh_i * (1 - 2 * zh_i))[only_z]
-        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        # Branch-free uint8 mask algebra: +1 and -1 phase contributions
+        # are disjoint bit masks (no int8 casts, no masked writes).
+        nxi = xi ^ 1
+        nzi = zi ^ 1
+        nxh = xh ^ 1
+        nzh = zh ^ 1
+        plus = xi & zi & zh & nxh
+        plus |= xi & nzi & zh & xh
+        plus |= nxi & zi & xh & nzh
+        minus = xi & zi & xh & nzh
+        minus |= xi & nzi & zh & nxh
+        minus |= nxi & zi & xh & zh
+        total = (2 * int(self.r[h]) + 2 * int(self.r[i]) +
+                 int(plus.sum()) - int(minus.sum()))
         self.r[h] = (total % 4) // 2
-        self.x[h] ^= xi
-        self.z[h] ^= zi
+        xh ^= xi
+        zh ^= zi
+
+    def _rowsum_packed(self, h: int, i: int) -> None:
+        xi, zi = self.xw[i], self.zw[i]
+        xh, zh = self.xw[h], self.zw[h]
+        nxi = ~xi
+        nzi = ~zi
+        nxh = ~xh
+        nzh = ~zh
+        plus = ((xi & zi & zh & nxh) | (xi & nzi & zh & xh) |
+                (nxi & zi & xh & nzh))
+        minus = ((xi & zi & xh & nzh) | (xi & nzi & zh & nxh) |
+                 (nxi & zi & xh & zh))
+        total = (2 * int(self.r[h]) + 2 * int(self.r[i]) +
+                 _popcount(plus) - _popcount(minus))
+        self.r[h] = (total % 4) // 2
+        xh ^= xi
+        zh ^= zi
+
+    def _rowsum_many_packed(self, targets: np.ndarray, i: int) -> None:
+        """Vectorized ``rowsum(t, i)`` for every row t in ``targets``."""
+        xi, zi = self.xw[i], self.zw[i]
+        xh = self.xw[targets]
+        zh = self.zw[targets]
+        nxi = ~xi
+        nzi = ~zi
+        nxh = ~xh
+        nzh = ~zh
+        plus = ((xi & zi) & (zh & nxh)) | ((xi & nzi) & (zh & xh)) | \
+               ((nxi & zi) & (xh & nzh))
+        minus = ((xi & zi) & (xh & nzh)) | ((xi & nzi) & (zh & nxh)) | \
+                ((nxi & zi) & (xh & zh))
+        counts = (_POP16[plus.view(np.uint16)].sum(axis=1,
+                                                   dtype=np.int64) -
+                  _POP16[minus.view(np.uint16)].sum(axis=1,
+                                                    dtype=np.int64))
+        totals = (2 * (self.r[targets].astype(np.int64) + int(self.r[i])) +
+                  counts)
+        self.r[targets] = ((totals % 4) // 2).astype(np.uint8)
+        self.xw[targets] = xh ^ xi
+        self.zw[targets] = zh ^ zi
 
     def measure(self, a: int, forced: Optional[int] = None) -> int:
         """Z-basis measurement of qubit ``a`` with collapse."""
         self._check(a)
+        if self.packed:
+            return self._measure_packed(a, forced)
         n = self.num_qubits
         stab_rows = np.nonzero(self.x[n:2 * n, a])[0]
         if stab_rows.size:
@@ -207,6 +334,45 @@ class StabilizerBackend:
         for i in range(n):
             if self.x[i, a]:
                 self._rowsum(scratch, i + n)
+        outcome = int(self.r[scratch])
+        if forced is not None and int(forced) != outcome:
+            raise QuantumStateError(
+                "cannot force outcome {}: measurement of qubit {} is "
+                "deterministically {}".format(forced, a, outcome))
+        return outcome
+
+    def _measure_packed(self, a: int, forced: Optional[int]) -> int:
+        n = self.num_qubits
+        one = np.uint64(1)
+        word, bit = a >> 6, np.uint64(a & 63)
+        xcol = (self.xw[:2 * n, word] >> bit) & one
+        stab_rows = np.nonzero(xcol[n:])[0]
+        if stab_rows.size:
+            # Random outcome: anticommuting stabilizer exists.
+            p = int(stab_rows[0]) + n
+            if forced is None:
+                outcome = int(self.rng.integers(0, 2))
+            else:
+                outcome = int(forced)
+            xcol[p] = 0
+            targets = np.nonzero(xcol)[0]
+            if targets.size:
+                self._rowsum_many_packed(targets, p)
+            self.xw[p - n] = self.xw[p]
+            self.zw[p - n] = self.zw[p]
+            self.r[p - n] = self.r[p]
+            self.xw[p] = 0
+            self.zw[p] = 0
+            self.zw[p, word] = one << bit
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome.
+        scratch = 2 * n
+        self.xw[scratch] = 0
+        self.zw[scratch] = 0
+        self.r[scratch] = 0
+        for i in np.nonzero(xcol[:n])[0]:
+            self._rowsum_packed(scratch, int(i) + n)
         outcome = int(self.r[scratch])
         if forced is not None and int(forced) != outcome:
             raise QuantumStateError(
@@ -265,8 +431,12 @@ class StabilizerBackend:
         n = self.num_qubits
         rows = []
         for i in range(n, 2 * n):
-            rows.append((self.x[i].copy(), self.z[i].copy(),
-                         int(self.r[i])))
+            if self.packed:
+                rows.append((self._bits_of(self.xw[i]),
+                             self._bits_of(self.zw[i]), int(self.r[i])))
+            else:
+                rows.append((self.x[i].copy(), self.z[i].copy(),
+                             int(self.r[i])))
         rows = self._gauss(rows)
         out = []
         for xr, zr, phase in rows:
@@ -307,19 +477,19 @@ class StabilizerBackend:
         """Multiply Pauli rows a*b with phase tracking (mod 4 -> sign)."""
         xa, za, ra = row_a
         xb, zb, rb = row_b
-        # Phase exponent of i from multiplying single-qubit Paulis.
-        xa_i = xa.astype(np.int8)
-        za_i = za.astype(np.int8)
-        xb_i = xb.astype(np.int8)
-        zb_i = zb.astype(np.int8)
-        g = np.zeros(xa.shape, dtype=np.int8)
-        both = (xa == 1) & (za == 1)
-        g[both] = (zb_i - xb_i)[both]
-        only_x = (xa == 1) & (za == 0)
-        g[only_x] = (zb_i * (2 * xb_i - 1))[only_x]
-        only_z = (xa == 0) & (za == 1)
-        g[only_z] = (xb_i * (1 - 2 * zb_i))[only_z]
-        total = 2 * ra + 2 * rb + int(g.sum())
+        # Branch-free uint8 mask algebra (see _rowsum): a's (x, z) selects
+        # the case, b's bits decide the i-exponent sign.
+        nxa = xa ^ 1
+        nza = za ^ 1
+        nxb = xb ^ 1
+        nzb = zb ^ 1
+        plus = xa & za & zb & nxb
+        plus |= xa & nza & zb & xb
+        plus |= nxa & za & xb & nzb
+        minus = xa & za & xb & nzb
+        minus |= xa & nza & zb & nxb
+        minus |= nxa & za & xb & zb
+        total = 2 * ra + 2 * rb + int(plus.sum()) - int(minus.sum())
         return (xa ^ xb, za ^ zb, (total % 4) // 2)
 
 

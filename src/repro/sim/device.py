@@ -42,6 +42,26 @@ class GateAction:
     total_halves: int = 1
 
 
+_GATE_ACTION_LIMIT = 1 << 15
+_gate_actions: Dict[tuple, GateAction] = {}
+
+
+def gate_action(name: str, qubits: Tuple[int, ...],
+                params: Tuple[float, ...] = (), half: int = 0,
+                total_halves: int = 1) -> GateAction:
+    """A shared :class:`GateAction` (frozen, so identical ones can be
+    interned — compilers emit the same action for every repeat of a gate
+    on the same qubits)."""
+    key = (name, qubits, params, half, total_halves)
+    action = _gate_actions.get(key)
+    if action is None:
+        if len(_gate_actions) >= _GATE_ACTION_LIMIT:
+            _gate_actions.clear()
+        action = _gate_actions[key] = GateAction(name, qubits, params,
+                                                 half, total_halves)
+    return action
+
+
 @dataclass(frozen=True)
 class MeasureAction:
     """Trigger measurement of ``qubit``; the result returns to the board."""
@@ -103,6 +123,9 @@ class QuantumDevice:
         self._noise_channels: Dict[tuple, list] = {}
         self.record_gate_log = record_gate_log
         self.gate_log: List[Tuple[int, str, Tuple[int, ...]]] = []
+        #: gate-arity -> cycles (avoids a float divmod per gate event).
+        self._gate_cycles_memo: Dict[int, int] = {}
+        self._measurement_cycles = config.measurement_cycles
         self.activity: Dict[int, QubitActivity] = defaultdict(QubitActivity)
         self._pending_halves: Dict[tuple, dict] = {}
         self._forced: Dict[int, deque] = defaultdict(deque)
@@ -122,6 +145,19 @@ class QuantumDevice:
     def handle(self, core, action) -> None:
         """Process one decoded codeword action emitted by ``core``."""
         now = self.engine.now
+        cls = action.__class__
+        if cls is GateAction:
+            if action.total_halves <= 1:
+                self._apply_gate(action.name, action.qubits, action.params,
+                                 now)
+                return
+            self._handle_half(action, now)
+            return
+        if cls is MeasureAction:
+            self._handle_measure(core, action.qubit, now)
+            return
+        # Subclass fallbacks (the identity checks above cover the
+        # built-in action types).
         if isinstance(action, MarkerAction):
             return
         if isinstance(action, MeasureAction):
@@ -142,16 +178,27 @@ class QuantumDevice:
         # Nonzero arrival skew is a synchronization defect and is recorded;
         # under a correct scheme it is always zero (asserted by the tests).
         key = (action.name, action.qubits)
-        entry = self._pending_halves.setdefault(
-            key, {half: deque() for half in range(action.total_halves)})
+        entry = self._pending_halves.get(key)
+        if entry is None:
+            entry = self._pending_halves[key] = [
+                deque() for _ in range(action.total_halves)]
         entry[action.half].append(now)
-        if not all(entry[half] for half in range(action.total_halves)):
-            return
-        times = [entry[half].popleft()
-                 for half in range(action.total_halves)]
-        if not any(entry[half] for half in range(action.total_halves)):
-            del self._pending_halves[key]
-        skew = max(times) - min(times)
+        if action.total_halves == 2:
+            first, second = entry
+            if not first or not second:
+                return
+            t0 = first.popleft()
+            t1 = second.popleft()
+            if not first and not second:
+                del self._pending_halves[key]
+            skew = t1 - t0 if t1 >= t0 else t0 - t1
+        else:
+            if not all(entry):
+                return
+            times = [half_queue.popleft() for half_queue in entry]
+            if not any(entry):
+                del self._pending_halves[key]
+            skew = max(times) - min(times)
         if skew:
             self.gate_skew_events += 1
             self.max_gate_skew = max(self.max_gate_skew, skew)
@@ -161,9 +208,20 @@ class QuantumDevice:
 
     def _apply_gate(self, name: str, qubits: Tuple[int, ...], params,
                     now: int) -> None:
-        duration = self.config.gate_cycles(len(qubits))
+        duration = self._gate_cycles_memo.get(len(qubits))
+        if duration is None:
+            duration = self.config.gate_cycles(len(qubits))
+            self._gate_cycles_memo[len(qubits)] = duration
+        activity = self.activity
+        end = now + duration
         for q in qubits:
-            self.activity[q].note(now, duration)
+            act = activity[q]
+            first = act.first_start
+            if first is None or now < first:
+                act.first_start = now
+            if end > act.last_end:
+                act.last_end = end
+            act.gate_count += 1
         self.gates_applied += 1
         if self.record_gate_log:
             self.gate_log.append((now, name, qubits))
@@ -183,7 +241,7 @@ class QuantumDevice:
                         self.noise_events += 1
 
     def _handle_measure(self, core, qubit: int, now: int) -> None:
-        duration = self.config.measurement_cycles
+        duration = self._measurement_cycles
         self.activity[qubit].note(now, duration)
         self.measurements += 1
         if self.record_gate_log:
@@ -213,7 +271,7 @@ class QuantumDevice:
     def pending_half_count(self) -> int:
         """Unmatched two-qubit gate halves (should be 0 after a run)."""
         return sum(1 for entry in self._pending_halves.values()
-                   for queue in entry.values() if queue)
+                   for queue in entry if queue)
 
     def lifetimes_ns(self) -> Dict[int, float]:
         """Per-qubit activity window in nanoseconds."""

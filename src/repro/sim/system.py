@@ -38,6 +38,7 @@ class ControlSystem:
                  device_seed: int = 12345,
                  strict_timing: bool = False,
                  record_gate_log: bool = True,
+                 record_telf: bool = True,
                  noise_model=None, noise_seed: int = 0x5EED):
         self.config = config or SimulationConfig()
         self.core_config = core_config or CoreConfig(
@@ -45,7 +46,7 @@ class ControlSystem:
             feedback_resync_cycles=self.config.feedback_resync_cycles,
             classical_cpi=self.config.classical_cpi)
         self.engine = Engine()
-        self.telf = TelfLog()
+        self.telf = TelfLog(enabled=record_telf)
         self.topology = topology or build_topology(
             num_controllers, fanout=self.config.router_fanout,
             mesh_kind=mesh_kind,
@@ -215,8 +216,8 @@ class ControlSystem:
 
     def emit_codeword(self, core: HISQCore, port: int, codeword: int) -> None:
         """Decode a codeword emission through the board's table."""
-        action = self.codeword_tables.get(core.address, {}).get(
-            (port, codeword))
+        table = self.codeword_tables.get(core.address)
+        action = table.get((port, codeword)) if table else None
         if action is None:
             self.unmapped_codewords += 1
             return

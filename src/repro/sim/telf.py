@@ -36,19 +36,58 @@ class TelfRecord:
             self.note).rstrip()
 
 
-class TelfLog:
-    """Append-only store of :class:`TelfRecord` with query helpers."""
+class _DropAll(list):
+    """A list that silently drops appends (disabled TELF recording)."""
 
-    def __init__(self):
-        self.records: List[TelfRecord] = []
+    __slots__ = ()
+
+    def append(self, item):
+        pass
+
+    def extend(self, items):
+        pass
+
+
+class TelfLog:
+    """Append-only store of :class:`TelfRecord` with query helpers.
+
+    Entries are buffered as plain tuples — ``log`` sits on the simulation
+    hot path (one call per emitted codeword, sync and message), and a
+    tuple append is several times cheaper than constructing a frozen
+    dataclass.  :attr:`records` materializes :class:`TelfRecord` objects
+    lazily and caches them, so query helpers and tests see the same API
+    as before.
+
+    ``enabled=False`` drops every entry at append time — used by
+    timing-only sweep cells (mirroring ``record_gate_log``), whose
+    results never read the trace.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._raw: List[tuple] = [] if enabled else _DropAll()
+        self._materialized: List[TelfRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        """False when this log drops entries instead of recording them."""
+        return not isinstance(self._raw, _DropAll)
+
+    @property
+    def records(self) -> List[TelfRecord]:
+        """All records, materialized on demand."""
+        done = len(self._materialized)
+        if done != len(self._raw):
+            self._materialized.extend(
+                TelfRecord(*raw) for raw in self._raw[done:])
+        return self._materialized
 
     def log(self, time: int, unit: str, kind: str, port: int = -1,
             value: int = 0, note: str = "") -> None:
         """Append one record."""
-        self.records.append(TelfRecord(time, unit, kind, port, value, note))
+        self._raw.append((time, unit, kind, port, value, note))
 
     def __len__(self):
-        return len(self.records)
+        return len(self._raw)
 
     def __iter__(self):
         return iter(self.records)

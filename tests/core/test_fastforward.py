@@ -1,0 +1,223 @@
+"""Fast-forward vs stepwise differential suite.
+
+The pre-decoded fast path (basic-block replay in
+:meth:`repro.core.node.HISQCore._pipeline_run_fast`) must be *exactly*
+equivalent to the original per-instruction interpreter: same makespans,
+same per-core counters, same TELF traces, same stall accounting — across
+every registered synchronization scheme, a sample of registry workloads,
+and randomized ISA programs.  ``REPRO_NO_FASTPATH=1`` selects the legacy
+interpreter, which is the reference behavior here.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import schemes as scheme_registry
+from repro.compiler.driver import run_circuit
+from repro.core.config import CoreConfig
+from repro.core.node import HISQCore, fastpath_enabled
+from repro.harness import registry
+from repro.isa.assembler import assemble
+from repro.isa.decoded import decode_program
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+from repro.testing import random_clifford_circuit
+
+
+def _fingerprint(result):
+    """Everything observable about one timing run."""
+    system = result.system
+    return {
+        "makespan": result.makespan_cycles,
+        "per_core": {name: dict(counters) for name, counters in
+                     result.stats.per_core.items()},
+        "sync_stall": result.stats.sync_stall_cycles,
+        "violations": result.stats.timing_violations,
+        "telf": list(system.telf._raw),
+        "skew_events": system.device.gate_skew_events,
+        "unmapped": system.unmapped_codewords,
+    }
+
+
+def _run(circuit, scheme, monkeypatch, legacy, **kwargs):
+    if legacy:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    result = run_circuit(circuit, scheme=scheme, backend=None,
+                         record_gate_log=False, **kwargs)
+    return _fingerprint(result)
+
+
+class TestWorkloadDifferential:
+    """Every registered scheme x a sample of registry workloads."""
+
+    WORKLOADS = ("bv_n400", "logical_t_n432", "qft_n300", "repetition_d25")
+
+    @pytest.mark.parametrize("scheme", scheme_registry.scheme_names())
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_fastforward_matches_stepwise(self, scheme, workload,
+                                          monkeypatch):
+        spec = registry.get_workload(workload).spec(0.04, 0.25)
+        circuit = spec.circuit()
+        fast = _run(circuit, scheme, monkeypatch, legacy=False,
+                    mesh_kind=spec.mesh_kind)
+        slow = _run(circuit, scheme, monkeypatch, legacy=True,
+                    mesh_kind=spec.mesh_kind)
+        assert fast == slow
+
+    def test_random_dynamic_circuit_all_schemes(self, monkeypatch):
+        circuit = random_clifford_circuit(8, 60, seed=20260730,
+                                          feedback=True)
+        for scheme in scheme_registry.scheme_names():
+            fast = _run(circuit, scheme, monkeypatch, legacy=False)
+            slow = _run(circuit, scheme, monkeypatch, legacy=True)
+            assert fast == slow, scheme
+
+
+def _random_program(seed: int) -> str:
+    """Randomized single-core HISQ program exercising the decoded paths.
+
+    Mixes timeline ops (waits, codeword emissions), ALU work, memory
+    spills and bounded branch loops — everything the fast interpreter
+    dispatches except the fabric-dependent sync/send/recv ops (covered by
+    the workload differential above).
+    """
+    rng = random.Random(seed)
+    lines = []
+    # A bounded countdown loop: $1 iterations of a small body.
+    lines.append("addi $1,$0,{}".format(rng.randint(1, 5)))
+    for _ in range(rng.randint(5, 40)):
+        roll = rng.random()
+        if roll < 0.35:
+            lines.append("waiti {}".format(rng.randint(1, 50)))
+        elif roll < 0.7:
+            lines.append("cw.i.i {},{}".format(rng.randint(0, 3),
+                                               rng.randint(1, 200)))
+        elif roll < 0.78:
+            lines.append("addi $2,$2,{}".format(rng.randint(-4, 9)))
+        elif roll < 0.84:
+            lines.append("sw $2,{}($0)".format(4 * rng.randint(0, 7)))
+            lines.append("lw $3,{}($0)".format(4 * rng.randint(0, 7)))
+        elif roll < 0.9:
+            lines.append("slli $4,$2,2")
+            lines.append("xor $5,$4,$2")
+        else:
+            lines.append("nop")
+    # Loop tail: decrement and branch back a few instructions (the
+    # assembler takes byte offsets, 4 per instruction).
+    body_len = min(rng.randint(2, 6), len(lines) - 1)
+    lines.append("addi $1,$1,-1")
+    lines.append("bne $1,$0,-{}".format(4 * body_len))
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+def _run_bare(source: str, legacy: bool, monkeypatch, depth: int = 1024):
+    if legacy:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    engine = Engine()
+    telf = TelfLog()
+    core = HISQCore("c0", 0, engine, telf,
+                    config=CoreConfig(event_queue_depth=depth))
+    core.load(assemble(source))
+    core.start()
+    engine.run(until=2_000_000)
+    return {
+        "counters": core.counters(),
+        "regs": core.regs.snapshot(),
+        "memory": dict(core.memory),
+        "pc": core.pc,
+        "position": core.position,
+        "telf": list(telf._raw),
+        "events": engine.events_processed,
+        "now": engine.now,
+    }
+
+
+class TestRandomProgramProperty:
+    """Property: decoded execution == legacy execution, instruction-exact."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_programs(self, seed, monkeypatch):
+        source = _random_program(seed)
+        fast = _run_bare(source, legacy=False, monkeypatch=monkeypatch)
+        slow = _run_bare(source, legacy=True, monkeypatch=monkeypatch)
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_tiny_queue(self, seed, monkeypatch):
+        """Queue-full stalls must account identically in both modes."""
+        source = _random_program(1000 + seed)
+        fast = _run_bare(source, legacy=False, monkeypatch=monkeypatch,
+                         depth=2)
+        slow = _run_bare(source, legacy=True, monkeypatch=monkeypatch,
+                         depth=2)
+        assert fast == slow
+
+    def test_burst_emissions_tiny_queue(self, monkeypatch):
+        """Back-to-back codewords through a depth-2 queue stall the
+        pipeline; the replay admission logic must fall back exactly."""
+        lines = []
+        for i in range(40):
+            lines.append("cw.i.i 0,{}".format(i + 1))
+            if i % 2 == 0:
+                lines.append("waiti 100")
+        lines.append("halt")
+        source = "\n".join(lines)
+        fast = _run_bare(source, legacy=False, monkeypatch=monkeypatch,
+                         depth=2)
+        slow = _run_bare(source, legacy=True, monkeypatch=monkeypatch,
+                         depth=2)
+        assert fast == slow
+        assert fast["counters"]["pipeline_stall"] > 0
+
+
+class TestFastpathToggle:
+    def test_env_disables_decode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        assert not fastpath_enabled()
+        core = HISQCore("c0", 0, Engine(), TelfLog())
+        core.load(assemble("halt"))
+        assert core._decoded is None
+        monkeypatch.delenv("REPRO_NO_FASTPATH")
+        assert fastpath_enabled()
+        core.load(assemble("halt"))
+        assert core._decoded is not None
+
+    def test_decode_cache_shared_across_loads(self):
+        program = assemble("waiti 5\ncw.i.i 0,1\nwaiti 4\ncw.i.i 0,2\nhalt")
+        first = decode_program(program)
+        assert decode_program(program) is first
+
+    def test_start_revalidates_after_append(self):
+        """Programs edited after load() are re-decoded at start()."""
+        program = assemble("waiti 5\nhalt")
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog())
+        core.load(program)
+        if core._decoded is None:
+            pytest.skip("fast path disabled in this environment")
+        program.instructions.pop()  # drop halt
+        program.extend(assemble("cw.i.i 0,7\nhalt").instructions)
+        core.start()
+        engine.run(until=10_000)
+        assert core.counters()["codewords"] == 1
+
+    def test_start_revalidates_same_length_swap(self):
+        """Same-length in-place element replacement is caught too."""
+        program = assemble("waiti 5\ncw.i.i 0,1\nwaiti 9\ncw.i.i 0,2\nhalt")
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog())
+        core.load(program)
+        if core._decoded is None:
+            pytest.skip("fast path disabled in this environment")
+        # Swap one emission for a wait without changing the length.
+        program.instructions[3] = assemble("waiti 11\nhalt").instructions[0]
+        core.start()
+        engine.run(until=10_000)
+        assert core.counters()["codewords"] == 1
+        assert core.position == 25

@@ -100,3 +100,58 @@ class TestExceptionResume:
         engine.run()
         assert fired == ["a", "b", "c"]
         assert engine.pending == 0
+
+
+class TestTimingWheel:
+    """Calendar-queue behavior: wheel window, far-event overflow, wrap."""
+
+    def test_far_future_overflow_and_order(self):
+        from repro.sim.engine import WHEEL_SIZE
+        engine = Engine()
+        fired = []
+        times = [0, 1, WHEEL_SIZE - 1, WHEEL_SIZE, WHEEL_SIZE + 1,
+                 3 * WHEEL_SIZE + 7, 10 * WHEEL_SIZE]
+        for t in reversed(times):
+            engine.at(t, lambda t=t: fired.append(t))
+        engine.run()
+        assert fired == sorted(times)
+        assert engine.now == 10 * WHEEL_SIZE
+
+    def test_window_advance_with_until(self):
+        from repro.sim.engine import WHEEL_SIZE
+        engine = Engine()
+        fired = []
+        engine.at(5 * WHEEL_SIZE, lambda: fired.append(engine.now))
+        # Stop before the far event: it must stay pending and fire later.
+        assert engine.run(until=10) == 10
+        assert fired == [] and engine.pending == 1
+        # Scheduling near ``now`` after the pause must not corrupt order.
+        engine.at(20, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [20, 5 * WHEEL_SIZE]
+
+    def test_same_slot_different_windows(self):
+        from repro.sim.engine import WHEEL_SIZE
+        engine = Engine()
+        fired = []
+        # Same slot index (t & mask equal), different windows.
+        engine.at(3, lambda: fired.append(3))
+        engine.at(3 + WHEEL_SIZE, lambda: fired.append(3 + WHEEL_SIZE))
+        engine.at(3 + 2 * WHEEL_SIZE,
+                  lambda: fired.append(3 + 2 * WHEEL_SIZE))
+        engine.run()
+        assert fired == [3, 3 + WHEEL_SIZE, 3 + 2 * WHEEL_SIZE]
+
+    def test_callbacks_scheduling_into_next_window(self):
+        from repro.sim.engine import WHEEL_SIZE
+        engine = Engine()
+        fired = []
+
+        def hop(depth):
+            fired.append(engine.now)
+            if depth:
+                engine.after(WHEEL_SIZE + 1, lambda: hop(depth - 1))
+
+        engine.at(0, lambda: hop(4))
+        engine.run()
+        assert fired == [i * (WHEEL_SIZE + 1) for i in range(5)]
