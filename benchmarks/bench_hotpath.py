@@ -1,89 +1,203 @@
-"""Hot-path overhaul benchmark: fast-path vs legacy interpreter, end to end.
+"""Hot-path benchmark: replay tiers, lane fan-out, packed tableau.
 
-The perf-trajectory artifact of the simulator core: runs the full
-paper-tag Figure-15 sweep serially twice — once on the pre-decoded
-fast path (HISQ pre-decode + basic-block fast-forward + timing-wheel
-engine) and once with ``REPRO_NO_FASTPATH=1`` (the original
-per-instruction interpreter) — and records both wall-clocks plus their
-ratio in ``BENCH_hotpath.json``.  The two sweeps must be *bit-identical*
-(same per-cell makespans, stalls and lifetimes); only the clock may
-differ.
+The perf-trajectory artifact of the simulator core.  The paper-tag
+Figure-15 sweep runs serially once per replay tier —
+
+* ``legacy`` — the original per-instruction interpreter
+  (``REPRO_NO_FASTPATH=1``),
+* ``block``  — PR-5 fast path: pre-decode + per-item basic-block replay,
+* ``vector`` — the structure-of-arrays tier: admitted slices enqueue one
+  :class:`~repro.core.queues.ReplayBatch` over the block's pre-compiled
+  item columns instead of per-item NamedTuples
+
+— and records per-tier wall-clocks plus deterministic result rows in
+``BENCH_hotpath.json``.  All tiers must be *bit-identical* (same
+per-cell makespans, stalls and lifetimes); only the clock may differ.
+The vector row also carries the batch-replay counters, so the CI digest
+gate fails if the vector tier silently degrades to block replay.
+
+A second benchmark times lane-parallel multishot on a static (recv-free)
+workload: the lane engine fans one reference lane across all shots, so
+the fast-forward clock must be far below one-simulation-per-shot.
 
 Also benchmarks the bit-packed stabilizer tableau against the uint8
-reference layout on an n-scaled random Clifford + measurement workload
-(the quantum half of the overhaul; not part of the timing sweep, which
-is state-free).
+reference layout (the quantum half of the PR-5 overhaul; not part of the
+timing sweep, which is state-free).
 
 ``REPRO_SCALE`` scales the workloads (default 0.15; the paper-scale
 acceptance number uses 0.1); ``REPRO_BENCH_DIR`` redirects the artifact.
 """
 
+import contextlib
 import dataclasses
 import os
 import random
 import time
 
-from repro.harness.parallel import run_tasks, tasks_from_spec
+from repro.harness.parallel import (clear_cell_caches, run_tasks,
+                                    tasks_from_spec)
+from repro.harness.registry import get_workload
 from repro.harness.spec import SweepSpec
+from repro.compiler.driver import run_circuit
+from repro.isa import decoded
 from repro.quantum.stabilizer import StabilizerBackend
+from repro.sim import lanes
 
-#: Conservative CI floor for the *flag-delta* (fast path vs
-#: ``REPRO_NO_FASTPATH=1``, everything else equal) on shared runners.
-#: The flag only toggles pre-decode + fast-forward — the rest of the
-#: overhaul (interning, timing wheel, tuple TELF, ...) benefits both
-#: sides, and the end-to-end gain vs the pre-overhaul core is ~3x (see
-#: README "Performance").  Below this floor the fast path is materially
-#: *slower* than stepwise, i.e. it regressed.
-#: Overridable for very noisy/tiny-scale CI legs.
+#: Conservative CI floor for vector tier vs the legacy interpreter on
+#: shared runners (the local scale-0.1 numbers are much higher — see
+#: README "Performance").  Below this floor the fast path regressed.
 MIN_SWEEP_SPEEDUP = float(os.environ.get("REPRO_HOTPATH_MIN_SPEEDUP",
                                          "0.75"))
+
+#: Floor for lane fast-forward vs per-lane replay on a static workload.
+#: Fan-out is O(shots) dict-building vs O(shots) full simulations, so
+#: even a noisy runner clears this by an order of magnitude.
+MIN_LANE_SPEEDUP = float(os.environ.get("REPRO_LANE_MIN_SPEEDUP", "3.0"))
 
 #: Floor for packed-vs-uint8 tableau measurement throughput at n=300.
 MIN_TABLEAU_SPEEDUP = 2.0
 
-
-def _sweep_rows(tasks):
-    results, _ = run_tasks(tasks, processes=1)
-    return [dataclasses.asdict(results[task.key()]) for task in tasks]
+TIERS = ("legacy", "block", "vector")
 
 
-def test_sweep_fastpath_speedup(bench_recorder, scale):
-    spec = SweepSpec(tags=("paper",), scales=(float(scale),))
-    tasks = tasks_from_spec(spec)
-
-    # The comparison needs the flag off for the first sweep and on for
-    # the second, whatever the ambient environment; restore it after.
-    previous = os.environ.pop("REPRO_NO_FASTPATH", None)
+@contextlib.contextmanager
+def _tier_env(tier):
+    """Pin the replay tier for one timed sweep, whatever the ambient
+    environment; restore it after."""
+    saved = {name: os.environ.pop(name, None)
+             for name in ("REPRO_NO_FASTPATH", "REPRO_REPLAY_TIER")}
+    os.environ["REPRO_REPLAY_TIER"] = tier
     try:
-        started = time.perf_counter()
-        fast_rows = _sweep_rows(tasks)
-        fast_seconds = time.perf_counter() - started
-
-        os.environ["REPRO_NO_FASTPATH"] = "1"
-        started = time.perf_counter()
-        legacy_rows = _sweep_rows(tasks)
-        legacy_seconds = time.perf_counter() - started
+        yield
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_NO_FASTPATH", None)
-        else:
-            os.environ["REPRO_NO_FASTPATH"] = previous
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
-    speedup = legacy_seconds / fast_seconds
+
+def _timed_sweep(spec):
+    """One serial sweep; returns (rows, seconds, replay totals)."""
+    decoded.reset_replay_totals()
+    tasks = tasks_from_spec(spec)  # captures the pinned tier flags
+    started = time.perf_counter()
+    results, _ = run_tasks(tasks, processes=1)
+    seconds = time.perf_counter() - started
+    rows = [dataclasses.asdict(results[task.key()]) for task in tasks]
+    return rows, seconds, decoded.replay_totals()
+
+
+def test_sweep_replay_tiers(bench_recorder, scale):
+    spec = SweepSpec(tags=("paper",), scales=(float(scale),))
+
+    rows, seconds, warm_seconds, totals = {}, {}, {}, {}
+    for tier in TIERS:
+        with _tier_env(tier):
+            clear_cell_caches()
+            decoded.clear_decode_caches()
+            rows[tier], seconds[tier], totals[tier] = _timed_sweep(spec)
+            # Warm repeat: the compile memo holds the whole grid, so
+            # this is the simulation-only steady state (reruns,
+            # --verify-parallel, benchmark iterations).
+            warm_rows, warm, _ = _timed_sweep(spec)
+            warm_seconds[tier] = warm
+            assert warm_rows == rows[tier], tier
+
+    speedup_vector = seconds["legacy"] / seconds["vector"]
+    speedup_block = seconds["legacy"] / seconds["block"]
+    warm_speedup = warm_seconds["legacy"] / warm_seconds["vector"]
     print("\n=== serial paper-tag sweep (scale={}) ===".format(scale))
-    print("fast path: {:.2f}s   legacy: {:.2f}s   speedup {:.2f}x".format(
-        fast_seconds, legacy_seconds, speedup))
-    bench_recorder.add(
-        "sweep_scale_{:g}".format(float(scale)), cells=len(tasks),
-        scale=float(scale), identical=int(fast_rows == legacy_rows),
-        makespan_sum=sum(row["makespan_cycles"] for row in fast_rows))
-    bench_recorder.note_volatile(fast_seconds=fast_seconds,
-                                 legacy_seconds=legacy_seconds,
-                                 sweep_speedup=speedup)
+    print("cold  legacy: {:.2f}s   block: {:.2f}s ({:.2f}x)   "
+          "vector: {:.2f}s ({:.2f}x)".format(
+              seconds["legacy"], seconds["block"], speedup_block,
+              seconds["vector"], speedup_vector))
+    print("warm  legacy: {:.2f}s   block: {:.2f}s   vector: {:.2f}s "
+          "({:.2f}x; vs cold legacy {:.2f}x)".format(
+              warm_seconds["legacy"], warm_seconds["block"],
+              warm_seconds["vector"], warm_speedup,
+              seconds["legacy"] / warm_seconds["vector"]))
+    print("vector replays: {} batches / {} items  (block-tier "
+          "fallbacks: {})".format(totals["vector"]["vector"],
+                                  totals["vector"]["vector_items"],
+                                  totals["vector"]["block"]))
+
+    cells = len(rows["legacy"])
+    makespan_sum = sum(row["makespan_cycles"] for row in rows["legacy"])
+    for tier in TIERS:
+        row = dict(cells=cells, scale=float(scale),
+                   identical=int(rows[tier] == rows["legacy"]),
+                   makespan_sum=sum(r["makespan_cycles"]
+                                    for r in rows[tier]))
+        if tier == "vector":
+            # Deterministic (serial sweep, fixed tasks): digest-gated in
+            # CI so a silent fall-back to block replay fails the build.
+            row["vector_batches"] = totals[tier]["vector"]
+            row["vector_items"] = totals[tier]["vector_items"]
+        bench_recorder.add(
+            "sweep_{}_scale_{:g}".format(tier, float(scale)), **row)
+    bench_recorder.note_volatile(
+        legacy_seconds=seconds["legacy"], block_seconds=seconds["block"],
+        vector_seconds=seconds["vector"], sweep_speedup=speedup_vector,
+        block_speedup=speedup_block,
+        warm_legacy_seconds=warm_seconds["legacy"],
+        warm_block_seconds=warm_seconds["block"],
+        warm_vector_seconds=warm_seconds["vector"],
+        warm_speedup=warm_speedup)
+
     # Bit-identity is the hard requirement; the wall-clock floor guards
     # against the fast path silently regressing to the legacy cost.
-    assert fast_rows == legacy_rows
-    assert speedup >= MIN_SWEEP_SPEEDUP, (fast_seconds, legacy_seconds)
+    assert rows["block"] == rows["legacy"]
+    assert rows["vector"] == rows["legacy"]
+    assert makespan_sum > 0
+    # The vector tier must actually batch (not quietly run block replay).
+    assert totals["vector"]["vector"] > 0, totals["vector"]
+    assert totals["legacy"] == {"vector": 0, "block": 0,
+                                "vector_items": 0}
+    assert speedup_vector >= MIN_SWEEP_SPEEDUP, seconds
+
+
+def test_lane_fanout_speedup(bench_recorder, scale):
+    """Static multishot: fan-out must beat one-simulation-per-shot."""
+    shots = 32
+    spec = get_workload("qft_n300").spec(float(scale), 0.0)
+    circuit = spec.circuit()
+
+    def _timed(no_lanes):
+        saved = os.environ.pop("REPRO_NO_LANES", None)
+        if no_lanes:
+            os.environ["REPRO_NO_LANES"] = "1"
+        lanes.reset_lane_totals()
+        try:
+            started = time.perf_counter()
+            result = run_circuit(circuit, scheme="bisp", backend=None,
+                                 record_gate_log=False, shots=shots,
+                                 mesh_kind=spec.mesh_kind)
+            return result, time.perf_counter() - started
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_NO_LANES", None)
+            else:
+                os.environ["REPRO_NO_LANES"] = saved
+
+    fast, fast_seconds = _timed(no_lanes=False)
+    slow, slow_seconds = _timed(no_lanes=True)
+    speedup = slow_seconds / fast_seconds
+    print("\n=== lane fan-out, qft_n300 x {} shots (scale={}) ==="
+          .format(shots, scale))
+    print("fastforward: {:.3f}s   replay: {:.3f}s   speedup {:.1f}x"
+          .format(fast_seconds, slow_seconds, speedup))
+    assert fast.lane_mode == "fastforward", fast.lane_mode
+    assert slow.lane_mode == "replay"
+    identical = int(fast.shot_stats == slow.shot_stats)
+    bench_recorder.add("lanes_qft_shots{}".format(shots), shots=shots,
+                       scale=float(scale), identical=identical,
+                       makespan_sum=sum(fast.shot_makespans))
+    bench_recorder.note_volatile(lane_fast_seconds=fast_seconds,
+                                 lane_replay_seconds=slow_seconds,
+                                 lane_speedup=speedup)
+    assert fast.shot_stats == slow.shot_stats
+    assert speedup >= MIN_LANE_SPEEDUP, (fast_seconds, slow_seconds)
 
 
 def _tableau_workload(backend, rng, gates):

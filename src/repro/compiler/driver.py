@@ -144,6 +144,11 @@ class RunResult:
     #: Per-shot summaries when ``run_circuit(..., shots=k)`` with k > 1;
     #: entry 0 is the inline run, entries 1.. are reruns with derived seeds.
     shot_stats: Optional[List[Dict[str, int]]] = None
+    #: How extra shots were produced: ``"fastforward"`` (lane engine
+    #: fanned one reference lane across all shots — static program set),
+    #: ``"replay"`` (one simulation per lane), or None for shots == 1 /
+    #: executor dispatch.  See :mod:`repro.sim.lanes`.
+    lane_mode: Optional[str] = None
 
     @property
     def makespan_cycles(self) -> int:
@@ -223,23 +228,36 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                 shots: int = 1,
                 executor=None,
                 noise_model=None,
-                noise_seed: int = 0x5EED) -> RunResult:
+                noise_seed: int = 0x5EED,
+                compilation: Optional[CompilationResult] = None
+                ) -> RunResult:
     """Compile, simulate and collect statistics in one call.
 
     ``shots`` > 1 reruns the compiled system with deterministic per-shot
     device seeds (``shot_device_seed``) and collects per-shot summaries in
     ``RunResult.shot_stats``; ``executor`` (anything with a ``map`` method —
     ``concurrent.futures`` executors, ``multiprocessing.Pool``) fans the
-    extra shots out in parallel.  The quantum-state ``backend``, if any, is
-    attached to shot 0 only; extra shots are timing-only.  ``noise_model``
-    arms the device's error-injection hooks for shot 0 (see
-    :meth:`CompilationResult.build_system`).
+    extra shots out in parallel.  Without an executor, extra shots run
+    through the lane engine (:mod:`repro.sim.lanes`): when no compiled
+    program contains a ``recv``, all timing-only lanes are provably
+    identical and shot 0 is fanned out across them at zero simulation
+    cost (``RunResult.lane_mode == "fastforward"``).  The quantum-state
+    ``backend``, if any, is attached to shot 0 only; extra shots are
+    timing-only.  ``noise_model`` arms the device's error-injection hooks
+    for shot 0 (see :meth:`CompilationResult.build_system`).
+
+    A pre-built ``compilation`` (from :func:`compile_circuit`, e.g. the
+    sweep harness's per-process memo) skips the compile step; the
+    compile-side keyword arguments are then ignored, except for executor
+    shot dispatch, which re-derives the compilation per worker.
     """
     if shots < 1:
         raise CompilationError("shots must be >= 1, got {}".format(shots))
-    compilation = compile_circuit(
-        circuit, scheme=scheme, config=config,
-        qubits_per_controller=qubits_per_controller, mesh_kind=mesh_kind)
+    if compilation is None:
+        compilation = compile_circuit(
+            circuit, scheme=scheme, config=config,
+            qubits_per_controller=qubits_per_controller,
+            mesh_kind=mesh_kind)
     system = compilation.build_system(backend=backend,
                                       device_seed=device_seed,
                                       record_gate_log=record_gate_log,
@@ -255,9 +273,9 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
             "sync_stall_cycles": stats.sync_stall_cycles,
         }
         if executor is None:
-            rest = [simulate_shot(compilation,
-                                  shot_device_seed(device_seed, s), until)
-                    for s in range(1, shots)]
+            from ..sim.lanes import run_extra_shots
+            rest, result.lane_mode = run_extra_shots(
+                compilation, device_seed, shots, until=until, first=first)
         else:
             tasks = [(circuit, scheme, config, qubits_per_controller,
                       mesh_kind, shot_device_seed(device_seed, s), until)

@@ -40,7 +40,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ExecutionError, TimingViolation
-from ..fastpath import fastpath_enabled
+from ..fastpath import fastpath_enabled, replay_tier
+from ..isa.decoded import _REPLAY_TOTALS
 from ..isa.decoded import (CW_OPS, OP_ADD, OP_ADDI, OP_AND, OP_ANDI,
                            OP_AUIPC, OP_BEQ, OP_BGE, OP_BGEU, OP_BLT,
                            OP_BLTU, OP_BNE, OP_CW_II, OP_CW_IR, OP_CW_RI,
@@ -55,8 +56,8 @@ from ..isa.program import Program
 from ..isa.registers import RegisterFile, to_signed
 from .config import CENTRAL_ADDRESS, CoreConfig
 from .message_unit import MessageUnit
-from .queues import (EmitCodeword, ItemQueue, Resync, SendMessage,
-                     SyncNearby, SyncRegion)
+from .queues import (EmitCodeword, ItemQueue, ReplayBatch, Resync,
+                     SendMessage, SyncNearby, SyncRegion)
 from .sync_unit import SyncUnit
 from .timer import AbsoluteTimer
 
@@ -104,8 +105,9 @@ class HISQCore:
         self._halted = False
         self._pipeline_blocked = False
         self._started = False
+        self._replay_tier = replay_tier()
         self._decoded = decode_program(self.program) \
-            if fastpath_enabled() else None
+            if self._replay_tier != "legacy" else None
         #: Prebound continuation callbacks (skip per-event bound-method
         #: creation and the fast/legacy dispatch hop).
         self._pipeline_entry = (self._pipeline_run_fast
@@ -137,7 +139,8 @@ class HISQCore:
         self._fast_ctx = (
             decoded.steps, decoded.n, decoded.fast_block, _IS_CW,
             self.config.classical_cpi, self.config.batch_limit,
-            queue._items, queue._items.append, queue.depth)
+            queue, queue._items.append, queue.push, queue.depth,
+            self._replay_tier == "vector", decoded)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -146,8 +149,9 @@ class HISQCore:
     def load(self, program: Program) -> None:
         """Install a program and reset execution state."""
         self.program = program
-        self._decoded = decode_program(program) if fastpath_enabled() \
-            else None
+        self._replay_tier = replay_tier()
+        self._decoded = decode_program(program) \
+            if self._replay_tier != "legacy" else None
         self._pipeline_entry = (self._pipeline_run_fast
                                 if self._decoded is not None
                                 else self._pipeline_run_legacy)
@@ -275,7 +279,8 @@ class HISQCore:
         if self._halted or self._pipeline_blocked:
             return
         (steps, nsteps, fast_block, is_cw, cpi, budget,
-         items_dq, append_item, depth) = self._fast_ctx
+         queue, append_item, push_item, depth, use_vector,
+         decoded) = self._fast_ctx
         regs = self.regs
         engine = self.engine
         pc = self.pc
@@ -293,7 +298,7 @@ class HISQCore:
             block = fast_block[pc]
             if block is not None:
                 j = pc - block.start
-                free = depth - len(items_dq)
+                free = depth - queue._count
                 pushes_j = block.pushes[j]
                 # Whole-tail admission with one comparison; partial
                 # replays go through the bisect-based replay_end.
@@ -306,23 +311,50 @@ class HISQCore:
                     lo = pushes_j
                     hi = block.pushes[e]
                     base = position - block.pos_cum[j]
-                    if hi > lo:
-                        for kind, off, a, b in block.items[lo:hi]:
-                            if kind == 0:
-                                append_item(EmitCodeword(base + off, a, b))
-                            elif kind == 1:
-                                append_item(SyncNearby(base + off, a))
-                            elif kind == 2:
-                                append_item(SyncRegion(base + off, a, b))
+                    k = hi - lo
+                    if k:
+                        if use_vector and k >= 4:
+                            # Vector tier: resolve every position of the
+                            # slice in one bulk add and enqueue a single
+                            # lazily-drained batch (k logical items).
+                            if k >= 16:
+                                positions = (
+                                    base + block.item_off_np[lo:hi]).tolist()
                             else:
-                                append_item(SendMessage(base + off, a, b))
+                                off = block.item_off
+                                positions = [base + off[i]
+                                             for i in range(lo, hi)]
+                            append_item(ReplayBatch(
+                                positions, block.item_kinds, block.item_a,
+                                block.item_b, lo, hi))
+                            queue._count += k
+                            decoded.vector_replays += 1
+                            decoded.vector_items += k
+                            _REPLAY_TOTALS["vector"] += 1
+                            _REPLAY_TOTALS["vector_items"] += k
+                        else:
+                            for kind, off, a, b in block.items[lo:hi]:
+                                if kind == 0:
+                                    append_item(EmitCodeword(base + off,
+                                                             a, b))
+                                elif kind == 1:
+                                    append_item(SyncNearby(base + off, a))
+                                elif kind == 2:
+                                    append_item(SyncRegion(base + off,
+                                                           a, b))
+                                else:
+                                    append_item(SendMessage(base + off,
+                                                            a, b))
+                            queue._count += k
+                            decoded.block_replays += 1
+                            _REPLAY_TOTALS["block"] += 1
                     consumed = e - j
                     pc += consumed
                     position = base + block.pos_cum[e]
                     executed += consumed
                     cost += consumed * cpi
                     budget -= consumed
-                    if hi > lo:
+                    if k:
                         self.pc = pc
                         self.position = position
                         self._tcu_kick()
@@ -331,7 +363,7 @@ class HISQCore:
                 # below, which re-checks the live queue and stalls exactly
                 # like the legacy loop.
             op, rd, rs1, rs2, imm, imm2 = steps[pc]
-            if is_cw[op] and len(items_dq) >= depth:
+            if is_cw[op] and queue._count >= depth:
                 self.pc = pc
                 self.position = position
                 self.instructions_executed += executed
@@ -364,15 +396,15 @@ class HISQCore:
             if op == OP_WAITI:
                 position += imm
             elif op == OP_CW_II:
-                append_item(EmitCodeword(position, imm, imm2))
+                push_item(EmitCodeword(position, imm, imm2))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
             elif op == OP_SYNC:
                 if imm2:
-                    append_item(SyncRegion(position, imm, imm2))
+                    push_item(SyncRegion(position, imm, imm2))
                 else:
-                    append_item(SyncNearby(position, imm))
+                    push_item(SyncNearby(position, imm))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
@@ -391,7 +423,7 @@ class HISQCore:
                                                               addr))
                 regs.write(rd, self.memory.get(addr, 0))
             elif op == OP_SEND:
-                append_item(SendMessage(position, imm, regs.read(rs1)))
+                push_item(SendMessage(position, imm, regs.read(rs1)))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
@@ -406,25 +438,25 @@ class HISQCore:
             elif op == OP_NOP:
                 pass
             elif op == OP_SEND_I:
-                append_item(SendMessage(position, imm, imm2))
+                push_item(SendMessage(position, imm, imm2))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
             elif op == OP_WAITR:
                 position += to_signed(regs.read(rs1))
             elif op == OP_CW_IR:
-                append_item(EmitCodeword(position, imm, regs.read(rs2)))
+                push_item(EmitCodeword(position, imm, regs.read(rs2)))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
             elif op == OP_CW_RI:
-                append_item(EmitCodeword(position, regs.read(rs1), imm2))
+                push_item(EmitCodeword(position, regs.read(rs1), imm2))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
             elif op == OP_CW_RR:
-                append_item(EmitCodeword(position, regs.read(rs1),
-                                         regs.read(rs2)))
+                push_item(EmitCodeword(position, regs.read(rs1),
+                                       regs.read(rs2)))
                 self.pc = next_pc
                 self.position = position
                 self._tcu_kick()
@@ -741,23 +773,34 @@ class HISQCore:
                 self._tcu_busy = False
                 return
             item = items_dq[0]
-            position = item[0]
+            cls = item.__class__
+            if cls is ReplayBatch:
+                # Head element of a vector-tier batch: same issue logic as
+                # a plain item, read straight from the block's SoA columns.
+                cur = item.cursor
+                position = item.positions[cur]
+                idx = item.lo + cur
+                kind = item.kinds[idx]
+            else:
+                position = item[0]
+                kind = -1
             if position < timer.position:
                 self._violation(
                     "item at position {} is behind the timer cursor "
                     "{}".format(position, timer.position))
                 position = timer.position
-            cls = item.__class__
             if self._sync_state is not None:
                 if position >= self._sync_state["fence"] or \
-                        cls is SyncNearby or cls is SyncRegion:
+                        cls is SyncNearby or cls is SyncRegion or \
+                        kind == 1 or kind == 2:
                     # Blocked until the in-flight sync resolves.
                     self._tcu_busy = False
                     return
             if cls is Resync:
                 popleft()
+                queue._count -= 1
                 waiter = queue._space_waiter
-                if waiter is not None and len(items_dq) < depth:
+                if waiter is not None and queue._count < depth:
                     queue._space_waiter = None
                     waiter()
                 if item.exact:
@@ -783,10 +826,47 @@ class HISQCore:
                 return
             timer.position = position
             timer.wall = target
+            if cls is ReplayBatch:
+                # Consume one logical item: advance the cursor, drop the
+                # batch when drained, and wake a space-waiter exactly as a
+                # per-item pop would.
+                a = item.a[idx]
+                b = item.b[idx]
+                item.cursor = cur + 1
+                if idx + 1 == item.hi:
+                    popleft()
+                queue._count -= 1
+                waiter = queue._space_waiter
+                if waiter is not None and queue._count < depth:
+                    queue._space_waiter = None
+                    waiter()
+                if kind == 0:
+                    self.codewords_emitted += 1
+                    self.last_event_time = target
+                    if telf_raw is not None:
+                        telf_raw.append((target, name, "cw", a, b, ""))
+                    if self.fabric is not None:
+                        self.fabric.emit_codeword(self, a, b)
+                    continue
+                if kind == 3:
+                    self.messages_sent += 1
+                    self.last_event_time = target
+                    if telf_raw is not None:
+                        telf_raw.append((target, name, "msg_tx", a, b, ""))
+                    self.fabric.send_message(self, a, b)
+                    continue
+                if kind == 1:
+                    self._book_nearby_sync(SyncNearby(position, a),
+                                           position, target)
+                    continue
+                self._book_region_sync(SyncRegion(position, a, b),
+                                       position, target)
+                continue
             if cls is EmitCodeword:
                 popleft()
+                queue._count -= 1
                 waiter = queue._space_waiter
-                if waiter is not None and len(items_dq) < depth:
+                if waiter is not None and queue._count < depth:
                     queue._space_waiter = None
                     waiter()
                 self.codewords_emitted += 1
@@ -799,8 +879,9 @@ class HISQCore:
                 continue
             if cls is SendMessage:
                 popleft()
+                queue._count -= 1
                 waiter = queue._space_waiter
-                if waiter is not None and len(items_dq) < depth:
+                if waiter is not None and queue._count < depth:
                     queue._space_waiter = None
                     waiter()
                 self.messages_sent += 1

@@ -69,24 +69,68 @@ class Resync(NamedTuple):
     exact: bool = False
 
 
+class ReplayBatch:
+    """One fast-block slice admitted by the vector replay tier.
+
+    Instead of constructing one NamedTuple per item, the replay path
+    enqueues a single batch that *references* the block's structure-of-
+    arrays columns (``kinds``/``a``/``b``, block-absolute, shared and
+    immutable) plus the slice's resolved timeline positions (computed
+    with one bulk add over the block's offset array).  The TCU drains
+    elements in place by advancing ``cursor``; each element counts as one
+    logical queue item for depth/stall accounting (see
+    :attr:`ItemQueue.depth` and the ``_count`` bookkeeping), so timing is
+    bit-identical to the eager per-item representation.
+    """
+
+    __slots__ = ("positions", "kinds", "a", "b", "lo", "hi", "cursor")
+
+    def __init__(self, positions, kinds, a, b, lo, hi):
+        #: Resolved timeline positions, indexed 0..len-1 (slice-local).
+        self.positions = positions
+        #: Block-absolute item columns; element ``i`` of this batch lives
+        #: at column index ``lo + i``.
+        self.kinds = kinds
+        self.a = a
+        self.b = b
+        self.lo = lo
+        self.hi = hi
+        #: Next slice-local element to issue (``hi - lo`` when drained).
+        self.cursor = 0
+
+    def __len__(self):
+        return (self.hi - self.lo) - self.cursor
+
+
 class ItemQueue:
-    """Bounded FIFO between pipeline and TCU with a stall callback."""
+    """Bounded FIFO between pipeline and TCU with a stall callback.
+
+    ``len()`` and :attr:`full` count *logical* items: a
+    :class:`ReplayBatch` occupies as many slots as it has undrained
+    elements, so queue-depth stalls behave exactly as if the batch had
+    been pushed item by item.  The plain ``push``/``pop`` API never
+    creates batches — only the fast interpreter's vector tier does, via
+    direct ``_items`` access — so legacy semantics are unchanged.
+    """
 
     def __init__(self, depth: int):
         self.depth = depth
         self._items = deque()
+        #: Logical item count (plain items + undrained batch elements).
+        self._count = 0
         self._space_waiter: Optional[Callable[[], None]] = None
 
     def __len__(self):
-        return len(self._items)
+        return self._count
 
     @property
     def full(self) -> bool:
-        return len(self._items) >= self.depth
+        return self._count >= self.depth
 
     def push(self, item) -> None:
         """Append an item (caller must check :attr:`full` first)."""
         self._items.append(item)
+        self._count += 1
 
     def peek(self):
         """Return the head item or None."""
@@ -95,6 +139,7 @@ class ItemQueue:
     def pop(self):
         """Remove and return the head item; wake a pipeline space-waiter."""
         item = self._items.popleft()
+        self._count -= 1
         if self._space_waiter is not None and not self.full:
             waiter, self._space_waiter = self._space_waiter, None
             waiter()

@@ -31,13 +31,16 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler import schemes as scheme_registry
-from ..compiler.driver import SCHEMES, run_circuit
+from ..compiler.driver import SCHEMES, compile_circuit, run_circuit
 from ..errors import ReproError
+from ..fastpath import fastpath_enabled, replay_tier
 from ..noise.model import NoiseModel, derive_seed
 from ..sim.config import SimulationConfig
 from . import registry
@@ -101,6 +104,17 @@ class SweepTask:
     #: Monte-Carlo noise model; None keeps the cell noiseless.
     noise: Optional[NoiseModel] = None
     noise_shots: int = 256
+    #: Fast-path escape hatch captured at task-build time.  Workers apply
+    #: it for the duration of the cell, so a differential sweep's mode
+    #: reaches every pool worker regardless of start method or pool
+    #: lifetime — ``fastpath_enabled()`` is read per process at object
+    #: creation, and an env var set after a long-lived pool was forked
+    #: would otherwise be silently ignored.  None inherits the worker's
+    #: ambient environment.  Deliberately *not* part of ``cache_key``:
+    #: results are bit-identical across modes by contract.
+    no_fastpath: Optional[bool] = None
+    #: Replay tier captured at task-build time (same contract).
+    replay_tier: Optional[str] = None
 
     def key(self) -> Tuple[str, str, float, int]:
         """Grid coordinates of this cell (workload, scheme, scale, shots)."""
@@ -134,6 +148,8 @@ class SweepTask:
 def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
     """The declarative grid of a :class:`~repro.harness.spec.SweepSpec`
     as picklable tasks, in the spec's deterministic cell order."""
+    no_fastpath = not fastpath_enabled()
+    tier = replay_tier()
     return [SweepTask(spec_name=cell.workload, scheme=cell.scheme,
                       scale=cell.scale,
                       substitution_fraction=spec.substitution_fraction,
@@ -142,7 +158,8 @@ def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
                       scheme_module=scheme_registry.origin_module(
                           cell.scheme),
                       config=spec.config, noise=spec.noise,
-                      noise_shots=spec.noise_shots)
+                      noise_shots=spec.noise_shots,
+                      no_fastpath=no_fastpath, replay_tier=tier)
             for cell in spec.cells()]
 
 
@@ -190,10 +207,14 @@ def run_cell(task: SweepTask) -> CellResult:
     workload = registry.get_workload(task.spec_name)
     spec = workload.spec(task.scale, task.substitution_fraction)
     circuit, mesh_kind = _cell_circuit(task, spec)
-    result = run_circuit(circuit, scheme=task.scheme, config=task.config,
-                         backend=None, device_seed=task.device_seed,
-                         mesh_kind=mesh_kind, record_gate_log=False,
-                         record_telf=False, shots=task.shots)
+    with _task_environment(task):
+        compilation = _cell_compilation(task, circuit, mesh_kind)
+        result = run_circuit(circuit, scheme=task.scheme,
+                             config=task.config, backend=None,
+                             device_seed=task.device_seed,
+                             mesh_kind=mesh_kind, record_gate_log=False,
+                             record_telf=False, shots=task.shots,
+                             compilation=compilation)
     cell = CellResult(
         spec_name=task.spec_name, scheme=task.scheme,
         num_qubits=circuit.num_qubits, num_ops=len(circuit),
@@ -240,6 +261,71 @@ def _cell_circuit(task: SweepTask, spec) -> tuple:
     return entry
 
 
+#: Cell-identity -> CompilationResult.  Compilation is deterministic and
+#: independent of device seed, replay tier and noise model, so warm
+#: repeats of a cell — ``--verify-parallel`` reruns, differential-mode
+#: sweeps, benchmark iterations — skip the lowering/emit pipeline (about
+#: a third of a cold sweep's wall-clock).  The compiled programs are
+#: treated as read-only by the simulator, which already reuses one
+#: compilation across every shot of a cell.  The limit must cover a
+#: whole sweep grid (paper tag: 12 workloads x 5 schemes = 60 cells) or
+#: warm repeats thrash the memo and recompile every cell.
+_CELL_COMPILATIONS: Dict[tuple, object] = {}
+_CELL_COMPILATIONS_LIMIT = 256
+
+
+def _cell_compilation(task: SweepTask, circuit, mesh_kind: str):
+    config = task.config or SimulationConfig()
+    key = (task.spec_name, task.scheme, repr(task.scale),
+           repr(task.substitution_fraction), mesh_kind,
+           tuple(sorted(asdict(config).items())))
+    entry = _CELL_COMPILATIONS.get(key)
+    if entry is None:
+        if len(_CELL_COMPILATIONS) >= _CELL_COMPILATIONS_LIMIT:
+            _CELL_COMPILATIONS.clear()
+        entry = _CELL_COMPILATIONS[key] = compile_circuit(
+            circuit, scheme=task.scheme, config=task.config,
+            mesh_kind=mesh_kind)
+    return entry
+
+
+def clear_cell_caches() -> None:
+    """Drop the per-process circuit and compilation memos (benchmarks
+    that want cold-start numbers, and tests)."""
+    _CELL_CIRCUITS.clear()
+    _CELL_COMPILATIONS.clear()
+
+
+@contextmanager
+def _task_environment(task: SweepTask):
+    """Apply the task's captured fast-path flags for the cell's duration.
+
+    Restores the previous environment afterwards, so in-process (serial)
+    sweeps leave the caller's environment untouched."""
+    updates = {}
+    if task.no_fastpath is not None:
+        updates["REPRO_NO_FASTPATH"] = "1" if task.no_fastpath else None
+    if task.replay_tier is not None:
+        updates["REPRO_REPLAY_TIER"] = task.replay_tier
+    if not updates:
+        yield
+        return
+    saved = {name: os.environ.get(name) for name in updates}
+    try:
+        for name, value in updates.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
 def _gc_batched(tasks: Sequence[SweepTask], every: int = 8):
     """Yield tasks with the cyclic GC paused between collections.
 
@@ -282,12 +368,71 @@ def _guarded_run_cell(task: SweepTask):
         return task, None, traceback.format_exc()
 
 
-class SweepCache:
-    """On-disk pickle cache of finished sweep cells, keyed by content hash."""
+#: A live ``put()`` holds its temp file for milliseconds; a temp file
+#: older than this is an orphan from a killed worker (or a writer on a
+#: pathologically slow filesystem, where re-writing the cell is cheap
+#: compared to leaking the file forever).
+ORPHAN_TMP_SECONDS = 300.0
 
-    def __init__(self, directory: str):
+
+def _pid_of_tmp(name: str) -> Optional[int]:
+    """Writer PID encoded in a ``tmp-<pid>-*.tmp`` cache temp file."""
+    if not name.startswith("tmp-"):
+        return None
+    head = name[4:].split("-", 1)[0]
+    return int(head) if head.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class SweepCache:
+    """On-disk pickle cache of finished sweep cells, keyed by content hash.
+
+    Opening a cache sweeps orphaned ``*.tmp`` files: a worker killed
+    between ``mkstemp`` and ``os.replace`` in :meth:`put` leaves its temp
+    file behind, and nothing would ever reclaim it.  A temp file is an
+    orphan when its writer PID (encoded in the filename) is dead, or —
+    the backstop for PID reuse and foreign temp files — when it is older
+    than :data:`ORPHAN_TMP_SECONDS`; a concurrent live writer's fresh
+    temp file matches neither test and is left alone.
+    """
+
+    def __init__(self, directory: str, sweep_orphans: bool = True):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        if sweep_orphans:
+            self.sweep_orphan_tmps()
+
+    def sweep_orphan_tmps(self,
+                          ttl_seconds: float = ORPHAN_TMP_SECONDS) -> int:
+        """Delete orphaned ``*.tmp`` files; returns how many were removed."""
+        removed = 0
+        now = time.time()
+        for name in os.listdir(self.directory):
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue  # already gone (concurrent sweep or writer)
+            pid = _pid_of_tmp(name)
+            dead_writer = pid is not None and not _pid_alive(pid)
+            if dead_writer or now - mtime > ttl_seconds:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".pkl")
@@ -307,8 +452,14 @@ class SweepCache:
             return None
 
     def put(self, key: str, value: CellResult) -> None:
-        """Store a cell atomically (temp file + rename)."""
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        """Store a cell atomically (temp file + rename).
+
+        The temp filename carries the writer's PID so a later cache open
+        can tell a killed writer's orphan from a live concurrent write
+        (see :meth:`sweep_orphan_tmps`)."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix="tmp-{}-".format(os.getpid()),
+            suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -348,12 +499,15 @@ def build_tasks(scale: float,
         names = list(dict.fromkeys(spec_names))
     else:
         names = registry.workload_names(tags=("paper",))
+    no_fastpath = not fastpath_enabled()
+    tier = replay_tier()
     return [SweepTask(spec_name=name, scheme=scheme, scale=scale,
                       substitution_fraction=substitution_fraction,
                       device_seed=device_seed, shots=shots,
                       module=registry.origin_module(name),
                       scheme_module=scheme_registry.origin_module(scheme),
-                      config=config)
+                      config=config,
+                      no_fastpath=no_fastpath, replay_tier=tier)
             for name in names for scheme in schemes]
 
 

@@ -111,11 +111,14 @@ def resolve_schemes(schemes: Optional[Sequence[str]]) -> List[str]:
 def run_spec(spec: BenchmarkSpec,
              schemes: Optional[Sequence[str]] = ("bisp", "lockstep"),
              config: Optional[SimulationConfig] = None,
-             device_seed: int = 1234) -> BenchmarkOutcome:
+             device_seed: int = 1234,
+             shots: int = 1) -> BenchmarkOutcome:
     """Run one workload under each scheme (timing-only, no state backend).
 
     ``schemes`` defaults to the Figure-15 pair; ``None`` runs every
-    registered scheme."""
+    registered scheme.  ``shots`` > 1 dispatches extra shots through the
+    lane engine (:mod:`repro.sim.lanes`): static program sets fan one
+    simulated lane across all shots."""
     schemes = resolve_schemes(schemes)
     circuit = spec.circuit()
     outcome = BenchmarkOutcome(
@@ -125,7 +128,7 @@ def run_spec(spec: BenchmarkSpec,
         result = run_circuit(circuit, scheme=scheme, config=config,
                              backend=None, device_seed=device_seed,
                              mesh_kind=spec.mesh_kind,
-                             record_gate_log=False)
+                             record_gate_log=False, shots=shots)
         outcome.makespan_cycles[scheme] = result.makespan_cycles
         outcome.stall_cycles[scheme] = result.stats.sync_stall_cycles
         outcome.lifetimes_ns[scheme] = result.system.device.lifetimes_ns()
@@ -135,15 +138,18 @@ def run_spec(spec: BenchmarkSpec,
 def run_suite(specs: Optional[List[BenchmarkSpec]] = None,
               schemes: Optional[Sequence[str]] = ("bisp", "lockstep"),
               config: Optional[SimulationConfig] = None,
-              verbose: bool = False) -> List[BenchmarkOutcome]:
+              verbose: bool = False,
+              shots: int = 1) -> List[BenchmarkOutcome]:
     """Run the whole suite; returns one outcome per workload.
 
-    ``schemes=None`` runs every registered scheme."""
+    ``schemes=None`` runs every registered scheme; ``shots`` is passed
+    through to :func:`run_spec` (lane-batched multishot)."""
     schemes = resolve_schemes(schemes)
     specs = specs if specs is not None else fig15_suite()
     outcomes = []
     for spec in specs:
-        outcome = run_spec(spec, schemes=schemes, config=config)
+        outcome = run_spec(spec, schemes=schemes, config=config,
+                           shots=shots)
         if verbose:
             print("{:>16s}: ".format(spec.name) + "  ".join(
                 "{}={}".format(s, outcome.makespan_cycles[s])

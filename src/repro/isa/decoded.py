@@ -28,6 +28,8 @@ from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 # ---------------------------------------------------------------------------
 # Opcodes (ordered roughly by runtime frequency in compiled programs).
 # ---------------------------------------------------------------------------
@@ -127,10 +129,19 @@ class FastBlock:
         Offsets of codeword instructions and their ``pushes`` values, for
         the queue-space admission check (only ``cw.*`` stalls on a full
         queue; ``sync``/``send.i`` push unconditionally).
+    ``item_kinds`` / ``item_a`` / ``item_b`` / ``item_off`` / ``item_off_np``
+        The same item templates as ``items``, transposed into structure-of-
+        arrays columns (``item_off_np`` is the position-offset column as a
+        NumPy int64 array).  The vector replay tier admits a slice, adds
+        the entry position to ``item_off_np[lo:hi]`` in one array op, and
+        enqueues a single :class:`~repro.core.queues.ReplayBatch` that the
+        TCU drains straight from these columns — no per-item tuple is ever
+        built.
     """
 
     __slots__ = ("start", "n", "pos_cum", "pushes", "items", "cw_idx",
-                 "cw_pushes", "cw_last")
+                 "cw_pushes", "cw_last", "item_kinds", "item_a", "item_b",
+                 "item_off", "item_off_np")
 
     def __init__(self, start: int, n: int, pos_cum: List[int],
                  pushes: List[int],
@@ -147,6 +158,19 @@ class FastBlock:
         #: block has none): lets the executor admit a whole block with one
         #: comparison instead of a bisect.
         self.cw_last = cw_pushes[-1] if cw_pushes else -1
+        if items:
+            kinds, offsets, a_col, b_col = zip(*items)
+            self.item_kinds = list(kinds)
+            self.item_a = list(a_col)
+            self.item_b = list(b_col)
+            self.item_off = list(offsets)
+            self.item_off_np = np.array(offsets, dtype=np.int64)
+        else:
+            self.item_kinds = []
+            self.item_a = []
+            self.item_b = []
+            self.item_off = []
+            self.item_off_np = np.empty(0, dtype=np.int64)
 
     def replay_end(self, start: int, budget: int, free: int) -> int:
         """Largest offset ``e`` such that replaying ``[start, e)`` is
@@ -197,9 +221,18 @@ def _step_of(instr) -> Tuple[int, int, int, int, int, int]:
 
 
 class DecodedProgram:
-    """Dense decoded form of one HISQ program."""
+    """Dense decoded form of one HISQ program.
 
-    __slots__ = ("instructions", "n", "steps", "fast_block")
+    ``vector_replays``/``block_replays``/``vector_items`` count, per decoded
+    program, how many admitted fast-block slices went through the vector
+    tier (one :class:`~repro.core.queues.ReplayBatch`) vs the eager
+    per-item block tier, and how many items the batches carried.  The CI
+    perf-smoke gate reads these (via :func:`replay_totals`) to fail loudly
+    if the vector tier ever silently degrades to block replay.
+    """
+
+    __slots__ = ("instructions", "n", "steps", "fast_block", "has_recv",
+                 "vector_replays", "block_replays", "vector_items")
 
     def __init__(self, instructions: Tuple):
         self.instructions = instructions  # strong ref (pins content ids)
@@ -233,6 +266,13 @@ class DecodedProgram:
             block = self._build_block(steps, start, end)
             fast_block[start:end] = [block] * (end - start)
         self.fast_block = fast_block
+        #: Whether any instruction blocks on a message receive — programs
+        #: without one have device-seed-independent timing, which is what
+        #: lane fast-forward (:mod:`repro.sim.lanes`) keys on.
+        self.has_recv = any(step[0] == OP_RECV for step in steps)
+        self.vector_replays = 0
+        self.block_replays = 0
+        self.vector_items = 0
 
     @staticmethod
     def _build_block(steps, start: int, end: int) -> FastBlock:
@@ -318,3 +358,24 @@ def clear_decode_caches() -> None:
 def decode_cache_stats() -> Dict[str, int]:
     """Sizes of the decode caches (diagnostics)."""
     return {"by_content": len(_by_content), "step_memo": len(_step_memo)}
+
+
+# ---------------------------------------------------------------------------
+# Replay-tier accounting.
+# ---------------------------------------------------------------------------
+
+#: Process-wide replay counters, mirrored from the per-program ones as the
+#: executor increments them.  ``vector``/``block`` count admitted slices
+#: per tier; ``vector_items`` counts items carried by vector batches.
+_REPLAY_TOTALS: Dict[str, int] = {"vector": 0, "block": 0, "vector_items": 0}
+
+
+def replay_totals() -> Dict[str, int]:
+    """Copy of the process-wide replay-tier counters."""
+    return dict(_REPLAY_TOTALS)
+
+
+def reset_replay_totals() -> None:
+    """Zero the process-wide replay-tier counters (benchmarks, tests)."""
+    for key in _REPLAY_TOTALS:
+        _REPLAY_TOTALS[key] = 0

@@ -1,0 +1,259 @@
+"""Differential suite for the replay tiers and the lane engine.
+
+PR 5's fast interpreter got one reference/fast pair; this suite covers
+the three-way tier split (``legacy`` per-instruction interpreter,
+``block`` eager per-item replay, ``vector`` lazily-drained
+:class:`~repro.core.queues.ReplayBatch`) plus lane-parallel multishot —
+every registered scheme, a sample of registry workloads, and randomized
+ISA programs with depth-2 queues.  All modes must agree bit-for-bit on
+every observable: makespans, per-core counters, stall accounting, TELF
+traces, queue-driven pipeline stalls, per-shot stats.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import schemes as scheme_registry
+from repro.compiler.driver import run_circuit
+from repro.core.config import CoreConfig
+from repro.core.node import HISQCore
+from repro.harness import registry
+from repro.isa import decoded
+from repro.isa.assembler import assemble
+from repro.sim import lanes
+from repro.sim.engine import Engine
+from repro.sim.telf import TelfLog
+from repro.testing import random_clifford_circuit
+
+TIERS = ("legacy", "block", "vector")
+
+
+def _fingerprint(result):
+    """Everything observable about one timing run."""
+    system = result.system
+    return {
+        "makespan": result.makespan_cycles,
+        "per_core": {name: dict(counters) for name, counters in
+                     result.stats.per_core.items()},
+        "sync_stall": result.stats.sync_stall_cycles,
+        "violations": result.stats.timing_violations,
+        "telf": list(system.telf._raw),
+        "skew_events": system.device.gate_skew_events,
+        "unmapped": system.unmapped_codewords,
+        "shot_stats": result.shot_stats,
+    }
+
+
+def _set_tier(monkeypatch, tier):
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    monkeypatch.setenv("REPRO_REPLAY_TIER", tier)
+
+
+def _run_tier(circuit, scheme, monkeypatch, tier, **kwargs):
+    _set_tier(monkeypatch, tier)
+    result = run_circuit(circuit, scheme=scheme, backend=None,
+                         record_gate_log=False, **kwargs)
+    return _fingerprint(result)
+
+
+class TestWorkloadTierDifferential:
+    """Every registered scheme x registry workloads x all three tiers."""
+
+    WORKLOADS = ("bv_n400", "logical_t_n432", "qft_n300", "repetition_d25")
+
+    @pytest.mark.parametrize("scheme", scheme_registry.scheme_names())
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_all_tiers_agree(self, scheme, workload, monkeypatch):
+        spec = registry.get_workload(workload).spec(0.04, 0.25)
+        circuit = spec.circuit()
+        prints = {tier: _run_tier(circuit, scheme, monkeypatch, tier,
+                                  mesh_kind=spec.mesh_kind)
+                  for tier in TIERS}
+        assert prints["block"] == prints["legacy"], (scheme, workload)
+        assert prints["vector"] == prints["legacy"], (scheme, workload)
+
+    def test_vector_tier_actually_batches(self, monkeypatch):
+        """The vector tier must enqueue batches, not quietly degrade to
+        the block loop (the CI perf-smoke assertion, in-miniature)."""
+        spec = registry.get_workload("bv_n400").spec(0.04, 0.25)
+        circuit = spec.circuit()
+        _set_tier(monkeypatch, "vector")
+        decoded.clear_decode_caches()
+        decoded.reset_replay_totals()
+        run_circuit(circuit, scheme="bisp", backend=None,
+                    record_gate_log=False, mesh_kind=spec.mesh_kind)
+        totals = decoded.replay_totals()
+        assert totals["vector"] > 0
+        assert totals["vector_items"] >= 4 * totals["vector"]
+
+    def test_per_program_counters(self, monkeypatch):
+        _set_tier(monkeypatch, "vector")
+        decoded.clear_decode_caches()
+        source = "\n".join(["waiti 3\ncw.i.i 0,{}".format(i + 1)
+                            for i in range(8)]) + "\nhalt"
+        engine = Engine()
+        core = HISQCore("c0", 0, engine, TelfLog())
+        core.load(assemble(source))
+        core.start()
+        engine.run(until=100_000)
+        assert core._decoded.vector_replays > 0
+        assert core._decoded.vector_items > 0
+        assert core.counters()["codewords"] == 8
+
+
+class TestRandomCircuitTierDifferential:
+    def test_random_dynamic_circuit_all_schemes(self, monkeypatch):
+        circuit = random_clifford_circuit(8, 60, seed=20260808,
+                                          feedback=True)
+        for scheme in scheme_registry.scheme_names():
+            prints = [_run_tier(circuit, scheme, monkeypatch, tier)
+                      for tier in TIERS]
+            assert prints[0] == prints[1] == prints[2], scheme
+
+
+def _random_program(seed: int) -> str:
+    """Randomized single-core HISQ program (cf. test_fastforward), biased
+    toward long emission runs so vector batches actually form."""
+    rng = random.Random(seed)
+    lines = []
+    lines.append("addi $1,$0,{}".format(rng.randint(1, 5)))
+    for _ in range(rng.randint(8, 50)):
+        roll = rng.random()
+        if roll < 0.3:
+            lines.append("waiti {}".format(rng.randint(1, 50)))
+        elif roll < 0.75:
+            lines.append("cw.i.i {},{}".format(rng.randint(0, 3),
+                                               rng.randint(1, 200)))
+        elif roll < 0.82:
+            lines.append("cw.i.i {},{}".format(rng.randint(4, 7),
+                                               rng.randint(1, 200)))
+        elif roll < 0.88:
+            lines.append("addi $2,$2,{}".format(rng.randint(-4, 9)))
+        else:
+            lines.append("nop")
+    body_len = min(rng.randint(2, 6), len(lines) - 1)
+    lines.append("addi $1,$1,-1")
+    lines.append("bne $1,$0,-{}".format(4 * body_len))
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+def _run_bare(source: str, tier: str, monkeypatch, depth: int = 1024):
+    _set_tier(monkeypatch, tier)
+    engine = Engine()
+    telf = TelfLog()
+    core = HISQCore("c0", 0, engine, telf,
+                    config=CoreConfig(event_queue_depth=depth))
+    core.load(assemble(source))
+    core.start()
+    engine.run(until=2_000_000)
+    return {
+        "counters": core.counters(),
+        "regs": core.regs.snapshot(),
+        "memory": dict(core.memory),
+        "pc": core.pc,
+        "position": core.position,
+        "queue_len": len(core._queue),
+        "telf": list(telf._raw),
+        "events": engine.events_processed,
+        "now": engine.now,
+    }
+
+
+class TestRandomProgramTierProperty:
+    """Property: all three tiers are instruction-exact on random ISA."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_programs(self, seed, monkeypatch):
+        source = _random_program(seed)
+        prints = [_run_bare(source, tier, monkeypatch) for tier in TIERS]
+        assert prints[0] == prints[1] == prints[2]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_tiny_queue(self, seed, monkeypatch):
+        """Depth-2 queues force replay admission to split batches and the
+        pipeline to stall; accounting must agree across tiers."""
+        source = _random_program(2000 + seed)
+        prints = [_run_bare(source, tier, monkeypatch, depth=2)
+                  for tier in TIERS]
+        assert prints[0] == prints[1] == prints[2]
+
+    def test_burst_emissions_tiny_queue_stalls(self, monkeypatch):
+        lines = []
+        for i in range(40):
+            lines.append("cw.i.i 0,{}".format(i + 1))
+            if i % 2 == 0:
+                lines.append("waiti 100")
+        lines.append("halt")
+        source = "\n".join(lines)
+        prints = [_run_bare(source, tier, monkeypatch, depth=2)
+                  for tier in TIERS]
+        assert prints[0] == prints[1] == prints[2]
+        assert prints[0]["counters"]["pipeline_stall"] > 0
+
+    def test_deep_queue_forms_batches(self, monkeypatch):
+        """Sanity: with a roomy queue the random programs really do take
+        the batch path (otherwise the tiny-queue tests prove nothing)."""
+        decoded.reset_replay_totals()
+        _run_bare(_random_program(3), "vector", monkeypatch)
+        assert decoded.replay_totals()["vector"] > 0
+
+
+class TestLaneDifferential:
+    """Lane fast-forward vs per-lane replay, static and dynamic."""
+
+    @pytest.mark.parametrize("workload", ("qft_n300", "bv_n400"))
+    @pytest.mark.parametrize("subst", (0.0, 0.25))
+    def test_lanes_match_replay(self, workload, subst, monkeypatch):
+        spec = registry.get_workload(workload).spec(0.04, subst)
+        circuit = spec.circuit()
+        for scheme in scheme_registry.scheme_names():
+            monkeypatch.delenv("REPRO_NO_LANES", raising=False)
+            on = run_circuit(circuit, scheme=scheme, backend=None,
+                             record_gate_log=False, shots=4,
+                             mesh_kind=spec.mesh_kind)
+            monkeypatch.setenv("REPRO_NO_LANES", "1")
+            off = run_circuit(circuit, scheme=scheme, backend=None,
+                              record_gate_log=False, shots=4,
+                              mesh_kind=spec.mesh_kind)
+            assert on.shot_stats == off.shot_stats, (scheme, workload)
+            assert off.lane_mode == "replay"
+            expected = ("fastforward"
+                        if lanes.static_timing(on.compilation) else "replay")
+            assert on.lane_mode == expected, (scheme, workload)
+
+    def test_static_detection(self, monkeypatch):
+        static_spec = registry.get_workload("qft_n300").spec(0.04, 0.0)
+        dynamic_spec = registry.get_workload("qft_n300").spec(0.04, 0.25)
+        static = run_circuit(static_spec.circuit(), scheme="bisp",
+                             backend=None, record_gate_log=False)
+        dynamic = run_circuit(dynamic_spec.circuit(), scheme="bisp",
+                              backend=None, record_gate_log=False)
+        assert lanes.static_timing(static.compilation)
+        assert not lanes.static_timing(dynamic.compilation)
+
+    def test_fastforward_engages_on_static_set(self, monkeypatch):
+        """qft at zero substitution compiles recv-free under bisp — the
+        lane engine must actually fan it out, not fall back to replay."""
+        monkeypatch.delenv("REPRO_NO_LANES", raising=False)
+        lanes.reset_lane_totals()
+        spec = registry.get_workload("qft_n300").spec(0.04, 0.0)
+        result = run_circuit(spec.circuit(), scheme="bisp", backend=None,
+                             record_gate_log=False, shots=5,
+                             mesh_kind=spec.mesh_kind)
+        assert result.lane_mode == "fastforward"
+        assert lanes.lane_totals()["fastforward"] == 4
+        assert len(result.shot_stats) == 5
+        seeds = {s["device_seed"] for s in result.shot_stats}
+        assert len(seeds) == 5
+
+    def test_no_lanes_env_forces_replay(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_LANES", "1")
+        lanes.reset_lane_totals()
+        spec = registry.get_workload("qft_n300").spec(0.04, 0.0)
+        result = run_circuit(spec.circuit(), scheme="bisp", backend=None,
+                             record_gate_log=False, shots=3,
+                             mesh_kind=spec.mesh_kind)
+        assert result.lane_mode == "replay"
+        assert lanes.lane_totals() == {"fastforward": 0, "replayed": 2}

@@ -1,11 +1,17 @@
 """Parallel sweep harness: serial parity, caching, spawn safety."""
 
+import os
 import pickle
+import subprocess
+import time
+from dataclasses import replace
 
 import pytest
 
-from repro.harness.parallel import (SweepCache, build_tasks, run_cell,
-                                    run_suite_parallel)
+from repro.harness.parallel import (ORPHAN_TMP_SECONDS, SweepCache,
+                                    build_tasks, clear_cell_caches,
+                                    run_cell, run_suite_parallel)
+from repro.isa import decoded
 from repro.sim.config import SimulationConfig
 
 SCALE = 0.02
@@ -115,3 +121,162 @@ class TestSpawn:
             scale=SCALE, processes=2, start_method="spawn",
             spec_names=["bv_n400"], schemes=("bisp", "lockstep"))
         assert outcomes[0].makespan_cycles["bisp"] > 0
+
+
+class TestOrphanTmpSweep:
+    """A worker killed between mkstemp and os.replace must not leak its
+    temp file forever: opening the cache reclaims it (regression for the
+    kill-resume leak)."""
+
+    def _cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "sweep"
+        cache_dir.mkdir()
+        return cache_dir
+
+    def _dead_pid(self):
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_writer_tmp_swept_on_open(self, tmp_path):
+        cache_dir = self._cache_dir(tmp_path)
+        orphan = cache_dir / "tmp-{}-leak.tmp".format(self._dead_pid())
+        orphan.write_bytes(b"partial pickle")
+        SweepCache(str(cache_dir))
+        assert not orphan.exists()
+        assert list(cache_dir.glob("*.tmp")) == []
+
+    def test_live_writer_fresh_tmp_kept(self, tmp_path):
+        """A concurrent live writer's fresh temp file is not clobbered."""
+        cache_dir = self._cache_dir(tmp_path)
+        live = cache_dir / "tmp-{}-inflight.tmp".format(os.getpid())
+        live.write_bytes(b"in flight")
+        removed = SweepCache(str(cache_dir)).sweep_orphan_tmps()
+        assert removed == 0
+        assert live.exists()
+
+    def test_stale_tmp_swept_by_age(self, tmp_path):
+        """TTL backstop: even a live-looking PID (reuse) loses its claim
+        once the temp file is older than ORPHAN_TMP_SECONDS."""
+        cache_dir = self._cache_dir(tmp_path)
+        cache = SweepCache(str(cache_dir), sweep_orphans=False)
+        stale = cache_dir / "tmp-{}-stale.tmp".format(os.getpid())
+        stale.write_bytes(b"ancient")
+        old = time.time() - ORPHAN_TMP_SECONDS - 60
+        os.utime(stale, (old, old))
+        assert cache.sweep_orphan_tmps() == 1
+        assert not stale.exists()
+
+    def test_foreign_tmp_name_only_aged_out(self, tmp_path):
+        """Temp files without our pid prefix fall back to the TTL test."""
+        cache_dir = self._cache_dir(tmp_path)
+        foreign = cache_dir / "download.tmp"
+        foreign.write_bytes(b"not ours")
+        cache = SweepCache(str(cache_dir))
+        assert foreign.exists()  # fresh: kept
+        old = time.time() - ORPHAN_TMP_SECONDS - 60
+        os.utime(foreign, (old, old))
+        assert cache.sweep_orphan_tmps() == 1
+        assert not foreign.exists()
+
+    def test_entries_never_swept(self, tmp_path):
+        cache_dir = self._cache_dir(tmp_path)
+        cache = SweepCache(str(cache_dir))
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        cache.put(task.cache_key(), run_cell(task))
+        orphan = cache_dir / "tmp-{}-leak.tmp".format(self._dead_pid())
+        orphan.write_bytes(b"partial")
+        assert SweepCache(str(cache_dir)).sweep_orphan_tmps() == 0
+        assert cache.get(task.cache_key()) is not None
+
+    def test_put_leaves_no_tmp(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        cache.put(task.cache_key(), run_cell(task))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_kill_resume_sweep_leaves_zero_tmps(self, tmp_path):
+        """End-to-end: resume a sweep over a cache dir littered with a
+        killed worker's orphan; the run completes and no .tmp remains."""
+        cache_dir = self._cache_dir(tmp_path)
+        orphan = cache_dir / "tmp-{}-killed.tmp".format(self._dead_pid())
+        orphan.write_bytes(b"\x80\x04 partial")
+        outcomes = run_suite_parallel(scale=SCALE, processes=1,
+                                      cache_dir=str(cache_dir),
+                                      spec_names=["bv_n400"])
+        assert outcomes[0].makespan_cycles["bisp"] > 0
+        assert list(cache_dir.glob("*.tmp")) == []
+        assert len(list(cache_dir.glob("*.pkl"))) == 2
+
+    def test_sweep_can_be_disabled(self, tmp_path):
+        cache_dir = self._cache_dir(tmp_path)
+        orphan = cache_dir / "tmp-{}-leak.tmp".format(self._dead_pid())
+        orphan.write_bytes(b"partial")
+        SweepCache(str(cache_dir), sweep_orphans=False)
+        assert orphan.exists()
+
+
+class TestFastpathFlagPropagation:
+    """REPRO_NO_FASTPATH / REPRO_REPLAY_TIER must reach workers through
+    the task record — a spawn pool's fresh interpreter does not inherit
+    the parent's environment mutations made after pool creation."""
+
+    def test_build_tasks_capture_flags(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        assert task.no_fastpath is True
+        assert task.replay_tier == "legacy"
+        monkeypatch.delenv("REPRO_NO_FASTPATH")
+        monkeypatch.setenv("REPRO_REPLAY_TIER", "block")
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        assert task.no_fastpath is False
+        assert task.replay_tier == "block"
+
+    def test_flags_not_in_cache_key(self):
+        """Tier flags deliberately do NOT key the cache: results are
+        bit-identical across tiers by contract, so entries are shared."""
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        fast_key = task.cache_key()
+        legacy = replace(task, no_fastpath=True, replay_tier="legacy")
+        assert legacy.cache_key() == fast_key
+
+    def test_run_cell_applies_task_flags(self, monkeypatch):
+        """With ambient env unset, a no_fastpath task still runs the
+        legacy interpreter — observable because legacy never decodes."""
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+        monkeypatch.delenv("REPRO_REPLAY_TIER", raising=False)
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        legacy_task = replace(task, no_fastpath=True, replay_tier="legacy")
+        clear_cell_caches()
+        decoded.clear_decode_caches()
+        legacy_cell = run_cell(legacy_task)
+        assert decoded.decode_cache_stats()["by_content"] == 0
+        clear_cell_caches()
+        fast_cell = run_cell(task)
+        assert decoded.decode_cache_stats()["by_content"] > 0
+        assert os.environ.get("REPRO_NO_FASTPATH") is None  # restored
+        assert legacy_cell == fast_cell  # tier contract: bit-identical
+
+    def test_task_environment_restores_prior_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "0")
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        legacy_task = replace(task, no_fastpath=True)
+        run_cell(legacy_task)
+        assert os.environ["REPRO_NO_FASTPATH"] == "0"
+
+
+@pytest.mark.parallel
+class TestSpawnFlagPropagation:
+    def test_no_fastpath_reaches_spawn_workers(self, monkeypatch):
+        """--verify-parallel style run: spawn workers honor the flag and
+        produce the same numbers as the fast serial path."""
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+        fast = run_suite_parallel(scale=SCALE, processes=1,
+                                  spec_names=["bv_n400"],
+                                  schemes=("bisp",))
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        legacy = run_suite_parallel(scale=SCALE, processes=2,
+                                    start_method="spawn",
+                                    spec_names=["bv_n400"],
+                                    schemes=("bisp",))
+        assert_outcomes_equal(fast, legacy)

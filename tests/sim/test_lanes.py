@@ -1,0 +1,131 @@
+"""Unit tests for the lane engine (:mod:`repro.sim.lanes`).
+
+End-to-end lane/replay equivalence lives in
+tests/core/test_replay_tiers.py; this file covers the building blocks:
+static-timing detection, memoization, fast-forward stat fan-out, seed
+derivation, and the counters.
+"""
+
+import pytest
+
+from repro.compiler.driver import (compile_circuit, run_circuit,
+                                   shot_device_seed)
+from repro.quantum.circuit import QuantumCircuit
+from repro.sim import lanes
+
+
+def _static_circuit():
+    """No measurements: `measure` lowers to a `recv` from the
+    acquisition unit, which (conservatively) marks timing dynamic."""
+    circuit = QuantumCircuit(3, 3, name="static")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.h(2)
+    circuit.cx(0, 2)
+    return circuit
+
+
+def _feedback_circuit():
+    circuit = QuantumCircuit(3, 3, name="feedback")
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.x(1, condition=(0, 1))
+    circuit.cx(1, 2)
+    circuit.measure(1, 1)
+    circuit.measure(2, 2)
+    return circuit
+
+
+class TestStaticTiming:
+    def test_static_circuit_detected(self):
+        assert lanes.static_timing(compile_circuit(_static_circuit()))
+
+    def test_feedback_circuit_not_static(self):
+        assert not lanes.static_timing(compile_circuit(_feedback_circuit()))
+
+    def test_measurement_alone_not_static(self):
+        """Even unconditioned measurement reads the acquisition unit via
+        recv; the conservative scan refuses to fast-forward it."""
+        circuit = QuantumCircuit(2, 2, name="measured")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        assert not lanes.static_timing(compile_circuit(circuit))
+
+    def test_result_memoized_on_compilation(self):
+        compilation = compile_circuit(_static_circuit())
+        assert not hasattr(compilation, "_lanes_static")
+        first = lanes.static_timing(compilation)
+        assert compilation._lanes_static is first
+        compilation.programs = {}  # would change a fresh scan's answer
+        assert lanes.static_timing(compilation) is first
+
+
+class TestRunExtraShots:
+    def test_single_shot_is_empty(self):
+        compilation = compile_circuit(_static_circuit())
+        rest, mode = lanes.run_extra_shots(compilation, 1234, 1)
+        assert rest == []
+
+    def test_fastforward_fans_out_reference(self):
+        compilation = compile_circuit(_static_circuit())
+        first = {"device_seed": 1234, "makespan_cycles": 777,
+                 "sync_stall_cycles": 42}
+        rest, mode = lanes.run_extra_shots(compilation, 1234, 4,
+                                           first=first)
+        assert mode == "fastforward"
+        assert [s["makespan_cycles"] for s in rest] == [777, 777, 777]
+        assert [s["sync_stall_cycles"] for s in rest] == [42, 42, 42]
+        assert [s["device_seed"] for s in rest] == \
+               [shot_device_seed(1234, s) for s in (1, 2, 3)]
+
+    def test_fastforward_matches_real_replay(self, monkeypatch):
+        compilation = compile_circuit(_static_circuit())
+        fast, fast_mode = lanes.run_extra_shots(compilation, 1234, 3)
+        monkeypatch.setenv("REPRO_NO_LANES", "1")
+        slow, slow_mode = lanes.run_extra_shots(compilation, 1234, 3)
+        assert (fast_mode, slow_mode) == ("fastforward", "replay")
+        assert fast == slow
+
+    def test_dynamic_compilation_replays(self):
+        compilation = compile_circuit(_feedback_circuit())
+        rest, mode = lanes.run_extra_shots(compilation, 1234, 3)
+        assert mode == "replay"
+        assert len(rest) == 2
+        assert all(s["makespan_cycles"] > 0 for s in rest)
+
+    def test_counters(self):
+        lanes.reset_lane_totals()
+        first = {"device_seed": 1, "makespan_cycles": 1,
+                 "sync_stall_cycles": 0}
+        lanes.run_extra_shots(compile_circuit(_static_circuit()), 1, 5,
+                              first=first)
+        lanes.run_extra_shots(compile_circuit(_feedback_circuit()), 1, 3)
+        assert lanes.lane_totals() == {"fastforward": 4, "replayed": 2}
+
+
+class TestSeedDerivation:
+    def test_shot_zero_keeps_base_seed(self):
+        assert shot_device_seed(1234, 0) == 1234
+
+    def test_distinct_and_deterministic(self):
+        seeds = [shot_device_seed(1234, s) for s in range(64)]
+        assert len(set(seeds)) == 64
+        assert seeds == [shot_device_seed(1234, s) for s in range(64)]
+        assert all(0 <= s <= 0x7FFFFFFF for s in seeds)
+
+
+class TestRunCircuitIntegration:
+    def test_backend_shot_zero_only(self):
+        """Extra lanes are timing-only; shot 0 carries any backend, so
+        lane fan-out must not disturb shot 0's stats."""
+        single = run_circuit(_static_circuit(), backend=None,
+                             record_gate_log=False)
+        multi = run_circuit(_static_circuit(), backend=None,
+                            record_gate_log=False, shots=6)
+        assert multi.lane_mode == "fastforward"
+        assert multi.shot_stats[0]["makespan_cycles"] == \
+               single.makespan_cycles
+        assert multi.shot_makespans == [single.makespan_cycles] * 6
