@@ -37,6 +37,9 @@ class BenchRecorder:
     def __init__(self):
         self.rows = []
         self.volatile = {}
+        #: BENCH document kind; bench_service.py sets "service" so its
+        #: rows validate against the v3 service-counter row family.
+        self.kind = "benchmark"
 
     def add(self, label: str, **metrics) -> None:
         """Record one row (at least one metric must be numeric)."""
@@ -62,7 +65,7 @@ def bench_recorder(request):
         if name.startswith("bench_"):
             name = name[len("bench_"):]
         write_bench(bench_dir(), make_bench(
-            name, recorder.rows,
+            name, recorder.rows, kind=recorder.kind,
             volatile=recorder.volatile or None))
 
 

@@ -27,16 +27,21 @@ noisy sweeps add the Monte-Carlo columns of
 :data:`SWEEP_NOISE_ROW_KEYS` (``fidelity_empirical`` with its
 confidence interval plus shot/seed/method metadata — type-checked
 whenever present, required as a group when any one appears).
-``kind="benchmark"`` rows are free-form but need at least one numeric
-value.  Everything outside ``volatile`` is deterministic for a fixed
-spec and seed — byte-identical between serial and parallel execution —
-which is why wall-clock timings are *only* allowed inside ``volatile``
-(it is excluded from ``results_sha256``).
+``kind="service"`` rows carry the sweep-service counters of
+:data:`SERVICE_ROW_KEYS` (submission/cell totals, store + in-flight
+dedup hits, lease bookkeeping); timing-dependent detail — lease-latency
+percentiles, queue-depth traces, throughput — belongs in ``volatile``
+with the wall-clocks.  ``kind="benchmark"`` rows are free-form but need
+at least one numeric value.  Everything outside ``volatile`` is
+deterministic for a fixed spec and seed — byte-identical between serial
+and parallel execution — which is why wall-clock timings are *only*
+allowed inside ``volatile`` (it is excluded from ``results_sha256``).
 
 Version history: v2 added the noise columns and the optional ``noise``/
-``noise_shots`` spec fields.  v1 artifacts (pre-noise) still *load* —
-the validator accepts them read-only so old baselines keep gating — but
-:func:`write_bench` only emits the current version.
+``noise_shots`` spec fields; v3 added the ``service`` row family
+(``repro.service`` load/soak artifacts).  Older artifacts still *load*
+— the validator accepts them read-only so old baselines keep gating —
+but :func:`write_bench` only emits the current version.
 """
 
 from __future__ import annotations
@@ -50,11 +55,11 @@ from typing import Dict, List, Optional
 
 from ..errors import ReproError
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Schema versions :func:`validate_bench` accepts on *load*; only the
 #: current version may be written (older artifacts are read-only).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Required keys (and checked types) of every ``kind="sweep"`` result row.
 SWEEP_ROW_KEYS = {
@@ -80,6 +85,23 @@ SWEEP_NOISE_ROW_KEYS = {
     "noise_method": str,
     "noise_shots": int,
     "noise_seed": int,
+}
+
+#: Required keys (and checked types) of every ``kind="service"`` row —
+#: the deterministic counters of one sweep-service run (schema v3).
+#: ``hits`` is store hits + in-flight dedup hits combined: for a fixed
+#: warm store the *sum* is deterministic while the split depends on
+#: completion timing, so the split (and every latency number) reports
+#: through ``volatile`` instead.
+SERVICE_ROW_KEYS = {
+    "label": str,
+    "submissions": int,
+    "cells_total": int,
+    "hits": int,
+    "misses": int,
+    "hit_rate": (int, float),
+    "leases_granted": int,
+    "leases_expired": int,
 }
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -172,8 +194,11 @@ def validate_bench(doc: object) -> Dict[str, object]:
     if not doc["name"] or not all(
             c.isalnum() or c == "_" for c in doc["name"]):
         _fail("name", "must be a non-empty [A-Za-z0-9_]+ string")
-    if doc["kind"] not in ("sweep", "benchmark"):
-        _fail("kind", "must be 'sweep' or 'benchmark'")
+    if doc["kind"] not in ("sweep", "benchmark", "service"):
+        _fail("kind", "must be 'sweep', 'benchmark' or 'service'")
+    if doc["kind"] == "service" and doc["schema_version"] < 3:
+        _fail("kind", "'service' rows need schema_version >= 3, got {}"
+              .format(doc["schema_version"]))
     _check_type("machine", doc["machine"], dict)
     for key in ("platform", "python", "cpu_count"):
         if key not in doc["machine"]:
@@ -208,6 +233,14 @@ def validate_bench(doc: object) -> Dict[str, object]:
             for key in present:
                 _check_type("{}.{}".format(path, key), row[key],
                             SWEEP_NOISE_ROW_KEYS[key])
+        elif doc["kind"] == "service":
+            for key, types in SERVICE_ROW_KEYS.items():
+                if key not in row:
+                    _fail("{}.{}".format(path, key),
+                          "missing service-row key")
+                _check_type("{}.{}".format(path, key), row[key], types)
+            if row["hits"] + row["misses"] != row["cells_total"]:
+                _fail(path, "hits + misses must equal cells_total")
         elif not any(isinstance(v, (int, float)) and not isinstance(v, bool)
                      for v in row.values()):
             _fail(path, "benchmark row needs at least one numeric value")

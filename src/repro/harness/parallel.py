@@ -35,6 +35,7 @@ import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler import schemes as scheme_registry
@@ -144,6 +145,56 @@ class SweepTask:
         )
         return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON-types dict for the service wire format
+        (:mod:`repro.service` leases tasks to workers over HTTP, where
+        pickle would be both a fragile and an unsafe transport).
+        ``from_dict`` inverts it exactly."""
+        return {
+            "spec_name": self.spec_name,
+            "scheme": self.scheme,
+            "scale": self.scale,
+            "substitution_fraction": self.substitution_fraction,
+            "device_seed": self.device_seed,
+            "shots": self.shots,
+            "module": self.module,
+            "scheme_module": self.scheme_module,
+            "config": asdict(self.config) if self.config is not None
+                      else None,
+            "noise": self.noise.to_dict() if self.noise is not None
+                     else None,
+            "noise_shots": self.noise_shots,
+            "no_fastpath": self.no_fastpath,
+            "replay_tier": self.replay_tier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepTask":
+        """Rebuild a task from :meth:`to_dict` output (wire format)."""
+        if not isinstance(data, dict):
+            raise ReproError("task must be a JSON object, got {}".format(
+                type(data).__name__))
+        known = {field.name for field in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError("unknown task fields {}; known: {}".format(
+                sorted(unknown), sorted(known)))
+        kwargs = dict(data)
+        config = kwargs.get("config")
+        if config is not None:
+            try:
+                kwargs["config"] = SimulationConfig(**config)
+            except TypeError as exc:
+                raise ReproError("bad task config: {}".format(exc)) \
+                    from None
+        noise = kwargs.get("noise")
+        if noise is not None:
+            kwargs["noise"] = NoiseModel.from_dict(noise)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ReproError("bad task: {}".format(exc)) from None
+
 
 def tasks_from_spec(spec: SweepSpec) -> List[SweepTask]:
     """The declarative grid of a :class:`~repro.harness.spec.SweepSpec`
@@ -185,6 +236,38 @@ class CellResult:
     noise_method: Optional[str] = None
     noise_shots: Optional[int] = None
     noise_seed: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON-types dict for the service wire format.  JSON keys
+        are strings, so ``lifetimes_ns`` (qubit index -> ns) is stringed
+        here and restored by :meth:`from_dict` — round-trip exact."""
+        data = asdict(self)
+        data["lifetimes_ns"] = {str(qubit): ns for qubit, ns
+                                in self.lifetimes_ns.items()}
+        data["shot_makespan_cycles"] = list(self.shot_makespan_cycles)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        """Rebuild a cell result from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ReproError("cell result must be a JSON object, got "
+                             "{}".format(type(data).__name__))
+        known = {field.name for field in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                "unknown cell-result fields {}; known: {}".format(
+                    sorted(unknown), sorted(known)))
+        kwargs = dict(data)
+        kwargs["lifetimes_ns"] = {int(qubit): ns for qubit, ns
+                                  in kwargs.get("lifetimes_ns", {}).items()}
+        kwargs["shot_makespan_cycles"] = tuple(
+            kwargs.get("shot_makespan_cycles", ()))
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ReproError("bad cell result: {}".format(exc)) from None
 
 
 def run_cell(task: SweepTask) -> CellResult:
@@ -403,7 +486,19 @@ class SweepCache:
     the backstop for PID reuse and foreign temp files — when it is older
     than :data:`ORPHAN_TMP_SECONDS`; a concurrent live writer's fresh
     temp file matches neither test and is left alone.
+
+    Many processes may open the same store concurrently (the sweep
+    service points every worker at one directory), so the reclaim scan
+    is single-flight: it runs under a non-blocking per-store advisory
+    lock (``.reclaim.lock``) and openers that lose the race simply skip
+    the scan — the winner is already doing the work.  Within the scan,
+    files that vanish between ``listdir``/``stat``/``unlink`` (another
+    reclaimer on a platform without ``fcntl``, or a writer finishing its
+    rename) are tolerated, never an error.
     """
+
+    #: Lock-file name serializing the orphan scan per store directory.
+    RECLAIM_LOCK_NAME = ".reclaim.lock"
 
     def __init__(self, directory: str, sweep_orphans: bool = True):
         self.directory = directory
@@ -411,31 +506,75 @@ class SweepCache:
         if sweep_orphans:
             self.sweep_orphan_tmps()
 
+    @contextmanager
+    def _reclaim_lock(self):
+        """Yield True while holding the per-store advisory lock, False
+        when another process holds it (skip the scan).  Platforms
+        without ``fcntl`` fall back to lock-free scanning, which stays
+        safe because every unlink tolerates a concurrent winner."""
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            yield True
+            return
+        path = os.path.join(self.directory, self.RECLAIM_LOCK_NAME)
+        try:
+            handle = open(path, "ab")
+        except OSError:  # pragma: no cover - unwritable store dir
+            yield True
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
     def sweep_orphan_tmps(self,
                           ttl_seconds: float = ORPHAN_TMP_SECONDS) -> int:
-        """Delete orphaned ``*.tmp`` files; returns how many were removed."""
-        removed = 0
-        now = time.time()
-        for name in os.listdir(self.directory):
-            if not name.endswith(".tmp"):
-                continue
-            path = os.path.join(self.directory, name)
-            try:
-                mtime = os.stat(path).st_mtime
-            except OSError:
-                continue  # already gone (concurrent sweep or writer)
-            pid = _pid_of_tmp(name)
-            dead_writer = pid is not None and not _pid_alive(pid)
-            if dead_writer or now - mtime > ttl_seconds:
+        """Delete orphaned ``*.tmp`` files; returns how many were removed
+        (0 when another process already holds the reclaim lock)."""
+        with self._reclaim_lock() as acquired:
+            if not acquired:
+                return 0
+            removed = 0
+            now = time.time()
+            for name in os.listdir(self.directory):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(self.directory, name)
                 try:
-                    os.unlink(path)
-                    removed += 1
+                    mtime = os.stat(path).st_mtime
                 except OSError:
-                    pass
-        return removed
+                    continue  # already gone (concurrent sweep or writer)
+                pid = _pid_of_tmp(name)
+                dead_writer = pid is not None and not _pid_alive(pid)
+                if dead_writer or now - mtime > ttl_seconds:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        # FileNotFoundError included: a concurrent
+                        # reclaimer got there first — their removal
+                        # counts, ours does not.
+                        pass
+            return removed
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".pkl")
+
+    def has(self, key: str) -> bool:
+        """True when a completed entry exists for ``key`` (cheap stat —
+        the service scheduler probes many keys per submission without
+        deserializing any of them)."""
+        return os.path.exists(self._path(key))
 
     def get(self, key: str) -> Optional[CellResult]:
         """Load a cached cell; corrupt or missing entries return None.

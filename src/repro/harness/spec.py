@@ -227,3 +227,83 @@ class SweepSpec:
             raise SweepSpecError("invalid spec JSON: {}".format(exc)) \
                 from None
         return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepSubmission:
+    """A sweep spec plus the service-level metadata that travels with it.
+
+    This is the unit the sweep service (:mod:`repro.service`) accepts:
+    *what* to run (the :class:`SweepSpec`) together with *who* is asking
+    (``owner`` — the quota key), *how urgently* (``priority`` — lower
+    runs first) and what to call the resulting artifact (``name`` —
+    becomes ``BENCH_<name>.json`` on fetch, hence the same character
+    restriction the BENCH schema enforces).  Like the spec itself it is
+    JSON-round-trippable (``from_dict(s.to_dict()) == s``), so the HTTP
+    front end, the CLI and the scheduler all exchange the same value.
+    """
+
+    spec: SweepSpec
+    name: str = "sweep"
+    owner: str = "anonymous"
+    priority: int = 0
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.spec, SweepSpec):
+            raise SweepSpecError(
+                "submission spec must be a SweepSpec, got {!r}".format(
+                    type(self.spec).__name__))
+        if not self.name or not isinstance(self.name, str) or not all(
+                c.isalnum() or c == "_" for c in self.name):
+            raise SweepSpecError(
+                "submission name must be a non-empty [A-Za-z0-9_]+ "
+                "string, got {!r}".format(self.name))
+        if not self.owner or not isinstance(self.owner, str):
+            raise SweepSpecError(
+                "submission owner must be a non-empty string, got "
+                "{!r}".format(self.owner))
+        if not isinstance(self.priority, int) or \
+                isinstance(self.priority, bool) or self.priority < 0:
+            raise SweepSpecError(
+                "submission priority must be an integer >= 0 "
+                "(lower runs first), got {!r}".format(self.priority))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spec": self.spec.to_dict(), "name": self.name,
+                "owner": self.owner, "priority": self.priority}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSubmission":
+        if not isinstance(data, dict):
+            raise SweepSpecError(
+                "submission must be a JSON object, got {}".format(
+                    type(data).__name__))
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SweepSpecError(
+                "unknown submission fields {}; known: {}".format(
+                    sorted(unknown), sorted(known)))
+        if "spec" not in data:
+            raise SweepSpecError("submission needs a spec")
+        kwargs = dict(data)
+        kwargs["spec"] = SweepSpec.from_dict(kwargs["spec"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SweepSpecError(str(exc)) from None
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSubmission":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(
+                "invalid submission JSON: {}".format(exc)) from None
+        return cls.from_dict(data)

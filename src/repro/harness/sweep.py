@@ -136,7 +136,7 @@ def _outcomes_from_rows(rows: List[Dict[str, object]],
             if all(s in o.makespan_cycles for s in schemes)]
 
 
-def _split_names(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+def split_names(values: Optional[Sequence[str]]) -> Optional[List[str]]:
     """Flatten repeated/comma-separated name flags:
     ``--schemes oracle,lockstep_window`` == ``--schemes oracle
     lockstep_window``."""
@@ -145,7 +145,42 @@ def _split_names(values: Optional[Sequence[str]]) -> Optional[List[str]]:
     return [name for value in values for name in value.split(",") if name]
 
 
-def _spec_from_args(args) -> SweepSpec:
+def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the grid/spec flags shared by every sweep front end
+    (this CLI and ``python -m repro.service submit``): one flag
+    vocabulary, one :class:`SweepSpec` builder (:func:`spec_from_args`),
+    so a grid submitted to the service means exactly what the same
+    flags mean offline."""
+    parser.add_argument("--spec", default=None,
+                        help="load the sweep spec from this JSON file "
+                             "(overrides the grid flags)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="registered workload names (default: all)")
+    parser.add_argument("--tags", nargs="+", default=None,
+                        help="restrict to workloads with any of these tags")
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        help="registered synchronization schemes, space- "
+                             "or comma-separated (default: every "
+                             "registered scheme; see --list-schemes)")
+    parser.add_argument("--scale", nargs="+", type=float, default=[1.0],
+                        help="workload scale factor(s) (1.0 = paper sizes)")
+    parser.add_argument("--shots", nargs="+", type=int, default=[1],
+                        help="shots-per-cell value(s)")
+    parser.add_argument("--substitution-fraction", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="device seed used for every cell")
+    parser.add_argument("--noise", default=None, metavar="PRESET|FILE",
+                        help="Monte-Carlo noise model: a preset name "
+                             "(e.g. depolarizing_1e3) or a NoiseModel "
+                             "JSON file; adds fidelity_empirical to "
+                             "every cell")
+    parser.add_argument("--noise-shots", type=int, default=None,
+                        help="Monte-Carlo shots behind each cell's "
+                             "empirical fidelity (default 256, or the "
+                             "--spec file's value)")
+
+
+def spec_from_args(args) -> SweepSpec:
     if args.spec is not None:
         with open(args.spec) as handle:
             spec = SweepSpec.from_json(handle.read())
@@ -161,9 +196,9 @@ def _spec_from_args(args) -> SweepSpec:
     if args.noise_shots is not None:
         # Omitted flag -> SweepSpec's own default stays authoritative.
         kwargs["noise_shots"] = args.noise_shots
-    workloads = _split_names(args.workloads)
-    tags = _split_names(args.tags)
-    schemes = _split_names(args.schemes)
+    workloads = split_names(args.workloads)
+    tags = split_names(args.tags)
+    schemes = split_names(args.schemes)
     return SweepSpec(
         workloads=tuple(workloads) if workloads else None,
         tags=tuple(tags) if tags else None,
@@ -181,36 +216,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Declarative (workload x scheme x scale x shots) sweep "
                     "over the workload registry, with BENCH JSON artifacts")
-    parser.add_argument("--spec", default=None,
-                        help="load the sweep spec from this JSON file "
-                             "(overrides the grid flags)")
-    parser.add_argument("--workloads", nargs="+", default=None,
-                        help="registered workload names (default: all)")
-    parser.add_argument("--tags", nargs="+", default=None,
-                        help="restrict to workloads with any of these tags")
-    parser.add_argument("--schemes", nargs="+", default=None,
-                        help="registered synchronization schemes, space- "
-                             "or comma-separated (default: every "
-                             "registered scheme; see --list-schemes)")
+    add_spec_arguments(parser)
     parser.add_argument("--list-schemes", action="store_true",
                         help="print the registered schemes (name, tags, "
                              "description) and exit")
-    parser.add_argument("--scale", nargs="+", type=float, default=[1.0],
-                        help="workload scale factor(s) (1.0 = paper sizes)")
-    parser.add_argument("--shots", nargs="+", type=int, default=[1],
-                        help="shots-per-cell value(s)")
-    parser.add_argument("--substitution-fraction", type=float, default=0.25)
-    parser.add_argument("--seed", type=int, default=1234,
-                        help="device seed used for every cell")
-    parser.add_argument("--noise", default=None, metavar="PRESET|FILE",
-                        help="Monte-Carlo noise model: a preset name "
-                             "(e.g. depolarizing_1e3) or a NoiseModel "
-                             "JSON file; adds fidelity_empirical to "
-                             "every cell")
-    parser.add_argument("--noise-shots", type=int, default=None,
-                        help="Monte-Carlo shots behind each cell's "
-                             "empirical fidelity (default 256, or the "
-                             "--spec file's value)")
     parser.add_argument("--processes", type=int, default=None,
                         help="worker processes (default: all cores; "
                              "1 = serial in-process)")
@@ -252,7 +261,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print("{:<18s} {:<14s} {}".format(scheme.name, tags,
                                                   scheme.description))
             return 0
-        spec = _spec_from_args(args)
+        spec = spec_from_args(args)
         if args.print_spec:
             print(spec.to_json(indent=2))
             return 0

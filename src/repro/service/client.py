@@ -1,0 +1,115 @@
+"""Synchronous stdlib client for the sweep service HTTP API.
+
+Used by the worker process, the ``python -m repro.service`` CLI and the
+CI smoke scripts.  Pure ``urllib`` — no new dependencies, and errors
+surface as :class:`ServiceClientError` with the server's own message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from ..errors import ReproError
+from ..harness.spec import SweepSubmission
+
+
+class ServiceClientError(ReproError):
+    """HTTP-level failure talking to the sweep service."""
+
+
+def request(url: str, method: str, path: str,
+            payload: Optional[Dict] = None,
+            timeout: float = 60.0) -> Dict:
+    """One JSON request against the service; returns the decoded body.
+
+    Non-2xx responses raise :class:`ServiceClientError` carrying the
+    server's ``error`` message (connection failures likewise).
+    """
+    full = url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(full, data=data, headers=headers,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            raw = response.read()
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read().decode("utf-8")).get(
+                "error", str(exc))
+        except Exception:
+            message = str(exc)
+        raise ServiceClientError("{} {}: {}".format(
+            method, full, message)) from None
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServiceClientError("{} {}: {}".format(
+            method, full, exc)) from None
+    try:
+        return json.loads(raw.decode("utf-8")) if raw else {}
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceClientError(
+            "{} {}: invalid JSON response: {}".format(
+                method, full, exc)) from None
+
+
+def healthz(url: str, timeout: float = 5.0) -> bool:
+    try:
+        return bool(request(url, "GET", "/healthz",
+                            timeout=timeout).get("ok"))
+    except ServiceClientError:
+        return False
+
+
+def wait_healthy(url: str, timeout: float = 30.0,
+                 interval: float = 0.2) -> None:
+    """Block until ``/healthz`` answers (CI boots the service in the
+    background and needs a readiness barrier)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if healthz(url):
+            return
+        time.sleep(interval)
+    raise ServiceClientError(
+        "service at {} not healthy within {:.0f}s".format(url, timeout))
+
+
+def submit(url: str, submission: SweepSubmission) -> Dict:
+    return request(url, "POST", "/submit", submission.to_dict())
+
+
+def status(url: str, submission_id: str) -> Dict:
+    return request(url, "GET", "/status/{}".format(submission_id))
+
+
+def fetch(url: str, submission_id: str) -> Dict:
+    return request(url, "GET", "/fetch/{}".format(submission_id))
+
+
+def metrics(url: str) -> Dict:
+    return request(url, "GET", "/metrics")
+
+
+def wait_done(url: str, submission_id: str, timeout: float = 600.0,
+              interval: float = 0.25) -> Dict:
+    """Poll ``/status`` until the submission leaves ``running``; returns
+    the final status (state ``done`` or ``failed``)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        current = status(url, submission_id)
+        if current["state"] != "running":
+            return current
+        if time.monotonic() >= deadline:
+            raise ServiceClientError(
+                "submission {} still running after {:.0f}s ({} of {} "
+                "cells pending)".format(
+                    submission_id, timeout,
+                    current["cells_total"] - current["cells_done"],
+                    current["cells_total"]))
+        time.sleep(interval)

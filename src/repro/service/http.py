@@ -1,0 +1,253 @@
+"""Stdlib-only HTTP/1.1 front end for the sweep scheduler.
+
+A deliberately small server on ``asyncio`` streams (no new
+dependencies): one JSON request in, one JSON response out, connection
+closed.  Workers re-connect per long-poll, clients per call — at sweep
+granularity the connection setup cost is noise, and connection-per-
+request keeps the server free of keep-alive state.
+
+Client routes
+    ``GET /healthz`` · ``GET /metrics`` · ``POST /submit`` (body =
+    :class:`~repro.harness.spec.SweepSubmission` JSON) ·
+    ``GET /status/<id>`` · ``GET /fetch/<id>`` (the finished BENCH
+    document).
+
+Worker routes
+    ``POST /lease`` (``{"worker", "max_wait", "pid"}`` — long-polls up
+    to :data:`MAX_LEASE_WAIT` s) · ``POST /complete`` (``{"worker",
+    "key", "lease", "result"}`` or ``{"stored": true}``) ·
+    ``POST /fail`` (``{"worker", "key", "lease", "error"}``).
+
+Errors map to JSON bodies: scheduler :class:`ServiceError` -> 400 with
+``{"error": ...}`` (404 for unknown submissions), malformed requests ->
+400, unknown routes -> 404.  The module also ships the matching asyncio
+client (:func:`http_request`) used by the load benchmark and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import asyncio
+
+from ..errors import ReproError
+from ..harness.spec import SweepSubmission
+from .scheduler import Scheduler, ServiceError
+
+#: Upper bound on one /lease long-poll; workers just poll again.
+MAX_LEASE_WAIT = 30.0
+#: Request body cap (a submission is a few KB; results a few hundred KB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceServer:
+    """The scheduler bound to a listening socket plus its expiry task."""
+
+    def __init__(self, scheduler: Scheduler, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._expiry_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._expiry_task = asyncio.ensure_future(
+            self.scheduler.expiry_loop())
+
+    @property
+    def url(self) -> str:
+        return "http://{}:{}".format(self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._expiry_task is not None:
+            self._expiry_task.cancel()
+            try:
+                await self._expiry_task
+            except asyncio.CancelledError:
+                pass
+            self._expiry_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError,
+                    ValueError) as exc:
+                await _respond(writer, 400, {"error": str(exc) or
+                                             "malformed request"})
+                return
+            except (ConnectionError, asyncio.LimitOverrunError):
+                return
+            try:
+                status, payload = await self._route(method, path, body)
+            except ServiceError as exc:
+                code = 404 if "unknown submission" in str(exc) else 400
+                status, payload = code, {"error": str(exc)}
+            except ReproError as exc:
+                status, payload = 400, {"error": str(exc)}
+            await _respond(writer, status, payload)
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with this handler mid-request (typically a
+            # long-poll /lease).  Ending quietly is correct: the client
+            # sees the connection close and re-polls or gives up.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, path: str,
+                     body: Optional[Dict]) -> Tuple[int, Dict]:
+        parts = [part for part in path.split("/") if part]
+        scheduler = self.scheduler
+        if method == "GET":
+            if parts == ["healthz"]:
+                return 200, {"ok": True}
+            if parts == ["metrics"]:
+                return 200, scheduler.metrics()
+            if len(parts) == 2 and parts[0] == "status":
+                return 200, scheduler.status(parts[1])
+            if len(parts) == 2 and parts[0] == "fetch":
+                return 200, scheduler.fetch(parts[1])
+        elif method == "POST":
+            if body is None:
+                raise _BadRequest("{} needs a JSON body".format(path))
+            if parts == ["submit"]:
+                submission = SweepSubmission.from_dict(body)
+                return 201, await scheduler.submit(submission)
+            if parts == ["lease"]:
+                worker = _field(body, "worker", str)
+                max_wait = min(float(body.get("max_wait", 0.0)),
+                               MAX_LEASE_WAIT)
+                pid = body.get("pid")
+                if pid is not None and not isinstance(pid, int):
+                    raise _BadRequest("pid must be an integer")
+                job = await scheduler.lease(worker, max_wait=max_wait,
+                                            pid=pid)
+                return 200, {"job": job}
+            if parts == ["complete"]:
+                return 200, await scheduler.complete(
+                    _field(body, "worker", str),
+                    _field(body, "key", str),
+                    _field(body, "lease", str),
+                    result=body.get("result"),
+                    stored=bool(body.get("stored", False)))
+            if parts == ["fail"]:
+                return 200, await scheduler.fail(
+                    _field(body, "worker", str),
+                    _field(body, "key", str),
+                    _field(body, "lease", str),
+                    error=_field(body, "error", str))
+        return 404, {"error": "no route {} {}".format(method, path)}
+
+
+class _BadRequest(ReproError):
+    """Malformed HTTP request or body (-> 400)."""
+
+
+def _field(body: Dict, name: str, types) -> object:
+    value = body.get(name)
+    if not isinstance(value, types):
+        raise _BadRequest("field {!r} must be {}, got {!r}".format(
+            name, getattr(types, "__name__", types), value))
+    return value
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Optional[Dict]]:
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise _BadRequest("empty request")
+    try:
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise _BadRequest(
+            "malformed request line {!r}".format(request_line)) from None
+    content_length = 0
+    while True:
+        line = (await reader.readline()).decode("latin-1").strip()
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length > MAX_BODY_BYTES:
+        raise _BadRequest("body too large ({} bytes)".format(
+            content_length))
+    body: Optional[Dict] = None
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _BadRequest("invalid JSON body: {}".format(exc)) \
+                from None
+        if not isinstance(body, dict):
+            raise _BadRequest("JSON body must be an object")
+    return method.upper(), path, body
+
+
+async def _respond(writer: asyncio.StreamWriter, status: int,
+                   payload: Dict) -> None:
+    reasons = {200: "OK", 201: "Created", 400: "Bad Request",
+               404: "Not Found", 500: "Internal Server Error"}
+    body = json.dumps(payload).encode("utf-8")
+    head = ("HTTP/1.1 {} {}\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: {}\r\n"
+            "Connection: close\r\n\r\n").format(
+                status, reasons.get(status, "OK"), len(body))
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       payload: Optional[Dict] = None,
+                       timeout: float = 60.0) -> Tuple[int, Dict]:
+    """Asyncio HTTP client matching the server above (tests + load
+    benchmark drive thousands of these concurrently)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = ("{} {} HTTP/1.1\r\n"
+                "Host: {}:{}\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: {}\r\n"
+                "Connection: close\r\n\r\n").format(
+                    method, path, host, port, len(body))
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split(" ", 2)[1])
+    return status, json.loads(rest.decode("utf-8")) if rest else {}

@@ -1,0 +1,507 @@
+"""Asyncio sweep scheduler: shard, dedupe, lease, resume.
+
+One :class:`Scheduler` instance owns the live state of the service —
+submissions, the per-cell job table, the priority queue and the lease
+book.  All of it is *soft* state: results live in the content-addressed
+:class:`~repro.service.store.CellStore`, so a scheduler restart plus a
+resubmission resumes any sweep from its completed cells.
+
+Sharding and dedup
+    ``submit`` expands a :class:`~repro.harness.spec.SweepSubmission`'s
+    grid into :class:`~repro.harness.parallel.SweepTask` cells keyed by
+    the harness's v3 content hash.  A cell already in the store is an
+    immediate *store hit*; a cell another live submission is already
+    computing is a *dedup hit* (the submission just subscribes to the
+    existing job); only genuinely new cells become jobs.  Two users
+    sweeping overlapping grids pay for each overlapping cell once.
+
+Priorities and quotas
+    Jobs are leased in ``(priority, FIFO)`` order — lower priority
+    value first; a deduped job runs at the *most urgent* of its
+    subscribers' priorities.  Per-owner quotas cap in-flight leases so
+    one user's million-cell sweep cannot starve everyone else: jobs of
+    an at-quota owner are skipped (not dropped) until a lease frees up.
+
+Leases and crash resume
+    Workers long-poll ``lease``; each grant carries a lease id and a
+    TTL.  A worker that dies mid-cell simply stops heartbeating —
+    when the TTL lapses, the expiry sweep requeues the job (re-leased
+    exactly once per death) until ``max_attempts`` is reached.  Results
+    are pure functions of the cell key, so a late complete from a
+    presumed-dead worker is accepted idempotently, never a conflict.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import asyncio
+
+from ..errors import ReproError
+from ..harness.benchjson import make_bench
+from ..harness.parallel import CellResult, SweepTask, tasks_from_spec
+from ..harness.spec import SweepSubmission
+from ..harness.sweep import sweep_rows
+from .store import CellStore
+
+
+class ServiceError(ReproError):
+    """Protocol-level scheduler error (unknown id, bad lease, ...)."""
+
+
+@dataclass
+class ServiceCounters:
+    """Deterministic counters of one scheduler's lifetime (the BENCH
+    ``service`` row family reports these; timing detail is volatile)."""
+
+    submissions: int = 0
+    cells_total: int = 0
+    store_hits: int = 0
+    dedup_hits: int = 0
+    misses: int = 0
+    leases_granted: int = 0
+    leases_expired: int = 0
+    completes: int = 0
+    late_completes: int = 0
+    failures: int = 0
+    max_queue_depth: int = 0
+
+    def hits(self) -> int:
+        return self.store_hits + self.dedup_hits
+
+    def hit_rate(self) -> float:
+        if not self.cells_total:
+            return 0.0
+        return self.hits() / self.cells_total
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dict(self.__dict__)
+        data["hits"] = self.hits()
+        data["hit_rate"] = self.hit_rate()
+        return data
+
+
+@dataclass
+class _Job:
+    """One live cell: a unit of work shared by every submission that
+    wants it.  Exists only while queued or leased — completed cells
+    live in the store, failed ones in the scheduler's failure table."""
+
+    key: str
+    task: SweepTask
+    owner: str                      # quota account charged for the run
+    priority: int
+    state: str = "queued"           # queued | leased
+    attempts: int = 0
+    waiters: List[str] = field(default_factory=list)
+    queue_token: Optional[Tuple[int, int]] = None
+    lease_id: Optional[str] = None
+    lease_worker: Optional[str] = None
+    lease_deadline: float = 0.0
+    charged_owner: Optional[str] = None
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _Submission:
+    """Scheduler-side record of one accepted submission."""
+
+    id: str
+    submission: SweepSubmission
+    tasks: List[SweepTask]
+    keys: List[str]
+    pending: set
+    store_hits: int = 0
+    dedup_hits: int = 0
+    misses: int = 0
+    failed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def state(self) -> str:
+        if self.failed:
+            return "failed"
+        return "done" if not self.pending else "running"
+
+    def status(self) -> Dict[str, object]:
+        total = len(self.keys)
+        return {
+            "id": self.id,
+            "name": self.submission.name,
+            "owner": self.submission.owner,
+            "priority": self.submission.priority,
+            "state": self.state,
+            "cells_total": total,
+            "cells_done": total - len(self.pending) - len(self.failed),
+            "cells_failed": len(self.failed),
+            "store_hits": self.store_hits,
+            "dedup_hits": self.dedup_hits,
+            "misses": self.misses,
+            "errors": {key: error.strip().splitlines()[-1]
+                       for key, error in sorted(self.failed.items())},
+        }
+
+
+class Scheduler:
+    """The asyncio sweep service core (see module docstring).
+
+    ``lease_ttl`` is how long a worker may hold a cell without
+    completing before the cell is re-leased; ``max_attempts`` bounds
+    re-leasing of a cell that keeps killing its workers.  ``quotas``
+    maps owner -> max in-flight leases (``default_quota`` for everyone
+    else; ``None`` = unlimited).
+    """
+
+    def __init__(self, store: CellStore,
+                 lease_ttl: float = 120.0,
+                 max_attempts: int = 5,
+                 quotas: Optional[Dict[str, int]] = None,
+                 default_quota: Optional[int] = None):
+        if lease_ttl <= 0:
+            raise ServiceError("lease_ttl must be > 0, got {}".format(
+                lease_ttl))
+        if max_attempts < 1:
+            raise ServiceError("max_attempts must be >= 1, got {}".format(
+                max_attempts))
+        self.store = store
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.counters = ServiceCounters()
+        self._submissions: Dict[str, _Submission] = {}
+        self._jobs: Dict[str, _Job] = {}
+        self._failed: Dict[str, str] = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._work = asyncio.Condition()
+        self._tick = 0
+        self._lease_seq = 0
+        self._submission_seq = 0
+        self._inflight: Dict[str, int] = {}
+        self._workers: Dict[str, Dict[str, object]] = {}
+        #: seconds from job enqueue to lease grant (volatile telemetry).
+        self.lease_latencies: List[float] = []
+
+    # -- submission side ---------------------------------------------------
+
+    async def submit(self, submission: SweepSubmission) -> Dict[str, object]:
+        """Accept a submission: shard, dedupe, enqueue.  Returns the
+        initial status dict (possibly already ``done`` on a warm store)."""
+        tasks = tasks_from_spec(submission.spec)
+        if not tasks:
+            raise ServiceError("submission resolves to an empty grid")
+        self._submission_seq += 1
+        sid = "s{:06d}".format(self._submission_seq)
+        keys = [task.cache_key() for task in tasks]
+        record = _Submission(id=sid, submission=submission, tasks=tasks,
+                             keys=keys, pending=set())
+        self.counters.submissions += 1
+        self.counters.cells_total += len(tasks)
+        async with self._work:
+            fresh = 0
+            for task, key in zip(tasks, keys):
+                if key in self._failed:
+                    record.failed[key] = self._failed[key]
+                    continue
+                job = self._jobs.get(key)
+                if job is not None:
+                    # In-flight dedup: subscribe to the existing job and
+                    # raise its urgency to the most urgent subscriber.
+                    record.pending.add(key)
+                    record.dedup_hits += 1
+                    self.counters.dedup_hits += 1
+                    job.waiters.append(sid)
+                    if submission.priority < job.priority:
+                        job.priority = submission.priority
+                        if job.state == "queued":
+                            self._push_job(job)
+                elif self.store.has(key):
+                    record.store_hits += 1
+                    self.counters.store_hits += 1
+                else:
+                    record.pending.add(key)
+                    record.misses += 1
+                    self.counters.misses += 1
+                    job = _Job(key=key, task=task,
+                               owner=submission.owner,
+                               priority=submission.priority,
+                               waiters=[sid],
+                               enqueued_at=time.monotonic())
+                    self._jobs[key] = job
+                    self._push_job(job)
+                    fresh += 1
+            self._submissions[sid] = record
+            depth = sum(1 for job in self._jobs.values()
+                        if job.state == "queued")
+            if depth > self.counters.max_queue_depth:
+                self.counters.max_queue_depth = depth
+            if fresh:
+                self._work.notify_all()
+        return record.status()
+
+    def status(self, submission_id: str) -> Dict[str, object]:
+        record = self._submissions.get(submission_id)
+        if record is None:
+            raise ServiceError("unknown submission {!r} (known: {})".format(
+                submission_id, sorted(self._submissions)))
+        return record.status()
+
+    def fetch(self, submission_id: str) -> Dict[str, object]:
+        """Assemble the finished submission's BENCH document.
+
+        Rows come from :func:`~repro.harness.sweep.sweep_rows` over the
+        *stored* cells — the exact code path of the offline sweep CLI —
+        so ``results_sha256`` is byte-identical to a serial
+        ``run_suite``/sweep of the same spec.
+        """
+        record = self._submissions.get(submission_id)
+        if record is None:
+            raise ServiceError("unknown submission {!r} (known: {})".format(
+                submission_id, sorted(self._submissions)))
+        if record.state != "done":
+            raise ServiceError(
+                "submission {} is {} ({} of {} cells pending)".format(
+                    submission_id, record.state, len(record.pending),
+                    len(record.keys)))
+        results: Dict[Tuple[str, str, float, int], CellResult] = {}
+        for task, key in zip(record.tasks, record.keys):
+            cell = self.store.get(key)
+            if cell is None:
+                raise ServiceError(
+                    "store lost cell {} of submission {} (pruned "
+                    "store? resubmit to recompute)".format(
+                        key[:12], submission_id))
+            results[task.key()] = cell
+        rows = sweep_rows(record.tasks, results)
+        return make_bench(
+            record.submission.name, rows, kind="sweep",
+            spec=record.submission.spec.to_dict(),
+            cache={"hits": record.store_hits + record.dedup_hits,
+                   "misses": record.misses})
+
+    # -- worker side -------------------------------------------------------
+
+    async def lease(self, worker: str, max_wait: float = 0.0,
+                    pid: Optional[int] = None) -> Optional[Dict[str, object]]:
+        """Grant the most urgent eligible job to ``worker``, long-polling
+        up to ``max_wait`` seconds when the queue is empty (or fully
+        quota-blocked).  Returns None when nothing became available."""
+        deadline = time.monotonic() + max(0.0, max_wait)
+        async with self._work:
+            while True:
+                grant = self._try_grant(worker, pid)
+                if grant is not None:
+                    return grant
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                try:
+                    await asyncio.wait_for(self._work.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return None
+
+    def _push_job(self, job: _Job) -> None:
+        self._tick += 1
+        job.queue_token = (job.priority, self._tick)
+        heapq.heappush(self._heap, (job.priority, self._tick, job.key))
+
+    def _quota(self, owner: str) -> Optional[int]:
+        return self.quotas.get(owner, self.default_quota)
+
+    def _try_grant(self, worker: str,
+                   pid: Optional[int]) -> Optional[Dict[str, object]]:
+        """Pop the best queued job whose owner is under quota (caller
+        holds the condition lock).  Stale heap entries — re-prioritized
+        or already-leased jobs — are discarded lazily."""
+        skipped: List[Tuple[int, int, str]] = []
+        grant = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            priority, tick, key = entry
+            job = self._jobs.get(key)
+            if job is None or job.state != "queued" or \
+                    job.queue_token != (priority, tick):
+                continue  # stale entry (lazy deletion)
+            limit = self._quota(job.owner)
+            if limit is not None and \
+                    self._inflight.get(job.owner, 0) >= limit:
+                skipped.append(entry)
+                continue
+            now = time.monotonic()
+            job.state = "leased"
+            job.attempts += 1
+            self._lease_seq += 1
+            job.lease_id = "L{:08d}".format(self._lease_seq)
+            job.lease_worker = worker
+            job.lease_deadline = now + self.lease_ttl
+            job.charged_owner = job.owner
+            self._inflight[job.owner] = \
+                self._inflight.get(job.owner, 0) + 1
+            self.counters.leases_granted += 1
+            self.lease_latencies.append(now - job.enqueued_at)
+            seen = self._workers.setdefault(worker, {"leases": 0})
+            seen["leases"] = int(seen["leases"]) + 1
+            if pid is not None:
+                seen["pid"] = pid
+            grant = {"key": job.key, "lease": job.lease_id,
+                     "attempt": job.attempts,
+                     "lease_ttl": self.lease_ttl,
+                     "task": job.task.to_dict()}
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return grant
+
+    def _release_charge(self, job: _Job) -> None:
+        if job.charged_owner is not None:
+            owner = job.charged_owner
+            job.charged_owner = None
+            count = self._inflight.get(owner, 0) - 1
+            if count > 0:
+                self._inflight[owner] = count
+            else:
+                self._inflight.pop(owner, None)
+
+    async def complete(self, worker: str, key: str, lease: str,
+                       result: Optional[Dict[str, object]] = None,
+                       stored: bool = False) -> Dict[str, object]:
+        """Record a finished cell.
+
+        Remote workers ship the result inline (``result`` = the
+        :meth:`~repro.harness.parallel.CellResult.to_dict` payload, the
+        scheduler writes the store); co-located workers write the store
+        themselves and send ``stored=True`` (zero-copy complete).  Cells
+        are pure functions of their key, so completes are idempotent:
+        a late complete from an expired lease still lands the result.
+        """
+        if result is None and not stored:
+            raise ServiceError(
+                "complete needs a result payload or stored=true")
+        if result is not None:
+            cell = CellResult.from_dict(result)
+            self.store.put(key, cell)
+        elif not self.store.has(key):
+            raise ServiceError(
+                "worker {} reported stored={} but the store has no "
+                "entry".format(worker, key[:12]))
+        async with self._work:
+            job = self._jobs.pop(key, None)
+            if job is None:
+                # Job already finished (another worker's late double) —
+                # the store write above was idempotent; just count it.
+                self.counters.late_completes += 1
+                return {"ok": True, "late": True}
+            late = job.lease_id != lease or job.state != "leased"
+            if late:
+                self.counters.late_completes += 1
+            self._release_charge(job)
+            self.counters.completes += 1
+            self._finish(job, error=None)
+            self._work.notify_all()  # a quota slot freed up
+        return {"ok": True, "late": late}
+
+    async def fail(self, worker: str, key: str, lease: str,
+                   error: str) -> Dict[str, object]:
+        """Record a cell that raised on a worker.  Exceptions are
+        deterministic for a fixed cell, so failed cells are not retried;
+        every subscribed submission reports the failure."""
+        async with self._work:
+            job = self._jobs.pop(key, None)
+            if job is None:
+                self.counters.late_completes += 1
+                return {"ok": True, "late": True}
+            self._release_charge(job)
+            self.counters.failures += 1
+            self._failed[key] = error
+            self._finish(job, error=error)
+            self._work.notify_all()
+        return {"ok": True, "late": False}
+
+    def _finish(self, job: _Job, error: Optional[str]) -> None:
+        """Settle ``job`` for every subscribed submission (caller holds
+        the condition lock and has removed the job from the table)."""
+        for sid in job.waiters:
+            record = self._submissions.get(sid)
+            if record is None:
+                continue
+            record.pending.discard(job.key)
+            if error is not None:
+                record.failed[job.key] = error
+
+    # -- lease expiry ------------------------------------------------------
+
+    async def expire_leases(self) -> int:
+        """Requeue every job whose lease deadline passed; returns how
+        many were re-leased (or failed out after ``max_attempts``)."""
+        now = time.monotonic()
+        expired = 0
+        async with self._work:
+            for job in list(self._jobs.values()):
+                if job.state != "leased" or job.lease_deadline > now:
+                    continue
+                expired += 1
+                self.counters.leases_expired += 1
+                self._release_charge(job)
+                job.lease_id = None
+                job.lease_worker = None
+                if job.attempts >= self.max_attempts:
+                    self._jobs.pop(job.key, None)
+                    error = ("lease expired {} time(s); giving up after "
+                             "max_attempts={}".format(
+                                 job.attempts, self.max_attempts))
+                    self.counters.failures += 1
+                    self._failed[job.key] = error
+                    self._finish(job, error=error)
+                else:
+                    job.state = "queued"
+                    job.enqueued_at = now
+                    self._push_job(job)
+            if expired:
+                self._work.notify_all()
+        return expired
+
+    async def expiry_loop(self, interval: Optional[float] = None) -> None:
+        """Background task: expire leases every ``interval`` seconds
+        (default: a quarter of the lease TTL, floored at 50 ms)."""
+        if interval is None:
+            interval = max(0.05, self.lease_ttl / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            await self.expire_leases()
+
+    # -- observability -----------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.state == "queued")
+
+    def metrics(self) -> Dict[str, object]:
+        latencies = self.lease_latencies
+        summary = None
+        if latencies:
+            ordered = sorted(latencies)
+            summary = {
+                "count": len(ordered),
+                "mean_s": sum(ordered) / len(ordered),
+                "p50_s": ordered[len(ordered) // 2],
+                "p95_s": ordered[min(len(ordered) - 1,
+                                     int(len(ordered) * 0.95))],
+                "max_s": ordered[-1],
+            }
+        states = {"running": 0, "done": 0, "failed": 0}
+        for record in self._submissions.values():
+            states[record.state] += 1
+        return {
+            "counters": self.counters.to_dict(),
+            "queue_depth": self.queue_depth(),
+            "leased": sum(1 for job in self._jobs.values()
+                          if job.state == "leased"),
+            "inflight": dict(self._inflight),
+            "submissions": states,
+            "workers": {name: dict(info)
+                        for name, info in self._workers.items()},
+            "lease_latency": summary,
+            "store": self.store.counters(),
+        }

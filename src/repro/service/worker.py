@@ -1,0 +1,150 @@
+"""Sweep-service worker: lease, run, report, repeat.
+
+``python -m repro.service.worker --url http://HOST:PORT`` long-polls
+the scheduler for cell leases, executes each via the harness's own
+:func:`~repro.harness.parallel.run_cell` (the same code path as serial
+and multiprocessing sweeps — byte-identity by construction, not by
+luck) and reports the result:
+
+* with ``--store DIR`` (co-located deployment, the default when
+  ``serve --workers N`` spawns workers) the worker writes the
+  content-addressed store itself — atomic temp + rename, orphan temps
+  reclaimed on open — and sends a zero-copy ``stored=true`` complete;
+* without it (remote host) the result travels inline in the complete
+  request as plain JSON.
+
+A worker is stateless and expendable: ``kill -9`` at any point loses at
+most the lease it was holding, which the scheduler re-leases after the
+TTL.  ``--cell-delay-ms`` injects a pause between lease and execution —
+the hook the crash-resume tests (and load shaping) use to make "killed
+mid-cell" deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import traceback
+from typing import Optional, Sequence
+
+from ..harness.parallel import SweepTask, run_cell
+from . import client
+from .client import ServiceClientError
+from .store import CellStore
+
+
+def work_loop(url: str,
+              store: Optional[CellStore] = None,
+              worker_id: Optional[str] = None,
+              poll_seconds: float = 5.0,
+              idle_exit_seconds: Optional[float] = None,
+              max_cells: Optional[int] = None,
+              cell_delay_ms: float = 0.0,
+              max_connect_failures: int = 30,
+              verbose: bool = False) -> int:
+    """Run the lease/execute/report loop; returns completed-cell count.
+
+    Exits when ``max_cells`` is reached or the queue stays empty for
+    ``idle_exit_seconds`` (both default to "never").  Connection
+    failures back off and retry; ``max_connect_failures`` consecutive
+    ones raise (the scheduler is gone for good).
+    """
+    wid = worker_id or "worker-{}".format(os.getpid())
+    completed = 0
+    connect_failures = 0
+    idle_since = time.monotonic()
+    while max_cells is None or completed < max_cells:
+        try:
+            reply = client.request(
+                url, "POST", "/lease",
+                {"worker": wid, "max_wait": poll_seconds,
+                 "pid": os.getpid()},
+                timeout=poll_seconds + 30.0)
+            connect_failures = 0
+        except ServiceClientError as exc:
+            connect_failures += 1
+            if connect_failures >= max_connect_failures:
+                raise
+            if verbose:
+                print("[{}] lease failed ({}), retrying".format(wid, exc),
+                      file=sys.stderr, flush=True)
+            time.sleep(min(2.0, 0.1 * connect_failures))
+            continue
+        job = reply.get("job")
+        if job is None:
+            if idle_exit_seconds is not None and \
+                    time.monotonic() - idle_since > idle_exit_seconds:
+                break
+            continue
+        idle_since = time.monotonic()
+        key, lease = job["key"], job["lease"]
+        task = SweepTask.from_dict(job["task"])
+        if cell_delay_ms > 0:
+            # Fault-injection / load-shaping hook: the crash-resume test
+            # kills the worker inside this window, i.e. provably
+            # mid-cell (after the lease, before the store write).
+            time.sleep(cell_delay_ms / 1000.0)
+        try:
+            cell = run_cell(task)
+        except Exception:
+            client.request(url, "POST", "/fail",
+                           {"worker": wid, "key": key, "lease": lease,
+                            "error": traceback.format_exc()})
+            continue
+        if store is not None:
+            store.put(key, cell)
+            body = {"worker": wid, "key": key, "lease": lease,
+                    "stored": True}
+        else:
+            body = {"worker": wid, "key": key, "lease": lease,
+                    "result": cell.to_dict()}
+        client.request(url, "POST", "/complete", body)
+        completed += 1
+        if verbose:
+            print("[{}] completed {}/{} ({} total)".format(
+                wid, task.spec_name, task.scheme, completed),
+                flush=True)
+    return completed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep-service worker process (lease/run/report)")
+    parser.add_argument("--url", required=True,
+                        help="scheduler base URL, e.g. http://127.0.0.1:8731")
+    parser.add_argument("--store", default=None,
+                        help="co-located store directory (zero-copy "
+                             "completes); omit on remote hosts")
+    parser.add_argument("--worker-id", default=None)
+    parser.add_argument("--poll", type=float, default=5.0,
+                        help="lease long-poll seconds (default 5)")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit 0 after this many idle seconds "
+                             "(default: run forever)")
+    parser.add_argument("--max-cells", type=int, default=None,
+                        help="exit after completing this many cells")
+    parser.add_argument("--cell-delay-ms", type=float, default=0.0,
+                        help="pause between lease and execution "
+                             "(fault-injection tests, load shaping)")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    store = CellStore(args.store) if args.store else None
+    try:
+        work_loop(args.url, store=store, worker_id=args.worker_id,
+                  poll_seconds=args.poll,
+                  idle_exit_seconds=args.idle_exit,
+                  max_cells=args.max_cells,
+                  cell_delay_ms=args.cell_delay_ms,
+                  verbose=args.verbose)
+    except ServiceClientError as exc:
+        print("worker error: {}".format(exc), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

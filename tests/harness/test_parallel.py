@@ -3,14 +3,17 @@
 import os
 import pickle
 import subprocess
+import sys
 import time
 from dataclasses import replace
 
 import pytest
 
-from repro.harness.parallel import (ORPHAN_TMP_SECONDS, SweepCache,
-                                    build_tasks, clear_cell_caches,
-                                    run_cell, run_suite_parallel)
+from repro.errors import ReproError
+from repro.harness.parallel import (ORPHAN_TMP_SECONDS, CellResult,
+                                    SweepCache, SweepTask, build_tasks,
+                                    clear_cell_caches, run_cell,
+                                    run_suite_parallel)
 from repro.isa import decoded
 from repro.sim.config import SimulationConfig
 
@@ -280,3 +283,96 @@ class TestSpawnFlagPropagation:
                                     spec_names=["bv_n400"],
                                     schemes=("bisp",))
         assert_outcomes_equal(fast, legacy)
+
+
+class TestReclaimLock:
+    """Orphan-tmp reclaim is single-flight across concurrent store/cache
+    opens: an advisory flock serializes the sweep, and losers skip it
+    instead of racing the winner's unlinks (PR-7 satellite fix)."""
+
+    def test_lock_is_exclusive_while_held(self, tmp_path):
+        cache = SweepCache(str(tmp_path), sweep_orphans=False)
+        other = SweepCache(str(tmp_path), sweep_orphans=False)
+        with cache._reclaim_lock() as acquired:
+            assert acquired
+            with other._reclaim_lock() as second:
+                assert not second
+
+    def test_lock_released_after_sweep(self, tmp_path):
+        cache = SweepCache(str(tmp_path), sweep_orphans=False)
+        with cache._reclaim_lock() as acquired:
+            assert acquired
+        with cache._reclaim_lock() as again:
+            assert again
+
+    def test_contended_sweep_returns_zero_not_raises(self, tmp_path):
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        orphan = tmp_path / "tmp-{}-leak.tmp".format(proc.pid)
+        orphan.write_bytes(b"partial")
+        holder = SweepCache(str(tmp_path), sweep_orphans=False)
+        loser = SweepCache(str(tmp_path), sweep_orphans=False)
+        with holder._reclaim_lock() as acquired:
+            assert acquired
+            assert loser.sweep_orphan_tmps() == 0  # skipped, no race
+            assert orphan.exists()
+        assert loser.sweep_orphan_tmps() == 1
+        assert not orphan.exists()
+
+    def test_concurrent_opens_race_clean(self, tmp_path):
+        """Many processes opening one littered store at once: the orphan
+        is reclaimed and nobody crashes on a vanished tmp file."""
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        for index in range(4):
+            orphan = tmp_path / "tmp-{}-leak{}.tmp".format(proc.pid,
+                                                           index)
+            orphan.write_bytes(b"partial")
+        script = ("import sys; sys.path.insert(0, {!r}); "
+                  "from repro.harness.parallel import SweepCache; "
+                  "SweepCache({!r})").format(
+                      os.path.join(os.path.dirname(os.path.dirname(
+                          os.path.dirname(os.path.abspath(__file__)))),
+                          "src"),
+                      str(tmp_path))
+        procs = [subprocess.Popen([sys.executable, "-c", script])
+                 for _ in range(4)]
+        assert [p.wait() for p in procs] == [0, 0, 0, 0]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestWireSerialization:
+    """SweepTask/CellResult JSON wire format (the sweep service ships
+    both over HTTP; pickle stays an on-disk-only format)."""
+
+    def test_task_round_trip(self):
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        rebuilt = SweepTask.from_dict(task.to_dict())
+        assert rebuilt == task
+        assert rebuilt.cache_key() == task.cache_key()
+
+    def test_task_round_trip_through_json_text(self):
+        import json
+
+        task, = build_tasks(SCALE, ("lockstep",), spec_names=["qft_n30"])
+        rebuilt = SweepTask.from_dict(
+            json.loads(json.dumps(task.to_dict())))
+        assert rebuilt == task
+
+    def test_task_unknown_field_rejected(self):
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        data = task.to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ReproError):
+            SweepTask.from_dict(data)
+
+    def test_cell_result_round_trip(self):
+        import json
+
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        cell = run_cell(task)
+        rebuilt = CellResult.from_dict(
+            json.loads(json.dumps(cell.to_dict())))
+        assert rebuilt == cell
+        assert rebuilt.lifetimes_ns == cell.lifetimes_ns
+        assert all(isinstance(k, int) for k in rebuilt.lifetimes_ns)

@@ -6,12 +6,14 @@ import pytest
 
 from repro.harness.benchjson import (BenchSchemaError, compare_benches,
                                      load_bench, make_bench,
-                                     validate_bench, write_bench)
+                                     results_digest, validate_bench,
+                                     write_bench)
 from repro.harness.parallel import (SweepExecutionError, run_tasks,
                                     tasks_from_spec)
 from repro.compiler.schemes import scheme_names
 from repro.harness.registry import Workload, register, unregister
-from repro.harness.spec import SweepSpec, SweepSpecError
+from repro.harness.spec import (SweepSpec, SweepSpecError,
+                                SweepSubmission)
 from repro.harness.sweep import main as sweep_main
 from repro.harness.sweep import run_sweep
 from repro.sim.config import SimulationConfig
@@ -311,3 +313,73 @@ class TestSweepCli:
                                   "--max-regression", "-1.0"])
         assert code == 1
         assert "regression" in capsys.readouterr().err
+
+
+class TestSweepSubmission:
+    def test_round_trip(self):
+        sub = SweepSubmission(spec=TINY_SPEC, name="nightly",
+                              owner="alice", priority=3)
+        assert SweepSubmission.from_json(sub.to_json()) == sub
+
+    def test_defaults(self):
+        sub = SweepSubmission(spec=TINY_SPEC)
+        assert (sub.name, sub.owner, sub.priority) == \
+            ("sweep", "anonymous", 0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"name": "has space"},
+        {"name": "has-dash"},
+        {"owner": ""},
+        {"priority": -1},
+        {"priority": 1.5},
+        {"priority": True},
+    ])
+    def test_invalid_metadata_rejected(self, kwargs):
+        with pytest.raises(SweepSpecError):
+            SweepSubmission(spec=TINY_SPEC, **kwargs)
+
+    def test_spec_required_and_typed(self):
+        with pytest.raises(SweepSpecError):
+            SweepSubmission.from_dict({"name": "x"})
+        with pytest.raises(SweepSpecError):
+            SweepSubmission(spec="not a spec")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SweepSpecError):
+            SweepSubmission.from_dict(
+                {"spec": TINY_SPEC.to_dict(), "color": "red"})
+
+
+class TestServiceRows:
+    """The v3 ``kind="service"`` BENCH row family (scheduler counters)."""
+
+    def _service_doc(self, **overrides):
+        row = {"label": "smoke", "submissions": 2, "cells_total": 8,
+               "hits": 2, "misses": 6, "hit_rate": 0.25,
+               "leases_granted": 6, "leases_expired": 0}
+        row.update(overrides)
+        return make_bench("svc", [row], kind="service")
+
+    def test_service_rows_validate(self):
+        doc = self._service_doc()
+        assert validate_bench(doc) == doc
+        assert doc["schema_version"] == 3
+
+    def test_hits_must_sum_to_cells_total(self):
+        with pytest.raises(BenchSchemaError, match="cells_total"):
+            self._service_doc(hits=3)
+
+    def test_missing_counter_rejected(self):
+        row = {"label": "smoke", "submissions": 1, "cells_total": 1,
+               "hits": 0, "misses": 1, "hit_rate": 0.0,
+               "leases_granted": 1}
+        with pytest.raises(BenchSchemaError):
+            make_bench("svc", [row], kind="service")
+
+    def test_service_kind_needs_v3(self):
+        doc = self._service_doc()
+        doc["schema_version"] = 2
+        doc["results_sha256"] = results_digest(doc["results"])
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate_bench(doc)

@@ -131,9 +131,9 @@ class TestBenchSchemaV2:
                   "fidelity_ci_high": 0.8, "noise_method": "frame",
                   "noise_shots": 64, "noise_seed": 42}
 
-    def test_current_version_is_2(self):
+    def test_current_version_is_3(self):
         doc = make_bench("demo", [{"label": "x", "value": 1}])
-        assert doc["schema_version"] == BENCH_SCHEMA_VERSION == 2
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION == 3
 
     def test_noisy_sweep_row_validates(self):
         row = dict(self.BASE_ROW, **self.NOISE_COLS)
@@ -164,7 +164,7 @@ class TestBenchSchemaV2:
 
     def test_unsupported_version_rejected(self):
         doc = make_bench("demo", [{"label": "x", "value": 1}])
-        doc["schema_version"] = 3
+        doc["schema_version"] = 4
         with pytest.raises(BenchSchemaError, match="schema_version"):
             validate_bench(doc)
 
@@ -179,7 +179,7 @@ class TestSweepCliNoise:
                            "--out", out, "--name", "noisy", "--quiet"])
         assert code == 0
         doc = load_bench(os.path.join(out, "BENCH_noisy.json"))
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
         (row,) = doc["results"]
         assert row["noise_shots"] == 32
         assert 0.0 <= row["fidelity_empirical"] <= 1.0

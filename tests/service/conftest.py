@@ -1,0 +1,34 @@
+"""Shared fixtures for the sweep-service tests.
+
+Everything here stays tiny (scale 0.02, two workloads x two schemes =
+four cells) so the full service stack — scheduler, HTTP front end,
+worker subprocesses, crash-resume — is exercised in seconds.  Helper
+*functions* live in :mod:`svc_util` (importable as a plain module);
+this file only defines fixtures.
+"""
+
+import pytest
+
+from repro.harness.spec import SweepSpec, SweepSubmission
+
+from svc_util import SCALE, SCHEMES, WORKLOADS
+
+
+@pytest.fixture
+def tiny_spec() -> SweepSpec:
+    """Four fast cells: two workloads x two schemes at scale 0.02."""
+    return SweepSpec(workloads=WORKLOADS, schemes=SCHEMES,
+                     scales=(SCALE,), shots=(1,))
+
+
+@pytest.fixture
+def overlap_spec() -> SweepSpec:
+    """Overlaps ``tiny_spec`` on the bv_n400 column (2 of its 4 cells
+    are shared) — the cross-submission dedup scenario."""
+    return SweepSpec(workloads=("bv_n400", "w_state_n800"),
+                     schemes=SCHEMES, scales=(SCALE,), shots=(1,))
+
+
+@pytest.fixture
+def tiny_submission(tiny_spec) -> SweepSubmission:
+    return SweepSubmission(spec=tiny_spec, name="tiny", owner="alice")

@@ -1,0 +1,245 @@
+"""HTTP front end: in-process asyncio tests + full-stack CLI smoke.
+
+The in-process tests drive :class:`ServiceServer` with the matching
+``http_request`` client (real sockets on an ephemeral port, no
+subprocesses).  ``TestFullStack`` then boots the real thing — ``python
+-m repro.service serve`` with two spawned workers — and replays the CI
+service-smoke scenario: two overlapping submissions, cross-submission
+dedup, artifact byte-identical to the serial sweep.
+"""
+
+import asyncio
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.harness.benchjson import validate_bench
+from repro.harness.parallel import SweepTask, run_cell
+from repro.service import client
+from repro.service.http import ServiceServer, http_request
+from repro.service.scheduler import Scheduler
+from repro.service.store import CellStore
+
+from svc_util import free_port, repro_env, serial_bench
+
+
+async def start_server(tmp_path, **scheduler_kwargs):
+    scheduler = Scheduler(CellStore(str(tmp_path / "store")),
+                          **scheduler_kwargs)
+    server = ServiceServer(scheduler, port=0)
+    await server.start()
+    return server
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                status, body = await http_request(
+                    server.host, server.port, "GET", "/healthz")
+                mstatus, metrics = await http_request(
+                    server.host, server.port, "GET", "/metrics")
+            finally:
+                await server.close()
+            return status, body, mstatus, metrics
+
+        status, body, mstatus, metrics = asyncio.run(scenario())
+        assert (status, body) == (200, {"ok": True})
+        assert mstatus == 200
+        assert metrics["counters"]["submissions"] == 0
+
+    def test_unknown_route_404(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                return await http_request(server.host, server.port,
+                                          "GET", "/nope")
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_malformed_body_400(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                blob = b"not json"
+                writer.write(
+                    b"POST /submit HTTP/1.1\r\n"
+                    b"Content-Length: " +
+                    str(len(blob)).encode() + b"\r\n\r\n" + blob)
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+            finally:
+                await server.close()
+
+        raw = asyncio.run(scenario())
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+    def test_bad_submission_400(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                return await http_request(
+                    server.host, server.port, "POST", "/submit",
+                    {"spec": {"workloads": ["no_such_workload"]}})
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 400
+        assert "error" in body
+
+    def test_unknown_submission_404(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                return await http_request(server.host, server.port,
+                                          "GET", "/status/s999999")
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 404
+
+
+class TestInProcessEndToEnd:
+    def test_submit_work_fetch_roundtrip(self, tmp_path, tiny_spec,
+                                         tiny_submission):
+        async def scenario():
+            server = await start_server(tmp_path)
+            host, port = server.host, server.port
+            try:
+                status, sub = await http_request(
+                    host, port, "POST", "/submit",
+                    tiny_submission.to_dict())
+                assert status == 201
+                # Act as a worker over the wire until the queue drains.
+                while True:
+                    _, reply = await http_request(
+                        host, port, "POST", "/lease",
+                        {"worker": "t0", "max_wait": 0.0})
+                    job = reply.get("job")
+                    if job is None:
+                        break
+                    cell = run_cell(SweepTask.from_dict(job["task"]))
+                    code, _ = await http_request(
+                        host, port, "POST", "/complete",
+                        {"worker": "t0", "key": job["key"],
+                         "lease": job["lease"],
+                         "result": cell.to_dict()})
+                    assert code == 200
+                _, final = await http_request(
+                    host, port, "GET", "/status/{}".format(sub["id"]))
+                fcode, doc = await http_request(
+                    host, port, "GET", "/fetch/{}".format(sub["id"]))
+                return final, fcode, doc
+            finally:
+                await server.close()
+
+        final, fcode, doc = asyncio.run(scenario())
+        assert final["state"] == "done"
+        assert fcode == 200
+        reference = serial_bench(tiny_spec, name="tiny")
+        assert doc["results_sha256"] == reference["results_sha256"]
+
+    def test_concurrent_overlapping_submissions_dedup(self, tmp_path,
+                                                      tiny_spec,
+                                                      overlap_spec):
+        from repro.harness.spec import SweepSubmission
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            host, port = server.host, server.port
+            try:
+                results = await asyncio.gather(
+                    http_request(host, port, "POST", "/submit",
+                                 SweepSubmission(spec=tiny_spec,
+                                                 name="a").to_dict()),
+                    http_request(host, port, "POST", "/submit",
+                                 SweepSubmission(spec=overlap_spec,
+                                                 name="b").to_dict()))
+                _, metrics = await http_request(host, port, "GET",
+                                                "/metrics")
+                return results, metrics
+            finally:
+                await server.close()
+
+        results, metrics = asyncio.run(scenario())
+        assert all(code == 201 for code, _ in results)
+        counters = metrics["counters"]
+        assert counters["cells_total"] == 8
+        assert counters["dedup_hits"] == 2
+        assert metrics["queue_depth"] == 6
+
+
+@pytest.mark.slow
+class TestFullStack:
+    """The CI service-smoke scenario as a test: real serve subprocess,
+    two real workers, overlapping submissions from two client threads."""
+
+    def test_serve_submit_fetch_byte_identity(self, tmp_path, tiny_spec,
+                                              overlap_spec):
+        port = free_port()
+        url = "http://127.0.0.1:{}".format(port)
+        store = tmp_path / "store"
+        serve = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--port", str(port), "--store", str(store),
+             "--workers", "2", "--worker-poll", "1"],
+            env=repro_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT)
+        try:
+            client.wait_healthy(url, timeout=60.0)
+
+            def submit(spec, name):
+                from repro.harness.spec import SweepSubmission
+
+                sub = client.submit(url, SweepSubmission(
+                    spec=spec, name=name))
+                client.wait_done(url, sub["id"], timeout=180.0)
+                doc = client.fetch(url, sub["id"])
+                docs[name] = doc
+
+            docs = {}
+            threads = [
+                threading.Thread(target=submit, args=(tiny_spec, "a")),
+                threading.Thread(target=submit, args=(overlap_spec, "b")),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=240.0)
+            metrics = client.metrics(url)
+        finally:
+            serve.terminate()
+            try:
+                serve.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                serve.kill()
+
+        assert set(docs) == {"a", "b"}
+        counters = metrics["counters"]
+        # 8 cells across the two sweeps, 2 shared: at most 6 executed
+        # (hits can exceed 2 if one sweep finished before the other
+        # submitted — then the overlap lands as store hits instead).
+        assert counters["cells_total"] == 8
+        assert counters["store_hits"] + counters["dedup_hits"] >= 2
+        assert counters["completes"] <= 6
+        # Byte-identity against the serial offline sweep.
+        assert docs["a"]["results_sha256"] == \
+            serial_bench(tiny_spec, name="a")["results_sha256"]
+        assert docs["b"]["results_sha256"] == \
+            serial_bench(overlap_spec, name="b")["results_sha256"]
+        # Fetched documents revalidate against the BENCH schema.
+        validate_bench(docs["a"])
+        validate_bench(docs["b"])
