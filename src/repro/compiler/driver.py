@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import CompilationError
 from ..isa.program import Program
 from ..network.topology import Topology, build_topology
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
 from ..sim.system import ControlSystem
@@ -28,6 +30,25 @@ from .emit import emit_program
 from .mapping import QubitMap
 from .schemes import SCHEMES as SCHEMES  # re-export (live registry view)
 from .schemes import get_scheme
+
+_COMPILATIONS = _metrics.counter(
+    "repro_compilations_total", "circuits compiled")
+_SIMULATIONS = _metrics.counter(
+    "repro_simulations_total", "simulation runs (shot 0 of each cell)")
+_COMPILE_SECONDS = _metrics.histogram(
+    "repro_compile_seconds", "wall-clock per compile_circuit call")
+_SIMULATE_SECONDS = _metrics.histogram(
+    "repro_simulate_seconds", "wall-clock per system.run call")
+_ENGINE_EVENTS = _metrics.counter(
+    "repro_engine_events_total", "discrete events processed")
+_ENGINE_FAR = _metrics.counter(
+    "repro_engine_far_events_total",
+    "events scheduled beyond the timing-wheel window")
+_ENGINE_ADVANCES = _metrics.counter(
+    "repro_engine_window_advances_total", "timing-wheel re-anchors")
+_QUEUE_HIGH_WATER = _metrics.gauge(
+    "repro_queue_depth_high_water",
+    "peak logical TCU-queue depth seen by any core")
 
 
 @dataclass
@@ -94,6 +115,15 @@ def compile_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
     Scheme` instance; unknown names raise a :class:`CompilationError`
     listing every registered scheme.
     """
+    _COMPILATIONS.value += 1
+    with _trace.span("compile", cat="compile"), \
+            _metrics.timed(_COMPILE_SECONDS):
+        return _compile_circuit(circuit, scheme, config,
+                                qubits_per_controller, mesh_kind)
+
+
+def _compile_circuit(circuit, scheme, config, qubits_per_controller,
+                     mesh_kind) -> CompilationResult:
     scheme_obj = get_scheme(scheme)
     config = scheme_obj.effective_config(config or SimulationConfig())
     qmap = QubitMap(circuit.num_qubits, qubits_per_controller)
@@ -264,7 +294,14 @@ def run_circuit(circuit: QuantumCircuit, scheme: str = "bisp",
                                       record_telf=record_telf,
                                       noise_model=noise_model,
                                       noise_seed=noise_seed)
-    stats = system.run(until=until)
+    _SIMULATIONS.value += 1
+    with _trace.span("simulate", cat="sim", scheme=compilation.scheme), \
+            _metrics.timed(_SIMULATE_SECONDS):
+        stats = system.run(until=until)
+    _ENGINE_EVENTS.value += stats.events_processed
+    _ENGINE_FAR.value += stats.engine_far_events
+    _ENGINE_ADVANCES.value += stats.engine_window_advances
+    _QUEUE_HIGH_WATER.track_max(stats.max_queue_depth)
     result = RunResult(compilation=compilation, system=system, stats=stats)
     if shots > 1:
         first = {

@@ -41,7 +41,7 @@ from typing import Optional
 
 from ..errors import ExecutionError, TimingViolation
 from ..fastpath import fastpath_enabled, replay_tier
-from ..isa.decoded import _REPLAY_TOTALS
+from ..isa.decoded import REPLAY_BLOCK, REPLAY_VECTOR, REPLAY_VECTOR_ITEMS
 from ..isa.decoded import (CW_OPS, OP_ADD, OP_ADDI, OP_AND, OP_ANDI,
                            OP_AUIPC, OP_BEQ, OP_BGE, OP_BGEU, OP_BLT,
                            OP_BLTU, OP_BNE, OP_CW_II, OP_CW_IR, OP_CW_RI,
@@ -210,6 +210,13 @@ class HISQCore:
             "last_event": self.last_event_time,
         }
 
+    @property
+    def queue_high_water(self) -> int:
+        """Peak logical TCU-queue depth (observability only — the exact
+        trajectory is tier-dependent, so this stays out of the
+        cross-tier-compared :meth:`counters` dict)."""
+        return self._queue.high_water
+
     # ------------------------------------------------------------------
     # Classical pipeline
     # ------------------------------------------------------------------
@@ -328,10 +335,12 @@ class HISQCore:
                                 positions, block.item_kinds, block.item_a,
                                 block.item_b, lo, hi))
                             queue._count += k
+                            if queue._count > queue.high_water:
+                                queue.high_water = queue._count
                             decoded.vector_replays += 1
                             decoded.vector_items += k
-                            _REPLAY_TOTALS["vector"] += 1
-                            _REPLAY_TOTALS["vector_items"] += k
+                            REPLAY_VECTOR.value += 1
+                            REPLAY_VECTOR_ITEMS.value += k
                         else:
                             for kind, off, a, b in block.items[lo:hi]:
                                 if kind == 0:
@@ -346,8 +355,10 @@ class HISQCore:
                                     append_item(SendMessage(base + off,
                                                             a, b))
                             queue._count += k
+                            if queue._count > queue.high_water:
+                                queue.high_water = queue._count
                             decoded.block_replays += 1
-                            _REPLAY_TOTALS["block"] += 1
+                            REPLAY_BLOCK.value += 1
                     consumed = e - j
                     pc += consumed
                     position = base + block.pos_cum[e]

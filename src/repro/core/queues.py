@@ -118,6 +118,9 @@ class ItemQueue:
         self._items = deque()
         #: Logical item count (plain items + undrained batch elements).
         self._count = 0
+        #: High-water mark of :attr:`_count` (observability; the fast
+        #: interpreter also updates it at batch-admission sites).
+        self.high_water = 0
         self._space_waiter: Optional[Callable[[], None]] = None
 
     def __len__(self):
@@ -131,6 +134,8 @@ class ItemQueue:
         """Append an item (caller must check :attr:`full` first)."""
         self._items.append(item)
         self._count += 1
+        if self._count > self.high_water:
+            self.high_water = self._count
 
     def peek(self):
         """Return the head item or None."""

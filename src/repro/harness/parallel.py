@@ -43,11 +43,28 @@ from ..compiler.driver import SCHEMES, compile_circuit, run_circuit
 from ..errors import ReproError
 from ..fastpath import fastpath_enabled, replay_tier
 from ..noise.model import NoiseModel, derive_seed
+from ..obs import log as obs_log
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim.config import SimulationConfig
 from . import registry
 from .runner import BenchmarkOutcome
 from .spec import SweepSpec
 from .tables import render_figure15
+
+_log = obs_log.get_logger("repro.harness")
+
+_CACHE_HITS = _metrics.counter(
+    "repro_sweep_cache_hits_total", "sweep cells served from the cache")
+_CACHE_MISSES = _metrics.counter(
+    "repro_sweep_cache_misses_total", "sweep cells actually executed")
+_CELLS_RUN = _metrics.counter(
+    "repro_sweep_cells_run_total", "run_cell invocations")
+_PHASE_SECONDS = {
+    phase: _metrics.histogram(
+        "repro_cell_phase_seconds", "wall-clock per sweep-cell phase",
+        labels={"phase": phase})
+    for phase in ("compile", "simulate", "noise")}
 
 #: Bump when CellResult or the simulation semantics change incompatibly —
 #: stale cache entries are keyed away instead of deserialized wrongly.
@@ -271,7 +288,22 @@ class CellResult:
 
 
 def run_cell(task: SweepTask) -> CellResult:
-    """Worker entry point: rebuild the workload and run one cell.
+    """Worker entry point: rebuild the workload and run one cell."""
+    cell, _ = run_cell_timed(task)
+    return cell
+
+
+def run_cell_timed(task: SweepTask
+                   ) -> Tuple[CellResult, Dict[str, float]]:
+    """Run one cell; also return per-phase wall-clock seconds.
+
+    The phase dict (``compile`` / ``simulate`` / ``noise`` / ``total``)
+    always carries real timings — three ``perf_counter`` pairs per cell
+    are noise against a cell's runtime — and feeds the service worker's
+    ``/complete`` report; the obs histograms only record when timing
+    instrumentation is enabled.  When tracing is active the cell runs
+    with TELF recording on and its simulated-cycle events are merged
+    into the live trace next to the wall-clock spans.
 
     Workloads are resolved by name through the registry.  A fresh
     ``spawn`` worker starts with an empty registry, so the task's
@@ -287,43 +319,71 @@ def run_cell(task: SweepTask) -> CellResult:
                 importlib.import_module(module)
             except ImportError:
                 pass  # the registry lookup reports the missing name
-    workload = registry.get_workload(task.spec_name)
-    spec = workload.spec(task.scale, task.substitution_fraction)
-    circuit, mesh_kind = _cell_circuit(task, spec)
-    with _task_environment(task):
-        compilation = _cell_compilation(task, circuit, mesh_kind)
-        result = run_circuit(circuit, scheme=task.scheme,
-                             config=task.config, backend=None,
-                             device_seed=task.device_seed,
-                             mesh_kind=mesh_kind, record_gate_log=False,
-                             record_telf=False, shots=task.shots,
-                             compilation=compilation)
-    cell = CellResult(
-        spec_name=task.spec_name, scheme=task.scheme,
-        num_qubits=circuit.num_qubits, num_ops=len(circuit),
-        feedback_ops=count_feedback_ops(circuit),
-        makespan_cycles=result.makespan_cycles,
-        sync_stall_cycles=result.stats.sync_stall_cycles,
-        lifetimes_ns=result.system.device.lifetimes_ns(),
-        shots=task.shots,
-        shot_makespan_cycles=tuple(result.shot_makespans))
-    if task.noise is not None:
-        # Empirical fidelity rides on the timing run: the scheme's own
-        # per-qubit activity windows drive the model's idle decoherence,
-        # so schemes that idle longer really do score lower.
-        from ..noise.estimator import estimate_fidelity
-        seed = task.noise_seed()
-        estimate = estimate_fidelity(
-            circuit, task.noise, task.noise_shots, seed=seed,
-            lifetimes_ns=cell.lifetimes_ns,
-            config=task.config or SimulationConfig())
-        cell.fidelity_empirical = estimate.estimate
-        cell.fidelity_ci_low = estimate.ci_low
-        cell.fidelity_ci_high = estimate.ci_high
-        cell.noise_method = estimate.method
-        cell.noise_shots = task.noise_shots
-        cell.noise_seed = seed
-    return cell
+    _CELLS_RUN.value += 1
+    tracing = _trace.tracing_active()
+    phases: Dict[str, float] = {}
+    t_start = time.perf_counter()
+    with _trace.span("cell", cat="sweep", workload=task.spec_name,
+                     scheme=task.scheme, scale=task.scale,
+                     shots=task.shots):
+        workload = registry.get_workload(task.spec_name)
+        spec = workload.spec(task.scale, task.substitution_fraction)
+        circuit, mesh_kind = _cell_circuit(task, spec)
+        with _task_environment(task):
+            t0 = time.perf_counter()
+            with _trace.span("compile", cat="sweep"):
+                compilation = _cell_compilation(task, circuit, mesh_kind)
+            t1 = time.perf_counter()
+            with _trace.span("simulate", cat="sweep"):
+                result = run_circuit(circuit, scheme=task.scheme,
+                                     config=task.config, backend=None,
+                                     device_seed=task.device_seed,
+                                     mesh_kind=mesh_kind,
+                                     record_gate_log=False,
+                                     record_telf=tracing,
+                                     shots=task.shots,
+                                     compilation=compilation)
+            t2 = time.perf_counter()
+        if tracing:
+            _trace.add_telf_events(result.system.telf.records,
+                                   config=result.system.config)
+        cell = CellResult(
+            spec_name=task.spec_name, scheme=task.scheme,
+            num_qubits=circuit.num_qubits, num_ops=len(circuit),
+            feedback_ops=count_feedback_ops(circuit),
+            makespan_cycles=result.makespan_cycles,
+            sync_stall_cycles=result.stats.sync_stall_cycles,
+            lifetimes_ns=result.system.device.lifetimes_ns(),
+            shots=task.shots,
+            shot_makespan_cycles=tuple(result.shot_makespans))
+        t3 = t2
+        if task.noise is not None:
+            # Empirical fidelity rides on the timing run: the scheme's
+            # own per-qubit activity windows drive the model's idle
+            # decoherence, so schemes that idle longer really do score
+            # lower.
+            from ..noise.estimator import estimate_fidelity
+            seed = task.noise_seed()
+            with _trace.span("noise", cat="sweep"):
+                estimate = estimate_fidelity(
+                    circuit, task.noise, task.noise_shots, seed=seed,
+                    lifetimes_ns=cell.lifetimes_ns,
+                    config=task.config or SimulationConfig())
+            t3 = time.perf_counter()
+            cell.fidelity_empirical = estimate.estimate
+            cell.fidelity_ci_low = estimate.ci_low
+            cell.fidelity_ci_high = estimate.ci_high
+            cell.noise_method = estimate.method
+            cell.noise_shots = task.noise_shots
+            cell.noise_seed = seed
+    phases["compile"] = t1 - t0
+    phases["simulate"] = t2 - t1
+    phases["noise"] = t3 - t2
+    phases["total"] = time.perf_counter() - t_start
+    if _metrics.enabled():
+        for phase, hist in _PHASE_SECONDS.items():
+            hist.observe(phases[phase])
+    return cell, phases
 
 
 #: (workload, scale, substitution_fraction) -> (circuit, mesh_kind).
@@ -686,9 +746,11 @@ def run_tasks(tasks: Sequence[SweepTask],
         else:
             misses.append(task)
     stats = CacheStats(hits=len(tasks) - len(misses), misses=len(misses))
-    if verbose and cache is not None:
-        print("sweep cache: {} hit(s), {} miss(es)".format(
-            stats.hits, stats.misses))
+    _CACHE_HITS.value += stats.hits
+    _CACHE_MISSES.value += stats.misses
+    if cache is not None:
+        (_log.info if verbose else _log.debug)(
+            "sweep_cache", hits=stats.hits, misses=stats.misses)
     failures: List[Tuple[SweepTask, str]] = []
     if misses:
         workers = processes if processes is not None else (
@@ -797,7 +859,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--substitution-fraction", type=float, default=0.25)
     parser.add_argument("--workloads", nargs="+", default=None,
                         help="restrict to these workload names")
+    obs_log.add_log_arguments(parser)
     args = parser.parse_args(argv)
+    obs_log.configure_from_args(args)
     try:
         outcomes = run_suite_parallel(
             scale=args.scale, schemes=tuple(args.schemes),

@@ -19,9 +19,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..circuits.dynamic import count_feedback_ops, to_dynamic
 from ..compiler import schemes as scheme_registry
 from ..compiler.driver import run_circuit
+from ..obs import log as obs_log
 from ..quantum.circuit import QuantumCircuit
 from ..sim.config import SimulationConfig
 from . import registry
+
+_log = obs_log.get_logger("repro.runner")
 
 
 @dataclass
@@ -150,6 +153,11 @@ def run_suite(specs: Optional[List[BenchmarkSpec]] = None,
     for spec in specs:
         outcome = run_spec(spec, schemes=schemes, config=config,
                            shots=shots)
+        # Result line (stdout, verbose only); progress goes to the
+        # structured logger so --log-level debug shows it either way.
+        _log.debug("workload_done", workload=spec.name,
+                   qubits=outcome.num_qubits,
+                   **{s: outcome.makespan_cycles[s] for s in schemes})
         if verbose:
             print("{:>16s}: ".format(spec.name) + "  ".join(
                 "{}={}".format(s, outcome.makespan_cycles[s])

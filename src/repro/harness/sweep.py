@@ -46,6 +46,8 @@ from ..compiler import schemes as scheme_registry
 from ..errors import ReproError
 from ..fidelity import circuit_fidelity
 from ..noise.model import resolve_noise_model
+from ..obs import log as obs_log
+from ..obs import trace as obs_trace
 from ..sim.config import SimulationConfig
 from .parallel import (CacheStats, CellResult, SweepExecutionError,
                        SweepTask, run_tasks, tasks_from_spec)
@@ -57,6 +59,8 @@ from .tables import render_figure15, render_scheme_matrix
 #: T1 = T2 value (us) behind the per-cell ``fidelity_proxy`` column — the
 #: midpoint of the paper's 30..300 us sweep (section 6.4.5).
 FIDELITY_T1_US = 150.0
+
+_log = obs_log.get_logger("repro.sweep")
 
 
 def sweep_rows(tasks: Sequence[SweepTask],
@@ -252,7 +256,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "the rows are identical")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the text table")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="export a Chrome trace-event JSON of the "
+                             "sweep (wall-clock spans + TELF cycle "
+                             "events; open in Perfetto).  Forces serial "
+                             "in-process execution")
+    obs_log.add_log_arguments(parser)
     args = parser.parse_args(argv)
+    obs_log.configure_from_args(args)
 
     try:
         if args.list_schemes:
@@ -269,12 +280,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(spec.num_cells())
             return 0
 
+        if args.trace:
+            # Spans collected inside pool workers would never reach this
+            # process's buffer — a traced sweep runs serially in-process.
+            if args.processes not in (None, 1):
+                _log.warning("trace_forces_serial",
+                             requested_processes=args.processes)
+            args.processes = 1
+            obs_trace.start_tracing()
+
         started = time.perf_counter()
-        rows, stats = run_sweep(spec, processes=args.processes,
-                                start_method=args.start_method,
-                                cache_dir=args.cache_dir,
-                                verbose=not args.quiet)
+        try:
+            rows, stats = run_sweep(spec, processes=args.processes,
+                                    start_method=args.start_method,
+                                    cache_dir=args.cache_dir,
+                                    verbose=not args.quiet)
+        finally:
+            if args.trace:
+                obs_trace.stop_tracing()
         wall_seconds = time.perf_counter() - started
+
+        if args.trace:
+            trace_doc = obs_trace.export(args.trace)
+            _log.info("trace_written", path=args.trace,
+                      events=len(trace_doc["traceEvents"]))
 
         if args.verify_parallel:
             serial_rows, _ = run_sweep(spec, processes=1)
@@ -287,9 +316,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                          "  parallel: {!r}\n".format(
                                              serial_row, row))
                 return 1
-            if not args.quiet:
-                print("verify-parallel: serial and parallel rows identical "
-                      "({} cells)".format(len(rows)))
+            (_log.info if not args.quiet else _log.debug)(
+                "verify_parallel_ok", cells=len(rows))
 
         if not args.quiet:
             for row in rows:
@@ -323,8 +351,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          volatile=volatile)
         if args.out:
             path = write_bench(args.out, doc)
-            if not args.quiet:
-                print("wrote {}".format(path))
+            (_log.info if not args.quiet else _log.debug)(
+                "artifact_written", path=path,
+                results_sha256=doc["results_sha256"])
 
         if args.require_cached and stats.misses:
             sys.stderr.write(
@@ -341,10 +370,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 for violation in violations:
                     sys.stderr.write("  {}\n".format(violation))
                 return 1
-            if not args.quiet:
-                print("regression gate: OK ({} baseline cells, "
-                      "max +{:.0f}%)".format(len(baseline["results"]),
-                                             100 * args.max_regression))
+            (_log.info if not args.quiet else _log.debug)(
+                "regression_gate_ok",
+                baseline_cells=len(baseline["results"]),
+                max_regression=args.max_regression)
     except SweepExecutionError as exc:
         exc.render(sys.stderr)
         return 1

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+
 # ---------------------------------------------------------------------------
 # Opcodes (ordered roughly by runtime frequency in compiled programs).
 # ---------------------------------------------------------------------------
@@ -317,6 +319,16 @@ _BY_CONTENT_LIMIT = 8192
 #: the same circuit hit this across sweep cells and repeated sweeps.
 _by_content: "OrderedDict[tuple, DecodedProgram]" = OrderedDict()
 
+#: Decode-cache outcome counters (always live; an int add each).
+DECODE_PIN_HITS = _metrics.counter(
+    "repro_decode_pin_hits_total",
+    "decode_program calls satisfied by the per-program pin")
+DECODE_CONTENT_HITS = _metrics.counter(
+    "repro_decode_content_hits_total",
+    "decode_program calls satisfied by the content cache")
+DECODE_MISSES = _metrics.counter(
+    "repro_decode_misses_total", "programs decoded from scratch")
+
 
 def decode_program(program, trust_pin: bool = True) -> DecodedProgram:
     """Decoded (and cached) form of ``program``.
@@ -335,15 +347,18 @@ def decode_program(program, trust_pin: bool = True) -> DecodedProgram:
         cached = getattr(program, "_decoded_cache", None)
         if cached is not None and cached[0] is instructions and \
                 cached[1] == len(instructions):
+            DECODE_PIN_HITS.value += 1
             return cached[2]
     content_key = tuple(map(id, instructions))
     decoded = _by_content.get(content_key)
     if decoded is None:
+        DECODE_MISSES.value += 1
         decoded = DecodedProgram(tuple(instructions))
         _by_content[content_key] = decoded
         if len(_by_content) > _BY_CONTENT_LIMIT:
             _by_content.popitem(last=False)
     else:
+        DECODE_CONTENT_HITS.value += 1
         _by_content.move_to_end(content_key)
     program._decoded_cache = (instructions, len(instructions), decoded)
     return decoded
@@ -356,8 +371,11 @@ def clear_decode_caches() -> None:
 
 
 def decode_cache_stats() -> Dict[str, int]:
-    """Sizes of the decode caches (diagnostics)."""
-    return {"by_content": len(_by_content), "step_memo": len(_step_memo)}
+    """Sizes and hit/miss tallies of the decode caches (diagnostics)."""
+    return {"by_content": len(_by_content), "step_memo": len(_step_memo),
+            "pin_hits": DECODE_PIN_HITS.value,
+            "content_hits": DECODE_CONTENT_HITS.value,
+            "misses": DECODE_MISSES.value}
 
 
 # ---------------------------------------------------------------------------
@@ -367,15 +385,28 @@ def decode_cache_stats() -> Dict[str, int]:
 #: Process-wide replay counters, mirrored from the per-program ones as the
 #: executor increments them.  ``vector``/``block`` count admitted slices
 #: per tier; ``vector_items`` counts items carried by vector batches.
-_REPLAY_TOTALS: Dict[str, int] = {"vector": 0, "block": 0, "vector_items": 0}
+#: These live in the observability registry (they used to be a module
+#: dict) but are always on: the perf-smoke digest gate and the replay-
+#: tier differential tests read them through :func:`replay_totals`.
+REPLAY_VECTOR = _metrics.counter(
+    "repro_replay_vector_batches_total",
+    "fast-block slices admitted as lazily-drained vector batches")
+REPLAY_VECTOR_ITEMS = _metrics.counter(
+    "repro_replay_vector_items_total",
+    "TCU items carried inside admitted vector batches")
+REPLAY_BLOCK = _metrics.counter(
+    "repro_replay_block_batches_total",
+    "fast-block slices replayed with the eager per-item loop")
 
 
 def replay_totals() -> Dict[str, int]:
     """Copy of the process-wide replay-tier counters."""
-    return dict(_REPLAY_TOTALS)
+    return {"vector": REPLAY_VECTOR.value, "block": REPLAY_BLOCK.value,
+            "vector_items": REPLAY_VECTOR_ITEMS.value}
 
 
 def reset_replay_totals() -> None:
     """Zero the process-wide replay-tier counters (benchmarks, tests)."""
-    for key in _REPLAY_TOTALS:
-        _REPLAY_TOTALS[key] = 0
+    REPLAY_VECTOR.value = 0
+    REPLAY_BLOCK.value = 0
+    REPLAY_VECTOR_ITEMS.value = 0

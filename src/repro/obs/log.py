@@ -1,0 +1,179 @@
+"""Structured logging and the flight recorder.
+
+Replaces the harness's and service's ad-hoc ``print(...)`` status lines
+with one shared logger: every message is an *event name* plus key=value
+fields, rendered either as human text or one-JSON-object-per-line, and
+always written to **stderr** — stdout stays reserved for results and
+tables, which several CI greps and shell pipelines depend on.
+
+Every emitted event (even below the configured level) is also appended
+to a bounded in-memory ring, the **flight recorder**.  When a service
+worker crashes mid-cell, :func:`dump_flight_recorder` prints the last
+N events so the failure report carries its own context — lease ids,
+cell keys, phase boundaries — without running at debug verbosity.
+
+CLI wiring: :func:`add_log_arguments` adds ``--log-level`` and
+``--log-json`` to a parser; :func:`configure_from_args` applies them.
+
+Stdlib only; deliberately not :mod:`logging` — a direct implementation
+is ~100 lines, has no global handler mutation to fight over between the
+sweep CLI and embedding tests, and keeps the flight recorder exact.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "get_logger", "configure", "add_log_arguments",
+    "configure_from_args", "level_name", "flight_records",
+    "clear_flight_recorder", "dump_flight_recorder",
+    "FLIGHT_RECORDER_SIZE",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {v: k for k, v in LEVELS.items()}
+
+#: Entries kept in the flight-recorder ring.
+FLIGHT_RECORDER_SIZE = 256
+
+_LOCK = threading.Lock()
+_LEVEL = LEVELS["info"]
+_JSON = False
+_STREAM = None  # None -> sys.stderr at emit time (test-friendly)
+_LOGGERS: Dict[str, "ObsLogger"] = {}
+_RING: "collections.deque" = collections.deque(maxlen=FLIGHT_RECORDER_SIZE)
+
+
+def level_name() -> str:
+    return _LEVEL_NAMES.get(_LEVEL, str(_LEVEL))
+
+
+def configure(level: str = "info", json_mode: bool = False,
+              stream=None) -> None:
+    """Set the process-wide log level, output format and stream."""
+    global _LEVEL, _JSON, _STREAM
+    if level not in LEVELS:
+        raise ValueError("unknown log level {!r} (known: {})".format(
+            level, "/".join(LEVELS)))
+    with _LOCK:
+        _LEVEL = LEVELS[level]
+        _JSON = bool(json_mode)
+        _STREAM = stream
+
+
+def add_log_arguments(parser) -> None:
+    """Attach ``--log-level`` / ``--log-json`` to an argparse parser."""
+    group = parser.add_argument_group("logging")
+    group.add_argument("--log-level", choices=sorted(LEVELS, key=LEVELS.get),
+                       default="info",
+                       help="status-line verbosity on stderr "
+                            "(default: info)")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit status lines as JSON objects")
+
+
+def configure_from_args(args) -> None:
+    configure(level=getattr(args, "log_level", "info"),
+              json_mode=getattr(args, "log_json", False))
+
+
+class ObsLogger:
+    """A named structured logger; create via :func:`get_logger`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _log(self, level: int, event: str, fields: Dict) -> None:
+        now = time.time()
+        with _LOCK:
+            _RING.append((now, level, self.name, event, fields))
+            emit = level >= _LEVEL
+            json_mode, stream = _JSON, _STREAM
+        if not emit:
+            return
+        stream = sys.stderr if stream is None else stream
+        stream.write(_format(now, level, self.name, event, fields,
+                             json_mode) + "\n")
+        stream.flush()
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(LEVELS["debug"], event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(LEVELS["info"], event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(LEVELS["warning"], event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(LEVELS["error"], event, fields)
+
+
+def get_logger(name: str) -> ObsLogger:
+    with _LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = _LOGGERS[name] = ObsLogger(name)
+        return logger
+
+
+def _format(ts: float, level: int, name: str, event: str, fields: Dict,
+            json_mode: bool) -> str:
+    if json_mode:
+        doc = {"ts": round(ts, 6), "level": _LEVEL_NAMES.get(level, level),
+               "logger": name, "event": event}
+        doc.update(fields)
+        return json.dumps(doc, default=str, sort_keys=False)
+    clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    parts = ["{} {:<7} {}: {}".format(
+        clock, _LEVEL_NAMES.get(level, str(level)).upper(), name, event)]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text:
+            text = json.dumps(text)
+        parts.append("{}={}".format(key, text))
+    return " ".join(parts)
+
+
+# -- flight recorder -------------------------------------------------------
+
+def flight_records() -> List[tuple]:
+    """The ring's contents, oldest first."""
+    with _LOCK:
+        return list(_RING)
+
+
+def clear_flight_recorder() -> None:
+    with _LOCK:
+        _RING.clear()
+
+
+def dump_flight_recorder(stream=None, limit: Optional[int] = None,
+                         reason: str = "") -> int:
+    """Print the last ``limit`` recorded events; returns the count.
+
+    Called by the service worker on cell failure so the traceback it
+    reports upstream is accompanied by the local lead-up on stderr.
+    """
+    records = flight_records()
+    if limit is not None:
+        records = records[-limit:]
+    stream = sys.stderr if stream is None else stream
+    header = "-- flight recorder: last {} event(s)".format(len(records))
+    if reason:
+        header += " before " + reason
+    stream.write(header + " --\n")
+    for ts, level, name, event, fields in records:
+        stream.write("  " + _format(ts, level, name, event, fields,
+                                    json_mode=False) + "\n")
+    stream.write("-- end flight recorder --\n")
+    stream.flush()
+    return len(records)

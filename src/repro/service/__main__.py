@@ -31,11 +31,14 @@ from ..errors import ReproError
 from ..harness.benchjson import write_bench
 from ..harness.spec import SweepSubmission
 from ..harness.sweep import add_spec_arguments, spec_from_args
+from ..obs import log as obs_log
 from . import client
 from .client import ServiceClientError
 from .http import ServiceServer
 from .scheduler import Scheduler
 from .store import CellStore
+
+_log = obs_log.get_logger("repro.service")
 
 
 def _repro_pythonpath() -> str:
@@ -55,9 +58,14 @@ def _repro_pythonpath() -> str:
 def spawn_worker(url: str, store: Optional[str] = None,
                  cell_delay_ms: float = 0.0,
                  poll_seconds: float = 5.0,
-                 worker_id: Optional[str] = None) -> subprocess.Popen:
+                 worker_id: Optional[str] = None,
+                 log_level: Optional[str] = None,
+                 log_json: bool = False,
+                 trace: Optional[str] = None) -> subprocess.Popen:
     """Launch one worker subprocess against ``url`` (used by ``serve
-    --workers N``, the tests and CI)."""
+    --workers N``, the tests and CI).  ``log_level``/``log_json``
+    propagate the parent's logging configuration; ``trace`` makes the
+    worker export its span trace to that path on exit."""
     command = [sys.executable, "-m", "repro.service.worker",
                "--url", url, "--poll", str(poll_seconds)]
     if store:
@@ -66,6 +74,12 @@ def spawn_worker(url: str, store: Optional[str] = None,
         command += ["--cell-delay-ms", str(cell_delay_ms)]
     if worker_id:
         command += ["--worker-id", worker_id]
+    if log_level:
+        command += ["--log-level", log_level]
+    if log_json:
+        command += ["--log-json"]
+    if trace:
+        command += ["--trace", trace]
     env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
     return subprocess.Popen(command, env=env)
 
@@ -90,6 +104,8 @@ async def _serve(args) -> int:
                           default_quota=args.default_quota)
     server = ServiceServer(scheduler, host=args.host, port=args.port)
     await server.start()
+    # The boot line stays on stdout — it carries the ephemeral port and
+    # is the one line a human (or a script) reads to find the service.
     print("repro sweep service on {} (store: {}, lease_ttl: {:g}s)".format(
         server.url, store.directory, args.lease_ttl), flush=True)
     workers: List[subprocess.Popen] = []
@@ -98,10 +114,13 @@ async def _serve(args) -> int:
             server.url, store=store.directory,
             cell_delay_ms=args.worker_cell_delay_ms,
             poll_seconds=args.worker_poll,
-            worker_id="serve-worker-{}".format(index)))
+            worker_id="serve-worker-{}".format(index),
+            log_level=args.log_level, log_json=args.log_json,
+            trace=(args.worker_trace.format(index=index)
+                   if args.worker_trace else None)))
     if workers:
-        print("spawned {} worker(s): pids {}".format(
-            len(workers), [p.pid for p in workers]), flush=True)
+        _log.info("workers_spawned", count=len(workers),
+                  pids=[p.pid for p in workers])
     stop = asyncio.Event()
     loop = asyncio.get_event_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -145,6 +164,12 @@ def _print_status(status: dict, quiet: bool) -> None:
               done=status["cells_done"], total=status["cells_total"],
               failed=status["cells_failed"], sh=status["store_hits"],
               dh=status["dedup_hits"], miss=status["misses"]))
+    phases = status.get("phase_seconds") or {}
+    if phases:
+        print("  phases ({} timed cell(s)): ".format(
+            status.get("cells_timed", 0)) + "  ".join(
+            "{}={:.3f}s".format(phase, seconds)
+            for phase, seconds in sorted(phases.items())))
     for key, error in status.get("errors", {}).items():
         print("  failed {}: {}".format(key[:12], error))
 
@@ -195,6 +220,9 @@ def _cmd_fetch(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
+    if args.format == "prometheus":
+        sys.stdout.write(client.metrics_text(args.url))
+        return 0
     print(json.dumps(client.metrics(args.url), indent=2, sort_keys=True))
     return 0
 
@@ -229,6 +257,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument("--worker-cell-delay-ms", type=float, default=0.0,
                        help="spawned workers' per-cell delay "
                             "(fault-injection tests)")
+    serve.add_argument("--worker-trace", default=None,
+                       metavar="TEMPLATE",
+                       help="spawned workers export span traces to this "
+                            "path ('{index}' expands per worker, e.g. "
+                            "/tmp/worker-{index}.trace.json)")
+    obs_log.add_log_arguments(serve)
     serve.set_defaults(run=_cmd_serve)
 
     submit = commands.add_parser(
@@ -250,6 +284,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="after finishing, fetch the artifact into "
                              "DIR (implies --wait)")
     submit.add_argument("--quiet", action="store_true")
+    obs_log.add_log_arguments(submit)
     submit.set_defaults(run=_cmd_submit)
 
     status = commands.add_parser("status", help="poll one submission")
@@ -271,9 +306,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     metrics = commands.add_parser(
         "metrics", help="dump the scheduler's counters")
     metrics.add_argument("--url", required=True)
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json",
+                         help="json (default) or the raw Prometheus "
+                              "text exposition")
     metrics.set_defaults(run=_cmd_metrics)
 
     args = parser.parse_args(argv)
+    obs_log.configure_from_args(args)
     try:
         return args.run(args)
     except (ServiceClientError, ReproError, OSError) as exc:

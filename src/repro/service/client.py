@@ -93,7 +93,21 @@ def fetch(url: str, submission_id: str) -> Dict:
 
 
 def metrics(url: str) -> Dict:
-    return request(url, "GET", "/metrics")
+    """The scheduler's JSON metrics dict (the Prometheus text default
+    of bare ``/metrics`` is for scrapers; see :func:`metrics_text`)."""
+    return request(url, "GET", "/metrics?format=json")
+
+
+def metrics_text(url: str, timeout: float = 60.0) -> str:
+    """The Prometheus text exposition from bare ``GET /metrics``."""
+    full = url.rstrip("/") + "/metrics"
+    req = urllib.request.Request(full, method="GET")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServiceClientError("GET {}: {}".format(full, exc)) \
+            from None
 
 
 def wait_done(url: str, submission_id: str, timeout: float = 600.0,

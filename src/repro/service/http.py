@@ -7,16 +7,19 @@ granularity the connection setup cost is noise, and connection-per-
 request keeps the server free of keep-alive state.
 
 Client routes
-    ``GET /healthz`` · ``GET /metrics`` · ``POST /submit`` (body =
-    :class:`~repro.harness.spec.SweepSubmission` JSON) ·
-    ``GET /status/<id>`` · ``GET /fetch/<id>`` (the finished BENCH
-    document).
+    ``GET /healthz`` · ``GET /metrics`` (Prometheus text exposition;
+    ``?format=json`` returns the scheduler's JSON metrics dict) ·
+    ``POST /submit`` (body = :class:`~repro.harness.spec.SweepSubmission`
+    JSON) · ``GET /status/<id>`` (includes the per-phase wall-clock
+    breakdown reported by workers) · ``GET /fetch/<id>`` (the finished
+    BENCH document).
 
 Worker routes
     ``POST /lease`` (``{"worker", "max_wait", "pid"}`` — long-polls up
     to :data:`MAX_LEASE_WAIT` s) · ``POST /complete`` (``{"worker",
-    "key", "lease", "result"}`` or ``{"stored": true}``) ·
-    ``POST /fail`` (``{"worker", "key", "lease", "error"}``).
+    "key", "lease", "result"}`` or ``{"stored": true}``, optionally
+    plus ``"timings"`` = per-phase seconds) · ``POST /fail``
+    (``{"worker", "key", "lease", "error"}``).
 
 Errors map to JSON bodies: scheduler :class:`ServiceError` -> 400 with
 ``{"error": ...}`` (404 for unknown submissions), malformed requests ->
@@ -27,12 +30,14 @@ client (:func:`http_request`) used by the load benchmark and tests.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 import asyncio
 
 from ..errors import ReproError
 from ..harness.spec import SweepSubmission
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
 from .scheduler import Scheduler, ServiceError
 
 #: Upper bound on one /lease long-poll; workers just poll again.
@@ -117,14 +122,24 @@ class ServiceServer:
                 pass
 
     async def _route(self, method: str, path: str,
-                     body: Optional[Dict]) -> Tuple[int, Dict]:
+                     body: Optional[Dict]
+                     ) -> Tuple[int, Union[Dict, str]]:
+        path, _, query_string = path.partition("?")
+        query = parse_qs(query_string)
         parts = [part for part in path.split("/") if part]
         scheduler = self.scheduler
         if method == "GET":
             if parts == ["healthz"]:
                 return 200, {"ok": True}
             if parts == ["metrics"]:
-                return 200, scheduler.metrics()
+                formats = query.get("format", ["prometheus"])
+                if formats[-1] == "json":
+                    return 200, scheduler.metrics()
+                if formats[-1] not in ("prometheus", "text"):
+                    raise _BadRequest(
+                        "unknown metrics format {!r} (expected "
+                        "'prometheus' or 'json')".format(formats[-1]))
+                return 200, scheduler.prometheus()
             if len(parts) == 2 and parts[0] == "status":
                 return 200, scheduler.status(parts[1])
             if len(parts) == 2 and parts[0] == "fetch":
@@ -146,12 +161,16 @@ class ServiceServer:
                                             pid=pid)
                 return 200, {"job": job}
             if parts == ["complete"]:
+                timings = body.get("timings")
+                if timings is not None and not isinstance(timings, dict):
+                    raise _BadRequest("timings must be an object")
                 return 200, await scheduler.complete(
                     _field(body, "worker", str),
                     _field(body, "key", str),
                     _field(body, "lease", str),
                     result=body.get("result"),
-                    stored=bool(body.get("stored", False)))
+                    stored=bool(body.get("stored", False)),
+                    timings=timings)
             if parts == ["fail"]:
                 return 200, await scheduler.fail(
                     _field(body, "worker", str),
@@ -208,15 +227,22 @@ async def _read_request(reader: asyncio.StreamReader
 
 
 async def _respond(writer: asyncio.StreamWriter, status: int,
-                   payload: Dict) -> None:
+                   payload: Union[Dict, str]) -> None:
     reasons = {200: "OK", 201: "Created", 400: "Bad Request",
                404: "Not Found", 500: "Internal Server Error"}
-    body = json.dumps(payload).encode("utf-8")
+    if isinstance(payload, str):
+        # Prometheus text exposition (the default /metrics format).
+        body = payload.encode("utf-8")
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     head = ("HTTP/1.1 {} {}\r\n"
-            "Content-Type: application/json\r\n"
+            "Content-Type: {}\r\n"
             "Content-Length: {}\r\n"
             "Connection: close\r\n\r\n").format(
-                status, reasons.get(status, "OK"), len(body))
+                status, reasons.get(status, "OK"), content_type,
+                len(body))
     writer.write(head.encode("latin-1") + body)
     await writer.drain()
 
@@ -251,3 +277,35 @@ async def http_request(host: str, port: int, method: str, path: str,
     status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
     status = int(status_line.split(" ", 2)[1])
     return status, json.loads(rest.decode("utf-8")) if rest else {}
+
+
+async def http_request_text(host: str, port: int, path: str,
+                            timeout: float = 60.0
+                            ) -> Tuple[int, str, str]:
+    """GET ``path`` without decoding the body as JSON; returns
+    ``(status, content_type, body_text)``.  The Prometheus scrape
+    tests use this against ``/metrics``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        head = ("GET {} HTTP/1.1\r\n"
+                "Host: {}:{}\r\n"
+                "Connection: close\r\n\r\n").format(path, host, port)
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    header_lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(header_lines[0].split(" ", 2)[1])
+    content_type = ""
+    for line in header_lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-type":
+            content_type = value.strip()
+    return status, content_type, rest.decode("utf-8")

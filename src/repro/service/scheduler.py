@@ -45,7 +45,18 @@ from ..harness.benchjson import make_bench
 from ..harness.parallel import CellResult, SweepTask, tasks_from_spec
 from ..harness.spec import SweepSubmission
 from ..harness.sweep import sweep_rows
+from ..obs import metrics as _metrics
 from .store import CellStore
+
+#: Lease-grant latency (enqueue -> grant), observed unconditionally:
+#: the grant path runs per cell, not per event, so the perf_counter
+#: cost is noise and /metrics stays meaningful without REPRO_OBS.
+_LEASE_LATENCY = _metrics.histogram(
+    "repro_service_lease_latency_seconds",
+    "Seconds from job enqueue to lease grant")
+_QUEUE_DEPTH = _metrics.gauge(
+    "repro_service_queue_depth",
+    "Queued (unleased) jobs at the last submit/grant")
 
 
 class ServiceError(ReproError):
@@ -118,6 +129,11 @@ class _Submission:
     dedup_hits: int = 0
     misses: int = 0
     failed: Dict[str, str] = field(default_factory=dict)
+    #: accumulated wall-clock seconds by phase (compile/simulate/noise/
+    #: total) over this submission's *computed* cells, as reported by
+    #: workers in /complete — store and dedup hits contribute nothing.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    cells_timed: int = 0
 
     @property
     def state(self) -> str:
@@ -141,6 +157,9 @@ class _Submission:
             "misses": self.misses,
             "errors": {key: error.strip().splitlines()[-1]
                        for key, error in sorted(self.failed.items())},
+            "phase_seconds": {phase: self.phase_seconds[phase]
+                              for phase in sorted(self.phase_seconds)},
+            "cells_timed": self.cells_timed,
         }
 
 
@@ -237,6 +256,7 @@ class Scheduler:
                         if job.state == "queued")
             if depth > self.counters.max_queue_depth:
                 self.counters.max_queue_depth = depth
+            _QUEUE_DEPTH.set(depth)
             if fresh:
                 self._work.notify_all()
         return record.status()
@@ -341,6 +361,7 @@ class Scheduler:
                 self._inflight.get(job.owner, 0) + 1
             self.counters.leases_granted += 1
             self.lease_latencies.append(now - job.enqueued_at)
+            _LEASE_LATENCY.observe(now - job.enqueued_at)
             seen = self._workers.setdefault(worker, {"leases": 0})
             seen["leases"] = int(seen["leases"]) + 1
             if pid is not None:
@@ -366,7 +387,9 @@ class Scheduler:
 
     async def complete(self, worker: str, key: str, lease: str,
                        result: Optional[Dict[str, object]] = None,
-                       stored: bool = False) -> Dict[str, object]:
+                       stored: bool = False,
+                       timings: Optional[Dict[str, float]] = None,
+                       ) -> Dict[str, object]:
         """Record a finished cell.
 
         Remote workers ship the result inline (``result`` = the
@@ -375,6 +398,12 @@ class Scheduler:
         themselves and send ``stored=True`` (zero-copy complete).  Cells
         are pure functions of their key, so completes are idempotent:
         a late complete from an expired lease still lands the result.
+
+        ``timings`` is the worker's optional per-phase wall-clock dict
+        (``{"compile": s, "simulate": s, "noise": s, "total": s}`` from
+        :func:`~repro.harness.parallel.run_cell_timed`); it is volatile
+        telemetry, accumulated into each subscribed submission's
+        ``phase_seconds`` status breakdown and never into results.
         """
         if result is None and not stored:
             raise ServiceError(
@@ -398,6 +427,8 @@ class Scheduler:
                 self.counters.late_completes += 1
             self._release_charge(job)
             self.counters.completes += 1
+            if timings:
+                self._record_timings(job, timings)
             self._finish(job, error=None)
             self._work.notify_all()  # a quota slot freed up
         return {"ok": True, "late": late}
@@ -418,6 +449,24 @@ class Scheduler:
             self._finish(job, error=error)
             self._work.notify_all()
         return {"ok": True, "late": False}
+
+    def _record_timings(self, job: _Job,
+                        timings: Dict[str, float]) -> None:
+        """Fold a worker's per-phase seconds into every subscribed
+        submission's breakdown (caller holds the condition lock)."""
+        clean = {str(phase): float(value)
+                 for phase, value in timings.items()
+                 if isinstance(value, (int, float))}
+        if not clean:
+            return
+        for sid in job.waiters:
+            record = self._submissions.get(sid)
+            if record is None:
+                continue
+            for phase, value in clean.items():
+                record.phase_seconds[phase] = \
+                    record.phase_seconds.get(phase, 0.0) + value
+            record.cells_timed += 1
 
     def _finish(self, job: _Job, error: Optional[str]) -> None:
         """Settle ``job`` for every subscribed submission (caller holds
@@ -505,3 +554,53 @@ class Scheduler:
             "lease_latency": summary,
             "store": self.store.counters(),
         }
+
+    def prometheus(self) -> str:
+        """The scheduler's state in Prometheus text exposition format.
+
+        Scheduler lifetime counters render as ``repro_service_*_total``
+        counters plus a few gauges; the process-wide
+        :data:`repro.obs.metrics.REGISTRY` (lease-latency histogram,
+        queue-depth gauge, any in-process harness metrics) is appended
+        verbatim — no name overlaps by construction.
+        """
+        _QUEUE_DEPTH.set(self.queue_depth())
+        counts = self.counters
+        counter_names = (
+            ("submissions", "repro_service_submissions_total"),
+            ("cells_total", "repro_service_cells_total"),
+            ("store_hits", "repro_service_store_hits_total"),
+            ("dedup_hits", "repro_service_dedup_hits_total"),
+            ("misses", "repro_service_misses_total"),
+            ("leases_granted", "repro_service_leases_granted_total"),
+            ("leases_expired", "repro_service_leases_expired_total"),
+            ("completes", "repro_service_completes_total"),
+            ("late_completes", "repro_service_late_completes_total"),
+            ("failures", "repro_service_failures_total"),
+        )
+        lines: List[str] = []
+        for attr, full in counter_names:
+            lines.append("# TYPE {} counter".format(full))
+            lines.append(_metrics.format_metric_line(
+                full, getattr(counts, attr)))
+        gauges = (
+            ("repro_service_max_queue_depth", counts.max_queue_depth),
+            ("repro_service_hit_rate", counts.hit_rate()),
+            ("repro_service_leased",
+             sum(1 for job in self._jobs.values()
+                 if job.state == "leased")),
+            ("repro_service_workers", len(self._workers)),
+        )
+        for full, value in gauges:
+            lines.append("# TYPE {} gauge".format(full))
+            lines.append(_metrics.format_metric_line(full, value))
+        states = {"running": 0, "done": 0, "failed": 0}
+        for record in self._submissions.values():
+            states[record.state] += 1
+        lines.append("# TYPE repro_service_submission_states gauge")
+        for state, count in sorted(states.items()):
+            lines.append(_metrics.format_metric_line(
+                "repro_service_submission_states", count,
+                labels={"state": state}))
+        body = "\n".join(lines)
+        return body + "\n" + _metrics.render_prometheus()

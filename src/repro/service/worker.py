@@ -2,9 +2,10 @@
 
 ``python -m repro.service.worker --url http://HOST:PORT`` long-polls
 the scheduler for cell leases, executes each via the harness's own
-:func:`~repro.harness.parallel.run_cell` (the same code path as serial
-and multiprocessing sweeps — byte-identity by construction, not by
-luck) and reports the result:
+:func:`~repro.harness.parallel.run_cell_timed` (the same code path as
+serial and multiprocessing sweeps — byte-identity by construction, not
+by luck) and reports the result plus its per-phase wall-clock seconds
+(surfaced in the scheduler's ``/status`` breakdown):
 
 * with ``--store DIR`` (co-located deployment, the default when
   ``serve --workers N`` spawns workers) the worker writes the
@@ -24,15 +25,20 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 import traceback
 from typing import Optional, Sequence
 
-from ..harness.parallel import SweepTask, run_cell
+from ..harness.parallel import SweepTask, run_cell_timed
+from ..obs import log as obs_log
+from ..obs import trace as obs_trace
 from . import client
 from .client import ServiceClientError
 from .store import CellStore
+
+_log = obs_log.get_logger("repro.worker")
 
 
 def work_loop(url: str,
@@ -67,9 +73,9 @@ def work_loop(url: str,
             connect_failures += 1
             if connect_failures >= max_connect_failures:
                 raise
-            if verbose:
-                print("[{}] lease failed ({}), retrying".format(wid, exc),
-                      file=sys.stderr, flush=True)
+            (_log.info if verbose else _log.debug)(
+                "lease_failed", worker=wid, error=str(exc),
+                consecutive=connect_failures)
             time.sleep(min(2.0, 0.1 * connect_failures))
             continue
         job = reply.get("job")
@@ -87,8 +93,14 @@ def work_loop(url: str,
             # mid-cell (after the lease, before the store write).
             time.sleep(cell_delay_ms / 1000.0)
         try:
-            cell = run_cell(task)
+            cell, timings = run_cell_timed(task)
         except Exception:
+            _log.error("cell_failed", worker=wid, key=key[:12],
+                       workload=task.spec_name, scheme=task.scheme)
+            # The flight recorder holds every recent event regardless
+            # of --log-level — dump it so the crash context survives.
+            obs_log.dump_flight_recorder(
+                reason="cell failure {} on {}".format(key[:12], wid))
             client.request(url, "POST", "/fail",
                            {"worker": wid, "key": key, "lease": lease,
                             "error": traceback.format_exc()})
@@ -96,16 +108,16 @@ def work_loop(url: str,
         if store is not None:
             store.put(key, cell)
             body = {"worker": wid, "key": key, "lease": lease,
-                    "stored": True}
+                    "stored": True, "timings": timings}
         else:
             body = {"worker": wid, "key": key, "lease": lease,
-                    "result": cell.to_dict()}
+                    "result": cell.to_dict(), "timings": timings}
         client.request(url, "POST", "/complete", body)
         completed += 1
-        if verbose:
-            print("[{}] completed {}/{} ({} total)".format(
-                wid, task.spec_name, task.scheme, completed),
-                flush=True)
+        (_log.info if verbose else _log.debug)(
+            "cell_done", worker=wid, workload=task.spec_name,
+            scheme=task.scheme, completed=completed,
+            total_s=round(timings.get("total", 0.0), 3))
     return completed
 
 
@@ -128,9 +140,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cell-delay-ms", type=float, default=0.0,
                         help="pause between lease and execution "
                              "(fault-injection tests, load shaping)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="export this worker's spans (and traced "
+                             "cells' TELF tracks) as Chrome trace-event "
+                             "JSON on exit")
     parser.add_argument("--verbose", action="store_true")
+    obs_log.add_log_arguments(parser)
     args = parser.parse_args(argv)
+    obs_log.configure_from_args(args)
     store = CellStore(args.store) if args.store else None
+    if args.trace:
+        # ``serve`` shuts spawned workers down with SIGTERM; turn that
+        # into a normal SystemExit so the finally below still exports
+        # the trace (open spans unwind balanced through the context
+        # managers).  Only installed when a trace was requested — plain
+        # workers keep the default die-fast semantics the crash-resume
+        # machinery relies on.
+        try:
+            signal.signal(signal.SIGTERM,
+                          lambda signum, frame: sys.exit(143))
+        except (ValueError, OSError):  # pragma: no cover - odd hosts
+            pass
+        obs_trace.start_tracing()
     try:
         work_loop(args.url, store=store, worker_id=args.worker_id,
                   poll_seconds=args.poll,
@@ -143,6 +174,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     except KeyboardInterrupt:
         return 130
+    finally:
+        if args.trace:
+            obs_trace.stop_tracing()
+            trace_doc = obs_trace.export(args.trace)
+            _log.info("trace_written", path=args.trace,
+                      events=len(trace_doc["traceEvents"]))
     return 0
 
 

@@ -49,6 +49,11 @@ class Engine:
         self._pending = 0
         self.now = 0
         self.events_processed = 0
+        # Observability tallies (off the per-event path: far-heap inserts
+        # and window re-anchors are the rare branches by construction).
+        self.far_events = 0
+        self.window_advances = 0
+        self.max_pending = 0
 
     def at(self, time: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run at absolute cycle ``time``."""
@@ -70,6 +75,7 @@ class Engine:
                 _heappush(self._far_times, time)
             else:
                 bucket.append(callback)
+            self.far_events += 1
         self._pending += 1
 
     def after(self, delay: int, callback: Callable[[], None]) -> None:
@@ -93,6 +99,7 @@ class Engine:
                 _heappush(self._far_times, time)
             else:
                 bucket.append(callback)
+            self.far_events += 1
         self._pending += 1
 
     def _advance_window(self) -> None:
@@ -103,6 +110,9 @@ class Engine:
         lap the wheel.
         """
         base = self._far_times[0]
+        self.window_advances += 1
+        if self._pending > self.max_pending:
+            self.max_pending = self._pending
         self._wheel_end = base + WHEEL_SIZE
         far_times = self._far_times
         far_buckets = self._far_buckets
@@ -186,6 +196,13 @@ class Engine:
     def pending(self) -> int:
         """Number of events still queued."""
         return self._pending
+
+    def wheel_stats(self) -> dict:
+        """Timing-wheel telemetry, collected post-run by the harness."""
+        return {"events_processed": self.events_processed,
+                "far_events": self.far_events,
+                "window_advances": self.window_advances,
+                "max_pending": self.max_pending}
 
     def __repr__(self):
         return "Engine(now={}, pending={})".format(self.now, self.pending)

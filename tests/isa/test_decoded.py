@@ -86,4 +86,5 @@ class TestDecode:
 
     def test_cache_stats_shape(self):
         stats = decode_cache_stats()
-        assert set(stats) == {"by_content", "step_memo"}
+        assert set(stats) == {"by_content", "step_memo", "pin_hits",
+                              "content_hits", "misses"}

@@ -1,0 +1,135 @@
+"""Unit tests for the structured logger and flight recorder."""
+
+import argparse
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def restore_config():
+    yield
+    obs_log.configure()  # back to info/text/stderr
+    obs_log.clear_flight_recorder()
+
+
+def capture(level="info", json_mode=False):
+    stream = io.StringIO()
+    obs_log.configure(level=level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+class TestLogger:
+    def test_text_format_has_event_and_fields(self):
+        stream = capture()
+        obs_log.get_logger("repro.test").info(
+            "cell_done", workload="bv_n400", shots=2)
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.test: cell_done" in line
+        assert "workload=bv_n400" in line
+        assert "shots=2" in line
+
+    def test_fields_with_spaces_quoted(self):
+        stream = capture()
+        obs_log.get_logger("repro.test").info("note", msg="two words")
+        assert 'msg="two words"' in stream.getvalue()
+
+    def test_json_mode_one_object_per_line(self):
+        stream = capture(json_mode=True)
+        logger = obs_log.get_logger("repro.test")
+        logger.info("first", a=1)
+        logger.warning("second")
+        lines = stream.getvalue().strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert docs[0]["event"] == "first"
+        assert docs[0]["a"] == 1
+        assert docs[0]["logger"] == "repro.test"
+        assert docs[1]["level"] == "warning"
+
+    def test_level_filtering(self):
+        stream = capture(level="warning")
+        logger = obs_log.get_logger("repro.test")
+        logger.info("hidden")
+        logger.error("shown")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "shown" in output
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_log.configure(level="loud")
+
+    def test_get_logger_cached(self):
+        assert obs_log.get_logger("repro.x") is \
+            obs_log.get_logger("repro.x")
+
+
+class TestArgparseWiring:
+    def test_add_and_configure_from_args(self):
+        parser = argparse.ArgumentParser()
+        obs_log.add_log_arguments(parser)
+        args = parser.parse_args(["--log-level", "debug", "--log-json"])
+        stream = io.StringIO()
+        obs_log.configure_from_args(args)
+        obs_log.configure(level=args.log_level,
+                          json_mode=args.log_json, stream=stream)
+        obs_log.get_logger("repro.test").debug("visible")
+        assert json.loads(stream.getvalue())["event"] == "visible"
+
+    def test_defaults(self):
+        parser = argparse.ArgumentParser()
+        obs_log.add_log_arguments(parser)
+        args = parser.parse_args([])
+        assert args.log_level == "info"
+        assert args.log_json is False
+
+
+class TestFlightRecorder:
+    def test_ring_records_below_level(self):
+        capture(level="error")
+        obs_log.clear_flight_recorder()
+        logger = obs_log.get_logger("repro.test")
+        logger.debug("quiet", step=1)
+        logger.info("quieter", step=2)
+        events = [record[3] for record in obs_log.flight_records()]
+        assert events == ["quiet", "quieter"]
+
+    def test_ring_bounded(self):
+        capture(level="error")
+        obs_log.clear_flight_recorder()
+        logger = obs_log.get_logger("repro.test")
+        for i in range(obs_log.FLIGHT_RECORDER_SIZE + 10):
+            logger.debug("e{}".format(i))
+        records = obs_log.flight_records()
+        assert len(records) == obs_log.FLIGHT_RECORDER_SIZE
+        assert records[-1][3] == "e{}".format(
+            obs_log.FLIGHT_RECORDER_SIZE + 9)
+
+    def test_dump_formats_block(self):
+        capture(level="error")
+        obs_log.clear_flight_recorder()
+        obs_log.get_logger("repro.test").debug("lead_up", key="abc")
+        out = io.StringIO()
+        count = obs_log.dump_flight_recorder(
+            stream=out, reason="cell failure abc")
+        text = out.getvalue()
+        assert count == 1
+        assert "flight recorder: last 1 event(s) before cell failure" \
+            in text
+        assert "lead_up" in text
+        assert text.strip().endswith("-- end flight recorder --")
+
+    def test_dump_limit(self):
+        capture(level="error")
+        obs_log.clear_flight_recorder()
+        logger = obs_log.get_logger("repro.test")
+        for i in range(5):
+            logger.debug("e{}".format(i))
+        out = io.StringIO()
+        assert obs_log.dump_flight_recorder(stream=out, limit=2) == 2
+        assert "e4" in out.getvalue()
+        assert "e2" not in out.getvalue()

@@ -41,7 +41,8 @@ class TestRoutes:
                 status, body = await http_request(
                     server.host, server.port, "GET", "/healthz")
                 mstatus, metrics = await http_request(
-                    server.host, server.port, "GET", "/metrics")
+                    server.host, server.port, "GET",
+                    "/metrics?format=json")
             finally:
                 await server.close()
             return status, body, mstatus, metrics
@@ -169,7 +170,7 @@ class TestInProcessEndToEnd:
                                  SweepSubmission(spec=overlap_spec,
                                                  name="b").to_dict()))
                 _, metrics = await http_request(host, port, "GET",
-                                                "/metrics")
+                                                "/metrics?format=json")
                 return results, metrics
             finally:
                 await server.close()

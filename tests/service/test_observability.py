@@ -1,0 +1,167 @@
+"""Service observability: Prometheus scrape format and /status phase
+breakdowns.
+
+The scrape-format test is the contract the CI obs-smoke job relies on:
+bare ``GET /metrics`` answers Prometheus text exposition (version 0.0.4
+content type, ``# TYPE`` lines, cumulative histogram buckets ending in
+``+Inf``) while ``?format=json`` keeps the JSON dict the Python client
+and the older smoke assertions consume.
+"""
+
+import asyncio
+
+from repro.harness.parallel import SweepTask, run_cell
+from repro.harness.spec import SweepSubmission
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.service.http import (ServiceServer, http_request,
+                                http_request_text)
+from repro.service.scheduler import Scheduler
+from repro.service.store import CellStore
+
+
+async def _start(tmp_path, **scheduler_kwargs):
+    scheduler = Scheduler(CellStore(str(tmp_path / "store")),
+                          **scheduler_kwargs)
+    server = ServiceServer(scheduler, port=0)
+    await server.start()
+    return server
+
+
+class TestPrometheusScrape:
+    def test_metrics_default_is_prometheus_text(self, tmp_path,
+                                                tiny_spec):
+        async def scenario():
+            server = await _start(tmp_path)
+            try:
+                await server.scheduler.submit(
+                    SweepSubmission(spec=tiny_spec, name="scrape"))
+                await server.scheduler.lease("w0", max_wait=0.0)
+                return await http_request_text(
+                    server.host, server.port, "/metrics")
+            finally:
+                await server.close()
+
+        status, content_type, text = asyncio.run(scenario())
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        lines = text.splitlines()
+        # Scheduler lifetime counters with TYPE metadata.
+        assert "# TYPE repro_service_submissions_total counter" in lines
+        assert "repro_service_submissions_total 1" in lines
+        assert "# TYPE repro_service_cells_total counter" in lines
+        assert "repro_service_leases_granted_total 1" in lines
+        # Live gauges.
+        assert any(line.startswith("repro_service_queue_depth ")
+                   for line in lines)
+        assert "repro_service_leased 1" in lines
+        assert 'repro_service_submission_states{state="running"} 1' \
+            in lines
+        # The lease-latency histogram renders cumulative buckets
+        # terminated by +Inf, plus the _count series.
+        assert any(
+            line.startswith(
+                'repro_service_lease_latency_seconds_bucket{le="+Inf"}')
+            for line in lines)
+        assert any(
+            line.startswith("repro_service_lease_latency_seconds_count")
+            for line in lines)
+        # Every non-comment line is NAME[{labels}] VALUE.
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and float(value) is not None
+
+    def test_metrics_json_format_preserved(self, tmp_path):
+        async def scenario():
+            server = await _start(tmp_path)
+            try:
+                return await http_request(
+                    server.host, server.port, "GET",
+                    "/metrics?format=json")
+            finally:
+                await server.close()
+
+        status, metrics = asyncio.run(scenario())
+        assert status == 200
+        assert metrics["counters"]["submissions"] == 0
+        assert "queue_depth" in metrics
+
+    def test_unknown_metrics_format_400(self, tmp_path):
+        async def scenario():
+            server = await _start(tmp_path)
+            try:
+                return await http_request(
+                    server.host, server.port, "GET",
+                    "/metrics?format=xml")
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 400
+        assert "unknown metrics format" in body["error"]
+
+
+class TestPhaseBreakdown:
+    def test_complete_timings_surface_in_status(self, tmp_path,
+                                                tiny_spec):
+        async def scenario():
+            server = await _start(tmp_path)
+            host, port = server.host, server.port
+            try:
+                _, sub = await http_request(
+                    host, port, "POST", "/submit",
+                    SweepSubmission(spec=tiny_spec,
+                                    name="timed").to_dict())
+                for _ in range(len(tiny_spec.cells())):
+                    _, reply = await http_request(
+                        host, port, "POST", "/lease",
+                        {"worker": "w0"})
+                    job = reply["job"]
+                    cell = run_cell(SweepTask.from_dict(job["task"]))
+                    code, _ = await http_request(
+                        host, port, "POST", "/complete",
+                        {"worker": "w0", "key": job["key"],
+                         "lease": job["lease"],
+                         "result": cell.to_dict(),
+                         "timings": {"compile": 0.25, "simulate": 0.5,
+                                     "noise": 0.125, "total": 1.0}})
+                    assert code == 200
+                _, status = await http_request(
+                    host, port, "GET", "/status/{}".format(sub["id"]))
+                return status
+            finally:
+                await server.close()
+
+        status = asyncio.run(scenario())
+        cells = status["cells_total"]
+        assert status["state"] == "done"
+        assert status["cells_timed"] == cells
+        assert status["phase_seconds"]["compile"] == 0.25 * cells
+        assert status["phase_seconds"]["simulate"] == 0.5 * cells
+        assert status["phase_seconds"]["total"] == 1.0 * cells
+
+    def test_timings_optional_and_validated(self, tmp_path, tiny_spec):
+        async def scenario():
+            server = await _start(tmp_path)
+            host, port = server.host, server.port
+            try:
+                await http_request(
+                    host, port, "POST", "/submit",
+                    SweepSubmission(spec=tiny_spec,
+                                    name="plain").to_dict())
+                _, reply = await http_request(
+                    host, port, "POST", "/lease", {"worker": "w0"})
+                job = reply["job"]
+                code, body = await http_request(
+                    host, port, "POST", "/complete",
+                    {"worker": "w0", "key": job["key"],
+                     "lease": job["lease"], "result": {},
+                     "timings": "not-a-dict"})
+                return code, body
+            finally:
+                await server.close()
+
+        code, body = asyncio.run(scenario())
+        assert code == 400
+        assert "timings must be an object" in body["error"]
