@@ -20,6 +20,11 @@ A second benchmark times lane-parallel multishot on a static (recv-free)
 workload: the lane engine fans one reference lane across all shots, so
 the fast-forward clock must be far below one-simulation-per-shot.
 
+A third benchmark runs the sweep in *fresh subprocesses* — once with no
+compile-cache store and once against a warm store — to measure the
+cold-path payoff of the persistent compile cache, with bit-identical
+results as the hard gate.
+
 Also benchmarks the bit-packed stabilizer tableau against the uint8
 reference layout (the quantum half of the PR-5 overhaul; not part of the
 timing sweep, which is state-free).
@@ -30,8 +35,11 @@ acceptance number uses 0.1); ``REPRO_BENCH_DIR`` redirects the artifact.
 
 import contextlib
 import dataclasses
+import json
 import os
 import random
+import subprocess
+import sys
 import time
 
 from repro.harness.parallel import (clear_cell_caches, run_tasks,
@@ -40,6 +48,7 @@ from repro.harness.registry import get_workload
 from repro.harness.spec import SweepSpec
 from repro.compiler.driver import run_circuit
 from repro.isa import decoded
+from repro.network import sync_plan
 from repro.quantum.stabilizer import StabilizerBackend
 from repro.sim import lanes
 
@@ -56,6 +65,15 @@ MIN_LANE_SPEEDUP = float(os.environ.get("REPRO_LANE_MIN_SPEEDUP", "3.0"))
 
 #: Floor for packed-vs-uint8 tableau measurement throughput at n=300.
 MIN_TABLEAU_SPEEDUP = 2.0
+
+#: Floor for a *fresh process* sweeping against a warm persistent
+#: compile cache vs a fresh process with no store at all.  Measured in
+#: subprocesses because in-process repeats hit the interpreter-wide
+#: instruction-intern and decode-content caches, which shrink the
+#: "fully cold" baseline.  The local fresh-process scale-0.1 number is
+#: ~1.5x; shared CI runners get a conservative default.
+MIN_COMPILE_CACHE_SPEEDUP = float(os.environ.get(
+    "REPRO_COMPILE_CACHE_MIN_SPEEDUP", "1.2"))
 
 TIERS = ("legacy", "block", "vector")
 
@@ -78,14 +96,16 @@ def _tier_env(tier):
 
 
 def _timed_sweep(spec):
-    """One serial sweep; returns (rows, seconds, replay totals)."""
+    """One serial sweep; returns (rows, seconds, replay + plan totals)."""
     decoded.reset_replay_totals()
+    sync_plan.reset_sync_plan_totals()
     tasks = tasks_from_spec(spec)  # captures the pinned tier flags
     started = time.perf_counter()
     results, _ = run_tasks(tasks, processes=1)
     seconds = time.perf_counter() - started
     rows = [dataclasses.asdict(results[task.key()]) for task in tasks]
-    return rows, seconds, decoded.replay_totals()
+    return rows, seconds, dict(decoded.replay_totals(),
+                               sync_plan=sync_plan.sync_plan_totals())
 
 
 def test_sweep_replay_tiers(bench_recorder, scale):
@@ -121,6 +141,9 @@ def test_sweep_replay_tiers(bench_recorder, scale):
           "fallbacks: {})".format(totals["vector"]["vector"],
                                   totals["vector"]["vector_items"],
                                   totals["vector"]["block"]))
+    print("sync plans: {} resolved / {} fallback epochs (vector tier)"
+          .format(totals["vector"]["sync_plan"]["resolved"],
+                  totals["vector"]["sync_plan"]["fallback"]))
 
     cells = len(rows["legacy"])
     makespan_sum = sum(row["makespan_cycles"] for row in rows["legacy"])
@@ -128,7 +151,12 @@ def test_sweep_replay_tiers(bench_recorder, scale):
         row = dict(cells=cells, scale=float(scale),
                    identical=int(rows[tier] == rows["legacy"]),
                    makespan_sum=sum(r["makespan_cycles"]
-                                    for r in rows[tier]))
+                                    for r in rows[tier]),
+                   # Deterministic per tier: a silent change in the
+                   # resolved/fallback split (e.g. the plan gate
+                   # misfiring) moves the digest and fails CI.
+                   sync_plan_resolved=totals[tier]["sync_plan"]["resolved"],
+                   sync_plan_fallback=totals[tier]["sync_plan"]["fallback"])
         if tier == "vector":
             # Deterministic (serial sweep, fixed tasks): digest-gated in
             # CI so a silent fall-back to block replay fails the build.
@@ -152,9 +180,97 @@ def test_sweep_replay_tiers(bench_recorder, scale):
     assert makespan_sum > 0
     # The vector tier must actually batch (not quietly run block replay).
     assert totals["vector"]["vector"] > 0, totals["vector"]
-    assert totals["legacy"] == {"vector": 0, "block": 0,
-                                "vector_items": 0}
+    assert {key: totals["legacy"][key]
+            for key in ("vector", "block", "vector_items")} == \
+        {"vector": 0, "block": 0, "vector_items": 0}
+    # Legacy pins REPRO_NO_FASTPATH, which also disables sync plans.
+    assert totals["legacy"]["sync_plan"]["resolved"] == 0
     assert speedup_vector >= MIN_SWEEP_SPEEDUP, seconds
+
+
+#: Driver for one *fresh interpreter* running the serial paper-tag
+#: sweep, optionally against a compile-cache store ("-" = none).  Fresh
+#: processes are the honest cold baseline: the interpreter-wide
+#: instruction-intern and decode-content caches start empty, exactly as
+#: every new sweep worker, service worker, or CLI invocation does.
+_SWEEP_DRIVER = """
+import dataclasses, hashlib, json, sys, time
+from repro.compiler.cache import compile_cache_totals
+from repro.harness.parallel import run_cell_timed, tasks_from_spec
+from repro.harness.spec import SweepSpec
+
+scale = float(sys.argv[1])
+cache_dir = None if sys.argv[2] == "-" else sys.argv[2]
+tasks = tasks_from_spec(SweepSpec(tags=("paper",), scales=(scale,)))
+if cache_dir:
+    tasks = [dataclasses.replace(task, compile_cache_dir=cache_dir)
+             for task in tasks]
+compile_s = simulate_s = 0.0
+cells = []
+started = time.perf_counter()
+for task in tasks:
+    cell, phases = run_cell_timed(task)
+    compile_s += phases["compile"]
+    simulate_s += phases["simulate"]
+    cells.append(dataclasses.asdict(cell))
+total = time.perf_counter() - started
+digest = hashlib.sha256(repr(cells).encode()).hexdigest()
+print(json.dumps(dict(cells=len(cells), total=total,
+                      compile=compile_s, simulate=simulate_s,
+                      digest=digest, **compile_cache_totals())))
+"""
+
+
+def test_compile_cache_cold_vs_warm(bench_recorder, scale, tmp_path):
+    """Cold-path payoff of the persistent compile cache, measured the
+    way it is deployed: a fresh process with a warm store vs a fresh
+    process with no store.  (In-process repeats are not a valid cold
+    baseline — recompiles there hit the intern/decode caches.)"""
+    cache_dir = str(tmp_path / "compile")
+
+    def _fresh_sweep(store):
+        proc = subprocess.run(
+            [sys.executable, "-c", _SWEEP_DRIVER, str(float(scale)),
+             store or "-"],
+            capture_output=True, text=True, timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.splitlines()[-1])
+
+    cold = _fresh_sweep(None)
+    publish = _fresh_sweep(cache_dir)  # cold writer: populates the store
+    warm = _fresh_sweep(cache_dir)     # fresh process x warm store
+    speedup = cold["total"] / warm["total"]
+
+    print("\n=== compile cache, fresh processes (scale={}, {} cells) ==="
+          .format(scale, cold["cells"]))
+    print("no store:   compile {:.2f}s + simulate {:.2f}s = {:.2f}s"
+          .format(cold["compile"], cold["simulate"], cold["total"]))
+    print("warm store: compile {:.2f}s + simulate {:.2f}s = {:.2f}s "
+          "({:.2f}x)".format(warm["compile"], warm["simulate"],
+                             warm["total"], speedup))
+
+    bench_recorder.add(
+        "compile_cache_scale_{:g}".format(float(scale)),
+        cells=cold["cells"], scale=float(scale),
+        identical=int(cold["digest"] == warm["digest"] ==
+                      publish["digest"]),
+        warm_hits=warm["hits"], warm_misses=warm["misses"])
+    bench_recorder.note_volatile(
+        cold_compile_seconds=cold["compile"],
+        cold_simulate_seconds=cold["simulate"],
+        warm_compile_seconds=warm["compile"],
+        warm_simulate_seconds=warm["simulate"],
+        compile_cache_speedup=speedup)
+
+    # Bit-identity across no-store / cold-writer / warm-reader runs.
+    assert cold["digest"] == publish["digest"] == warm["digest"]
+    # The writer compiles every unique key (cells differing only on the
+    # noise axis share one compilation and hit mid-sweep); the warm
+    # reader compiles nothing.
+    assert publish["hits"] + publish["misses"] == cold["cells"]
+    assert publish["misses"] > 0
+    assert (warm["hits"], warm["misses"]) == (cold["cells"], 0)
+    assert speedup >= MIN_COMPILE_CACHE_SPEEDUP, (cold, warm)
 
 
 def test_lane_fanout_speedup(bench_recorder, scale):

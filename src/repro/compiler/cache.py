@@ -1,0 +1,432 @@
+"""Persistent content-addressed compile cache.
+
+PR 6's per-process memo (`harness.parallel._CELL_COMPILATIONS`) already
+makes warm repeats of a cell compile-free — *within one process*.  Every
+fresh sweep worker, service worker and CI job still pays the full
+lowering/emit/decode pipeline for every cell it touches, and the
+ROADMAP item-2 close-out measured exactly that as the cold-path
+bottleneck ("compile dominates cold runs").  This module makes the
+compile artifact itself durable:
+
+* One entry per compiled circuit, keyed by SHA-256 over (format-version
+  salt, circuit content, scheme name + origin module,
+  ``SimulationConfig`` fingerprint, qubits-per-controller, mesh kind) —
+  everything :func:`~repro.compiler.driver.compile_circuit` is a pure
+  function of.  Device seed, replay tier and noise model are
+  deliberately absent: compilation does not depend on them.
+* Storage is a :class:`repro.diskcache.PickleDirStore` — the exact
+  directory discipline of the sweep result cache (atomic temp+rename
+  puts, orphan-temp reclaim, corrupt entry = miss) — so many sweep
+  workers, service workers and the offline CLI can share one warm
+  compile store across processes and machines.
+
+Payload layout — columnar, not an object-graph pickle
+-----------------------------------------------------
+
+A compiled cell is hundreds of programs sharing a few thousand interned
+instructions; a naive pickle of ``CompilationResult`` + its decodes
+spends longer rebuilding that object graph than ``compile_circuit``
+takes to produce it, which would make the warm path pointless.  The
+payload therefore stores the *unique* content once and the structure as
+flat integer arrays:
+
+* ``pool`` — one operand tuple per unique instruction.  Loads re-intern
+  label-less entries (:func:`repro.isa.instructions.interned`), so
+  repeated content shares objects across cells exactly like a fresh
+  compile, and unknown mnemonics fail validation into a clean miss.
+  Step tuples are re-derived from the pool rather than stored.
+* ``idx`` + ``decs`` — each unique decode is a slice of one uint32 index
+  array into the pool (programs that assemble identical binaries store
+  their decode once).
+* ``bheader`` + ``cols`` — every fast block's ``pos_cum``/``pushes``/
+  item templates concatenated into eight int64 columns; a warm load
+  slices them back and hands the columns straight to
+  :meth:`~repro.isa.decoded.FastBlock.from_columns` (no per-block
+  transpose).
+* ``meta`` — the small remaining ``CompilationResult`` fields, pickled
+  as-is.  The circuit itself is **not stored**: the key guarantees the
+  caller's circuit is content-identical, so :meth:`CompileCache.get`
+  reattaches it, saving the single slowest part of the old payload.
+
+A stale or corrupt entry is *never* an error: the format-version salt
+keys old layouts away, and any unreadable/implausible payload falls back
+to a clean recompile (which re-publishes the entry).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..diskcache import PickleDirStore
+from ..isa.decoded import (DecodedProgram, FastBlock, _prime_decoded,
+                           _step_of, decode_program)
+from ..isa.instructions import Instruction, interned
+from ..isa.program import Program
+from ..obs import metrics as _metrics
+from ..sim.config import SimulationConfig
+from ..sim.device import (GateAction, MarkerAction, MeasureAction,
+                          gate_action)
+from .driver import CompilationResult, compile_circuit
+from .schemes import get_scheme, origin_module
+
+#: Bump whenever the payload layout, Program, DecodedProgram or the
+#: simulation semantics change incompatibly — old entries are keyed away
+#: instead of deserialized wrongly (the salt is part of the hash key).
+COMPILE_CACHE_VERSION = 1
+
+COMPILE_CACHE_HITS = _metrics.counter(
+    "repro_compile_cache_hits_total",
+    "compilations served from the persistent compile cache")
+COMPILE_CACHE_MISSES = _metrics.counter(
+    "repro_compile_cache_misses_total",
+    "compile-cache lookups that fell back to a real compile")
+
+#: ``CompilationResult`` fields stored verbatim in the payload's
+#: ``meta`` dict (everything except the reattached circuit, the
+#: columnar-encoded programs and the pooled codeword tables).
+_META_FIELDS = ("scheme", "config", "qmap", "topology",
+                "sync_groups", "stats", "mesh_kind", "mesh_edges")
+
+
+def compile_cache_totals() -> Dict[str, int]:
+    """Copy of the process-wide compile-cache counters."""
+    return {"hits": COMPILE_CACHE_HITS.value,
+            "misses": COMPILE_CACHE_MISSES.value}
+
+
+def reset_compile_cache_totals() -> None:
+    """Zero the process-wide compile-cache counters (benchmarks, tests)."""
+    COMPILE_CACHE_HITS.value = 0
+    COMPILE_CACHE_MISSES.value = 0
+
+
+#: (id(circuit), op count) -> (circuit, fingerprint).  Sweep grids key
+#: the same circuit object once per scheme; the pinned strong reference
+#: keeps the id from being reused, and the operation count catches the
+#: one public mutation idiom (appending gates) between calls.
+_FINGERPRINT_MEMO: Dict[tuple, tuple] = {}
+_FINGERPRINT_MEMO_LIMIT = 64
+
+
+def _circuit_fingerprint(circuit) -> str:
+    """Content string for ``circuit``: qubit/clbit counts plus every
+    operation's field tuple (``Operation`` is a frozen dataclass of
+    primitives, so the tuple is its content — and one ``repr`` of the
+    whole nest is several times cheaper than a dataclass ``repr`` per
+    operation, which matters because the warm path pays this hash per
+    cell)."""
+    operations = circuit.operations
+    memo_key = (id(circuit), len(operations))
+    entry = _FINGERPRINT_MEMO.get(memo_key)
+    if entry is not None and entry[0] is circuit:
+        return entry[1]
+    fingerprint = repr((circuit.num_qubits, circuit.num_clbits,
+                        tuple((op.name, op.qubits, op.params, op.cbit,
+                               op.condition)
+                              for op in operations)))
+    if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_LIMIT:
+        _FINGERPRINT_MEMO.clear()
+    _FINGERPRINT_MEMO[memo_key] = (circuit, fingerprint)
+    return fingerprint
+
+
+def compile_key(circuit, scheme: str = "bisp",
+                config: Optional[SimulationConfig] = None,
+                qubits_per_controller: int = 1,
+                mesh_kind: str = "line") -> str:
+    """Stable content hash identifying one compilation.
+
+    The circuit contributes its full content via
+    :func:`_circuit_fingerprint`.  The scheme contributes its resolved
+    name *and* origin module, so two third-party schemes that reuse a
+    name cannot alias each other's artifacts.  The *raw* config is
+    hashed: ``compile_circuit`` applies ``scheme.effective_config``
+    itself, so equal raw configs imply equal effective ones.
+    """
+    scheme_obj = get_scheme(scheme)
+    config = config or SimulationConfig()
+    payload = (
+        ("compile_cache_version", COMPILE_CACHE_VERSION),
+        ("circuit", _circuit_fingerprint(circuit)),
+        ("scheme", (scheme_obj.name, origin_module(scheme_obj.name))),
+        ("config", tuple(sorted(asdict(config).items()))),
+        ("qubits_per_controller", qubits_per_controller),
+        ("mesh_kind", mesh_kind),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def _encode_codeword_tables(codeword_tables: Dict[int, dict]) -> tuple:
+    """Pool the (heavily interned) actions behind the codeword tables.
+
+    Gate/measure/marker actions become primitive tuples; anything else
+    (a third-party scheme's action type) rides along as the object
+    itself — correctness never depends on the fast encoding."""
+    action_index: Dict[int, int] = {}
+    action_pool = []
+    tables = {}
+    for address, table in codeword_tables.items():
+        indices = []
+        for action in table.values():
+            j = action_index.get(id(action))
+            if j is None:
+                j = len(action_pool)
+                action_index[id(action)] = j
+                kind = type(action)
+                if kind is GateAction:
+                    action_pool.append((0, action.name, action.qubits,
+                                        action.params, action.half,
+                                        action.total_halves))
+                elif kind is MeasureAction:
+                    action_pool.append((1, action.qubit))
+                elif kind is MarkerAction:
+                    action_pool.append((2, action.tag))
+                else:
+                    action_pool.append((3, action))
+            indices.append(j)
+        tables[address] = (tuple(table.keys()), tuple(indices))
+    return action_pool, tables
+
+
+def _decode_codeword_tables(encoded: tuple) -> Dict[int, dict]:
+    action_prims, tables = encoded
+    actions = []
+    for prims in action_prims:
+        kind = prims[0]
+        if kind == 0:
+            actions.append(gate_action(*prims[1:]))
+        elif kind == 1:
+            actions.append(MeasureAction(prims[1]))
+        elif kind == 2:
+            actions.append(MarkerAction(prims[1]))
+        else:
+            actions.append(prims[1])
+    get_action = actions.__getitem__
+    return {address: dict(zip(keys, map(get_action, indices)))
+            for address, (keys, indices) in tables.items()}
+
+
+def _encode(result: CompilationResult) -> dict:
+    """Columnar payload for ``result`` plus every program's decode."""
+    pool_index: Dict[int, int] = {}
+    pool = []
+    pool_labels: Dict[int, str] = {}
+    dec_index: Dict[int, int] = {}
+    decs = []
+    idx_chunks = []
+    idx_total = 0
+    bheader = []
+    pos_col: list = []
+    push_col: list = []
+    kind_col: list = []
+    off_col: list = []
+    a_col: list = []
+    b_col: list = []
+    cwi_col: list = []
+    cwp_col: list = []
+
+    def index_of(instr) -> int:
+        j = pool_index.get(id(instr))
+        if j is None:
+            j = len(pool)
+            pool_index[id(instr)] = j
+            pool.append((instr.mnemonic, instr.rd, instr.rs1, instr.rs2,
+                         instr.imm, instr.imm2))
+            if instr.label:
+                pool_labels[j] = instr.label
+        return j
+
+    for address, program in result.programs.items():
+        decoded = decode_program(program)
+        if id(decoded) in dec_index:
+            continue
+        dec_index[id(decoded)] = len(decs)
+        chunk = np.fromiter(map(index_of, decoded.instructions),
+                            dtype=np.uint32, count=decoded.n)
+        block_lo = len(bheader)
+        seen_blocks = set()
+        for block in decoded.fast_block:
+            if block is None or id(block) in seen_blocks:
+                continue
+            seen_blocks.add(id(block))
+            bheader.append((block.start, block.n, len(block.items),
+                            len(block.cw_idx)))
+            pos_col.extend(block.pos_cum)
+            push_col.extend(block.pushes)
+            kind_col.extend(block.item_kinds)
+            off_col.extend(block.item_off)
+            a_col.extend(block.item_a)
+            b_col.extend(block.item_b)
+            cwi_col.extend(block.cw_idx)
+            cwp_col.extend(block.cw_pushes)
+        decs.append((idx_total, idx_total + decoded.n, block_lo,
+                     len(bheader), decoded.has_recv))
+        idx_chunks.append(chunk)
+        idx_total += decoded.n
+    programs = {}
+    for address, program in result.programs.items():
+        decoded = decode_program(program)
+        programs[address] = (program.name, program.labels,
+                             dec_index[id(decoded)])
+    column = lambda values: np.array(values, dtype=np.int64)
+    return {
+        "version": COMPILE_CACHE_VERSION,
+        "meta": {name: getattr(result, name) for name in _META_FIELDS},
+        "codewords": _encode_codeword_tables(result.codeword_tables),
+        "pool": pool,
+        "pool_labels": pool_labels,
+        "idx": (np.concatenate(idx_chunks) if idx_chunks
+                else np.empty(0, dtype=np.uint32)),
+        "decs": decs,
+        "programs": programs,
+        "bheader": column(bheader).reshape(-1, 4),
+        "cols": tuple(column(values) for values in (
+            pos_col, push_col, kind_col, off_col, a_col, b_col,
+            cwi_col, cwp_col)),
+    }
+
+
+def _decode(payload: dict, circuit) -> CompilationResult:
+    """Rebuild a compilation (and prime its decodes) from a payload.
+
+    Raises on any malformed payload — :meth:`CompileCache.get` turns
+    that into a miss."""
+    pool_labels = payload["pool_labels"]
+    instr_pool = []
+    for j, operands in enumerate(payload["pool"]):
+        label = pool_labels.get(j)
+        if label:
+            instr_pool.append(Instruction(*operands, label=label))
+        else:
+            instr_pool.append(interned(*operands))
+    # Steps are re-derived, not trusted from disk: _step_of validates
+    # every mnemonic against the opcode table and hits its memo for
+    # interned repeats across cells.
+    step_pool = [_step_of(instr) for instr in instr_pool]
+
+    off_np = payload["cols"][3]
+    (pos_col, push_col, kind_col, off_col, a_col, b_col, cwi_col,
+     cwp_col) = [column.tolist() for column in payload["cols"]]
+    blocks = []
+    p0 = k0 = c0 = 0
+    for start, n, n_items, n_cw in payload["bheader"].tolist():
+        p1 = p0 + n + 1
+        k1 = k0 + n_items
+        c1 = c0 + n_cw
+        kinds = kind_col[k0:k1]
+        offsets = off_col[k0:k1]
+        a_vals = a_col[k0:k1]
+        b_vals = b_col[k0:k1]
+        blocks.append(FastBlock.from_columns(
+            start, n, pos_col[p0:p1], push_col[p0:p1],
+            list(zip(kinds, offsets, a_vals, b_vals)),
+            cwi_col[c0:c1], cwp_col[c0:c1],
+            kinds, a_vals, b_vals, offsets, off_np[k0:k1].copy()))
+        p0, k0, c0 = p1, k1, c1
+
+    index_array = payload["idx"]
+    get_instr = instr_pool.__getitem__
+    get_step = step_pool.__getitem__
+    dec_objs = []
+    dec_keys = []
+    for idx_lo, idx_hi, block_lo, block_hi, has_recv in payload["decs"]:
+        indices = index_array[idx_lo:idx_hi].tolist()
+        instructions = tuple(map(get_instr, indices))
+        fast_block: list = [None] * len(instructions)
+        for block in blocks[block_lo:block_hi]:
+            fast_block[block.start:block.start + block.n] = \
+                [block] * block.n
+        dec_objs.append(DecodedProgram.from_artifact(
+            instructions, list(map(get_step, indices)), fast_block,
+            bool(has_recv)))
+        dec_keys.append(tuple(map(id, instructions)))
+
+    programs = {}
+    for address, (name, labels, dec_i) in payload["programs"].items():
+        decoded = dec_objs[dec_i]
+        program = Program(name=name,
+                          instructions=list(decoded.instructions),
+                          labels=dict(labels))
+        # Aliasing holds by construction: the program list was built
+        # from the decode's own instruction tuple.
+        _prime_decoded(program, decoded, dec_keys[dec_i])
+        programs[address] = program
+    return CompilationResult(
+        circuit=circuit, programs=programs,
+        codeword_tables=_decode_codeword_tables(payload["codewords"]),
+        **payload["meta"])
+
+
+class CompileCache(PickleDirStore):
+    """On-disk store of compiled (and pre-decoded) circuits.
+
+    Lives in the same directory family as the sweep result cache —
+    point it at e.g. ``<cache-dir>/compile`` next to the cell store, or
+    anywhere else; keys are self-describing content hashes either way.
+    """
+
+    def get(self, key: str, circuit=None) -> Optional[CompilationResult]:
+        """Load a cached compilation; anything unreadable returns None.
+
+        ``circuit`` is reattached as ``result.circuit`` (the payload
+        does not store it; ``key`` must have been derived from this
+        circuit's content).  Beyond the pickle-level broad except of the
+        base class, the payload shape and format version are checked
+        explicitly, instruction operands re-validate through the
+        interner, and the decoded artifacts are pinned onto their
+        programs — a payload that fails *any* of it (truncated file,
+        stale salt written by a future layout that reuses keys,
+        hand-edited store) is a miss, never a crash or a wrong program.
+        """
+        payload = super().get(key)
+        try:
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != COMPILE_CACHE_VERSION:
+                return None
+            return _decode(payload, circuit)
+        except Exception:
+            return None
+
+    def put(self, key: str, result: CompilationResult) -> None:
+        """Store a compilation plus the decode of every program.
+
+        Decoding here is warm (the caller just compiled, and decodes
+        are content-cached); the columnar payload keeps the warm load
+        several times cheaper than the compile it replaces."""
+        super().put(key, _encode(result))
+
+
+def cached_compile(circuit, scheme: str = "bisp",
+                   config: Optional[SimulationConfig] = None,
+                   qubits_per_controller: int = 1,
+                   mesh_kind: str = "line",
+                   cache: Optional[CompileCache] = None
+                   ) -> CompilationResult:
+    """``compile_circuit`` through the persistent cache.
+
+    With ``cache=None`` this is exactly ``compile_circuit`` (callers can
+    wire the cache through unconditionally).  Hits and misses land in
+    the ``repro_compile_cache_*`` counters either way a lookup happens.
+    """
+    if cache is None:
+        return compile_circuit(circuit, scheme=scheme, config=config,
+                               qubits_per_controller=qubits_per_controller,
+                               mesh_kind=mesh_kind)
+    key = compile_key(circuit, scheme=scheme, config=config,
+                      qubits_per_controller=qubits_per_controller,
+                      mesh_kind=mesh_kind)
+    result = cache.get(key, circuit)
+    if result is not None:
+        COMPILE_CACHE_HITS.value += 1
+        return result
+    COMPILE_CACHE_MISSES.value += 1
+    result = compile_circuit(circuit, scheme=scheme, config=config,
+                             qubits_per_controller=qubits_per_controller,
+                             mesh_kind=mesh_kind)
+    cache.put(key, result)
+    return result

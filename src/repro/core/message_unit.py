@@ -21,6 +21,12 @@ class MessageUnit:
         self.owner_name = owner_name
         self._inboxes = defaultdict(deque)
         self._order = deque()  # arrival order across sources (for ANY_SOURCE)
+        #: Entries in ``_order`` already consumed by a concrete-source
+        #: receive, per source.  A concrete pop used to do an O(n)
+        #: ``_order.remove(source)``; instead the stale entry stays in
+        #: place and the next ANY_SOURCE scan skips it in O(1).  The
+        #: invariant: per source, order entries == inbox depth + stale.
+        self._stale = defaultdict(int)
         self._waiter: Optional[tuple] = None
         self.delivered = 0
 
@@ -38,17 +44,22 @@ class MessageUnit:
 
     def _pop(self, source: int):
         if source == ANY_SOURCE:
-            while self._order:
-                src = self._order.popleft()
+            order = self._order
+            stale = self._stale
+            while order:
+                src = order.popleft()
+                if stale[src]:
+                    # Consumed out of band by a concrete receive; the
+                    # arrival-order slot it occupied is spent.
+                    stale[src] -= 1
+                    continue
                 if self._inboxes[src]:
                     return src, self._inboxes[src].popleft()
             return None
         if self._inboxes[source]:
-            # Keep the global order queue lazily consistent.
-            try:
-                self._order.remove(source)
-            except ValueError:
-                pass
+            # Leave the matching ``_order`` entry in place; mark it
+            # stale so ANY_SOURCE scans skip it exactly once.
+            self._stale[source] += 1
             return source, self._inboxes[source].popleft()
         return None
 

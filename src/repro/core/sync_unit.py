@@ -17,7 +17,7 @@ time ``Tm = max_i T_i`` and the timer resumes precisely at ``Tm``.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Callable, Dict, Optional
 
 from ..errors import SynchronizationError
@@ -34,8 +34,23 @@ class SyncUnit:
         self._tm_waiter: Optional[Callable[[int], None]] = None
         self.signals_received = 0
         self.tm_received = 0
+        #: In-flight neighbor signals behind the prebound delivery
+        #: callback (all neighbor links share one calibrated latency,
+        #: so FIFO order is engine firing order — no per-signal
+        #: closure needed).
+        self._inbound_signals = deque()
+        self.deliver_signal = self._deliver_signal  # prebound
 
     # -- nearby synchronization ---------------------------------------------
+
+    def enqueue_signal(self, source: int) -> None:
+        """Buffer an in-flight neighbor signal; the fabric schedules
+        :attr:`deliver_signal` at its arrival cycle."""
+        self._inbound_signals.append(source)
+
+    def _deliver_signal(self) -> None:
+        """Engine callback: the oldest in-flight signal arrives."""
+        self.receive_signal(self._inbound_signals.popleft())
 
     def receive_signal(self, source: int) -> None:
         """A neighbor's 1-bit sync signal arrived; latch it, wake a waiter."""

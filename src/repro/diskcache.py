@@ -1,0 +1,172 @@
+"""Shared on-disk pickle-store machinery for content-addressed caches.
+
+Both the sweep result cache (:class:`repro.harness.parallel.SweepCache`,
+one pickle per finished cell) and the compile cache
+(:class:`repro.compiler.cache.CompileCache`, one pickle per compiled
+circuit) are directories of ``<sha256>.pkl`` files written by many
+concurrent processes.  The invariants they need are identical and live
+here once:
+
+* **Atomic publication** — ``put`` writes to a ``tmp-<pid>-*.tmp`` file
+  and ``os.replace``\\ s it into place, so readers never observe a torn
+  entry, and a concurrent writer of the same key harmlessly wins or
+  loses the whole file.
+* **Orphan reclaim** — a writer killed between ``mkstemp`` and the
+  rename leaves its temp file behind forever.  Opening a store sweeps
+  temp files whose writer PID (encoded in the name) is dead, or — the
+  backstop for PID reuse and foreign temp files — older than
+  :data:`ORPHAN_TMP_SECONDS`.  The scan is single-flight per directory
+  under a non-blocking advisory lock (``.reclaim.lock``); losers skip
+  it, and every unlink tolerates a concurrent winner.
+* **Corruption = miss** — ``get`` catches broadly: a bit-rotted pickle
+  can raise far more than ``UnpicklingError`` (OverflowError,
+  UnicodeDecodeError, ImportError, ...), and the contract is "recompute
+  on any unreadable entry", never crash the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+#: A live ``put()`` holds its temp file for milliseconds; a temp file
+#: older than this is an orphan from a killed worker (or a writer on a
+#: pathologically slow filesystem, where re-writing the entry is cheap
+#: compared to leaking the file forever).
+ORPHAN_TMP_SECONDS = 300.0
+
+
+def _pid_of_tmp(name: str) -> Optional[int]:
+    """Writer PID encoded in a ``tmp-<pid>-*.tmp`` cache temp file."""
+    if not name.startswith("tmp-"):
+        return None
+    head = name[4:].split("-", 1)[0]
+    return int(head) if head.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class PickleDirStore:
+    """A directory of atomically written, key-addressed pickle files."""
+
+    #: Lock-file name serializing the orphan scan per store directory.
+    RECLAIM_LOCK_NAME = ".reclaim.lock"
+
+    def __init__(self, directory: str, sweep_orphans: bool = True):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        if sweep_orphans:
+            self.sweep_orphan_tmps()
+
+    @contextmanager
+    def _reclaim_lock(self):
+        """Yield True while holding the per-store advisory lock, False
+        when another process holds it (skip the scan).  Platforms
+        without ``fcntl`` fall back to lock-free scanning, which stays
+        safe because every unlink tolerates a concurrent winner."""
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            yield True
+            return
+        path = os.path.join(self.directory, self.RECLAIM_LOCK_NAME)
+        try:
+            handle = open(path, "ab")
+        except OSError:  # pragma: no cover - unwritable store dir
+            yield True
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def sweep_orphan_tmps(self,
+                          ttl_seconds: float = ORPHAN_TMP_SECONDS) -> int:
+        """Delete orphaned ``*.tmp`` files; returns how many were removed
+        (0 when another process already holds the reclaim lock)."""
+        with self._reclaim_lock() as acquired:
+            if not acquired:
+                return 0
+            removed = 0
+            now = time.time()
+            for name in os.listdir(self.directory):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(self.directory, name)
+                try:
+                    mtime = os.stat(path).st_mtime
+                except OSError:
+                    continue  # already gone (concurrent sweep or writer)
+                pid = _pid_of_tmp(name)
+                dead_writer = pid is not None and not _pid_alive(pid)
+                if dead_writer or now - mtime > ttl_seconds:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        # FileNotFoundError included: a concurrent
+                        # reclaimer got there first — their removal
+                        # counts, ours does not.
+                        pass
+            return removed
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".pkl")
+
+    def has(self, key: str) -> bool:
+        """True when a completed entry exists for ``key`` (cheap stat —
+        callers probe many keys without deserializing any of them)."""
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str):
+        """Load an entry; corrupt or missing entries return None."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def put(self, key: str, value) -> None:
+        """Store an entry atomically (temp file + rename).
+
+        The temp filename carries the writer's PID so a later store open
+        can tell a killed writer's orphan from a live concurrent write
+        (see :meth:`sweep_orphan_tmps`)."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix="tmp-{}-".format(os.getpid()),
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".pkl"))

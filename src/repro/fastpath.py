@@ -20,6 +20,11 @@ pre-decode at all, same as ``REPRO_NO_FASTPATH=1``).
 (:mod:`repro.sim.lanes`); every extra shot then replays through its own
 full simulation.
 
+``REPRO_NO_SYNC_PLAN=1`` disables compiled sync plans
+(:mod:`repro.network.sync_plan`); every region sync then books through
+the dynamic router cascade.  ``REPRO_NO_FASTPATH=1`` implies it, like
+every other fast path.
+
 Unrecognized values *raise* instead of silently picking a default: a
 typo in an escape hatch (``REPRO_NO_FASTPATH=on`` used to mean
 "fast path enabled") must never silently run the wrong path while a
@@ -92,3 +97,14 @@ def replay_tier() -> str:
 def lanes_enabled() -> bool:
     """Whether multishot runs may use lane-parallel execution."""
     return not env_flag("REPRO_NO_LANES")
+
+
+def sync_plan_enabled() -> bool:
+    """Whether region syncs may resolve through compiled sync plans.
+
+    The plan is its own axis (``REPRO_NO_SYNC_PLAN``), but the master
+    escape hatch wins: ``REPRO_NO_FASTPATH=1`` reverts region sync to
+    the dynamic router cascade along with everything else.  Read at
+    ``ControlSystem.start_all`` time, when every program is loaded.
+    """
+    return fastpath_enabled() and not env_flag("REPRO_NO_SYNC_PLAN")

@@ -28,16 +28,16 @@ import argparse
 import hashlib
 import multiprocessing
 import os
-import pickle
 import sys
-import tempfile
 import time
 import traceback
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import diskcache as _diskcache
+from ..compiler import cache as compile_cache_mod
 from ..compiler import schemes as scheme_registry
 from ..compiler.driver import SCHEMES, compile_circuit, run_circuit
 from ..errors import ReproError
@@ -133,6 +133,12 @@ class SweepTask:
     no_fastpath: Optional[bool] = None
     #: Replay tier captured at task-build time (same contract).
     replay_tier: Optional[str] = None
+    #: Directory of the persistent compile cache
+    #: (:class:`repro.compiler.cache.CompileCache`); None compiles
+    #: in-process only.  Like the fast-path flags, deliberately *not*
+    #: part of ``cache_key``: the cached compilation is bit-identical to
+    #: a fresh one by contract (and tested for).
+    compile_cache_dir: Optional[str] = None
 
     def key(self) -> Tuple[str, str, float, int]:
         """Grid coordinates of this cell (workload, scheme, scale, shots)."""
@@ -183,6 +189,7 @@ class SweepTask:
             "noise_shots": self.noise_shots,
             "no_fastpath": self.no_fastpath,
             "replay_tier": self.replay_tier,
+            "compile_cache_dir": self.compile_cache_dir,
         }
 
     @classmethod
@@ -416,6 +423,19 @@ def _cell_circuit(task: SweepTask, spec) -> tuple:
 _CELL_COMPILATIONS: Dict[tuple, object] = {}
 _CELL_COMPILATIONS_LIMIT = 256
 
+#: Directory -> CompileCache handle (one per worker process; the store
+#: itself is shared on disk across sweep workers, service workers and
+#: the offline CLIs).
+_COMPILE_CACHES: Dict[str, compile_cache_mod.CompileCache] = {}
+
+
+def _compile_cache_for(directory: str) -> compile_cache_mod.CompileCache:
+    cache = _COMPILE_CACHES.get(directory)
+    if cache is None:
+        cache = _COMPILE_CACHES[directory] = compile_cache_mod.CompileCache(
+            directory)
+    return cache
+
 
 def _cell_compilation(task: SweepTask, circuit, mesh_kind: str):
     config = task.config or SimulationConfig()
@@ -426,9 +446,16 @@ def _cell_compilation(task: SweepTask, circuit, mesh_kind: str):
     if entry is None:
         if len(_CELL_COMPILATIONS) >= _CELL_COMPILATIONS_LIMIT:
             _CELL_COMPILATIONS.clear()
-        entry = _CELL_COMPILATIONS[key] = compile_circuit(
-            circuit, scheme=task.scheme, config=task.config,
-            mesh_kind=mesh_kind)
+        if task.compile_cache_dir:
+            entry = compile_cache_mod.cached_compile(
+                circuit, scheme=task.scheme, config=task.config,
+                mesh_kind=mesh_kind,
+                cache=_compile_cache_for(task.compile_cache_dir))
+        else:
+            entry = compile_circuit(
+                circuit, scheme=task.scheme, config=task.config,
+                mesh_kind=mesh_kind)
+        _CELL_COMPILATIONS[key] = entry
     return entry
 
 
@@ -511,168 +538,31 @@ def _guarded_run_cell(task: SweepTask):
         return task, None, traceback.format_exc()
 
 
-#: A live ``put()`` holds its temp file for milliseconds; a temp file
-#: older than this is an orphan from a killed worker (or a writer on a
-#: pathologically slow filesystem, where re-writing the cell is cheap
-#: compared to leaking the file forever).
-ORPHAN_TMP_SECONDS = 300.0
+#: Re-exported from :mod:`repro.diskcache` (the store machinery moved
+#: there so the compile cache shares it); kept importable from here —
+#: tests and the service store address them through this module.
+ORPHAN_TMP_SECONDS = _diskcache.ORPHAN_TMP_SECONDS
+_pid_of_tmp = _diskcache._pid_of_tmp
+_pid_alive = _diskcache._pid_alive
 
 
-def _pid_of_tmp(name: str) -> Optional[int]:
-    """Writer PID encoded in a ``tmp-<pid>-*.tmp`` cache temp file."""
-    if not name.startswith("tmp-"):
-        return None
-    head = name[4:].split("-", 1)[0]
-    return int(head) if head.isdigit() else None
-
-
-def _pid_alive(pid: int) -> bool:
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except (PermissionError, OSError):
-        return True
-    return True
-
-
-class SweepCache:
+class SweepCache(_diskcache.PickleDirStore):
     """On-disk pickle cache of finished sweep cells, keyed by content hash.
 
-    Opening a cache sweeps orphaned ``*.tmp`` files: a worker killed
-    between ``mkstemp`` and ``os.replace`` in :meth:`put` leaves its temp
-    file behind, and nothing would ever reclaim it.  A temp file is an
-    orphan when its writer PID (encoded in the filename) is dead, or —
-    the backstop for PID reuse and foreign temp files — when it is older
-    than :data:`ORPHAN_TMP_SECONDS`; a concurrent live writer's fresh
-    temp file matches neither test and is left alone.
-
-    Many processes may open the same store concurrently (the sweep
-    service points every worker at one directory), so the reclaim scan
-    is single-flight: it runs under a non-blocking per-store advisory
-    lock (``.reclaim.lock``) and openers that lose the race simply skip
-    the scan — the winner is already doing the work.  Within the scan,
-    files that vanish between ``listdir``/``stat``/``unlink`` (another
-    reclaimer on a platform without ``fcntl``, or a writer finishing its
-    rename) are tolerated, never an error.
+    All mechanics — atomic temp+rename puts, broad-except gets (corrupt
+    entry = miss, recompute), single-flight orphan-temp reclaim on open —
+    live in :class:`repro.diskcache.PickleDirStore`, shared with the
+    compile cache (:class:`repro.compiler.cache.CompileCache`); this
+    subclass only narrows the value type to :class:`CellResult`.
     """
 
-    #: Lock-file name serializing the orphan scan per store directory.
-    RECLAIM_LOCK_NAME = ".reclaim.lock"
-
-    def __init__(self, directory: str, sweep_orphans: bool = True):
-        self.directory = directory
-        os.makedirs(directory, exist_ok=True)
-        if sweep_orphans:
-            self.sweep_orphan_tmps()
-
-    @contextmanager
-    def _reclaim_lock(self):
-        """Yield True while holding the per-store advisory lock, False
-        when another process holds it (skip the scan).  Platforms
-        without ``fcntl`` fall back to lock-free scanning, which stays
-        safe because every unlink tolerates a concurrent winner."""
-        try:
-            import fcntl
-        except ImportError:  # pragma: no cover - non-POSIX fallback
-            yield True
-            return
-        path = os.path.join(self.directory, self.RECLAIM_LOCK_NAME)
-        try:
-            handle = open(path, "ab")
-        except OSError:  # pragma: no cover - unwritable store dir
-            yield True
-            return
-        try:
-            try:
-                fcntl.flock(handle.fileno(),
-                            fcntl.LOCK_EX | fcntl.LOCK_NB)
-            except OSError:
-                yield False
-                return
-            try:
-                yield True
-            finally:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-        finally:
-            handle.close()
-
-    def sweep_orphan_tmps(self,
-                          ttl_seconds: float = ORPHAN_TMP_SECONDS) -> int:
-        """Delete orphaned ``*.tmp`` files; returns how many were removed
-        (0 when another process already holds the reclaim lock)."""
-        with self._reclaim_lock() as acquired:
-            if not acquired:
-                return 0
-            removed = 0
-            now = time.time()
-            for name in os.listdir(self.directory):
-                if not name.endswith(".tmp"):
-                    continue
-                path = os.path.join(self.directory, name)
-                try:
-                    mtime = os.stat(path).st_mtime
-                except OSError:
-                    continue  # already gone (concurrent sweep or writer)
-                pid = _pid_of_tmp(name)
-                dead_writer = pid is not None and not _pid_alive(pid)
-                if dead_writer or now - mtime > ttl_seconds:
-                    try:
-                        os.unlink(path)
-                        removed += 1
-                    except OSError:
-                        # FileNotFoundError included: a concurrent
-                        # reclaimer got there first — their removal
-                        # counts, ours does not.
-                        pass
-            return removed
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.directory, key + ".pkl")
-
-    def has(self, key: str) -> bool:
-        """True when a completed entry exists for ``key`` (cheap stat —
-        the service scheduler probes many keys per submission without
-        deserializing any of them)."""
-        return os.path.exists(self._path(key))
-
     def get(self, key: str) -> Optional[CellResult]:
-        """Load a cached cell; corrupt or missing entries return None.
-
-        Catches broadly on purpose: a bit-rotted pickle can raise far
-        more than UnpicklingError (OverflowError, UnicodeDecodeError,
-        ImportError, ...), and the contract is "recompute on any
-        unreadable entry", never crash the sweep.
-        """
-        try:
-            with open(self._path(key), "rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            return None
+        """Load a cached cell; corrupt or missing entries return None."""
+        return super().get(key)
 
     def put(self, key: str, value: CellResult) -> None:
-        """Store a cell atomically (temp file + rename).
-
-        The temp filename carries the writer's PID so a later cache open
-        can tell a killed writer's orphan from a live concurrent write
-        (see :meth:`sweep_orphan_tmps`)."""
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix="tmp-{}-".format(os.getpid()),
-            suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def __len__(self):
-        return sum(1 for name in os.listdir(self.directory)
-                   if name.endswith(".pkl"))
+        """Store a cell atomically (temp file + rename)."""
+        super().put(key, value)
 
 
 def build_tasks(scale: float,
@@ -712,16 +602,26 @@ def build_tasks(scale: float,
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss tally of one sweep's cache lookups."""
+    """Hit/miss tally of one sweep's cache lookups.
+
+    ``compile_hits``/``compile_misses`` count persistent compile-cache
+    lookups *in this process* — exact for in-process (``processes=1``)
+    sweeps, zero for pool workers (their counters live in the worker
+    processes; use the cache line in each worker's log, or run the
+    gate serially, when the exact tally matters).
+    """
 
     hits: int = 0
     misses: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
 
 
 def run_tasks(tasks: Sequence[SweepTask],
               processes: Optional[int] = None,
               start_method: Optional[str] = None,
               cache_dir: Optional[str] = None,
+              compile_cache_dir: Optional[str] = None,
               verbose: bool = False
               ) -> Tuple[Dict[Tuple[str, str, float, int], CellResult],
                          CacheStats]:
@@ -737,6 +637,13 @@ def run_tasks(tasks: Sequence[SweepTask],
     all failures is raised.
     """
     cache = SweepCache(cache_dir) if cache_dir else None
+    if compile_cache_dir:
+        # An explicit dir overrides only tasks that did not already
+        # carry one (tasks are the wire format; a task-level dir wins).
+        tasks = [replace(task, compile_cache_dir=compile_cache_dir)
+                 if task.compile_cache_dir is None else task
+                 for task in tasks]
+    compile_before = compile_cache_mod.compile_cache_totals()
     results: Dict[Tuple[str, str, float, int], CellResult] = {}
     misses: List[SweepTask] = []
     for task in tasks:
@@ -784,6 +691,14 @@ def run_tasks(tasks: Sequence[SweepTask],
                 pool.join()
     if failures:
         raise SweepExecutionError(failures)
+    compile_after = compile_cache_mod.compile_cache_totals()
+    compile_hits = compile_after["hits"] - compile_before["hits"]
+    compile_misses = compile_after["misses"] - compile_before["misses"]
+    if compile_hits or compile_misses:
+        stats = replace(stats, compile_hits=compile_hits,
+                        compile_misses=compile_misses)
+        (_log.info if verbose else _log.debug)(
+            "compile_cache", hits=compile_hits, misses=compile_misses)
     return results, stats
 
 
@@ -795,6 +710,7 @@ def run_suite_parallel(scale: float = 1.0,
                        processes: Optional[int] = None,
                        start_method: Optional[str] = None,
                        cache_dir: Optional[str] = None,
+                       compile_cache_dir: Optional[str] = None,
                        spec_names: Optional[Sequence[str]] = None,
                        verbose: bool = False) -> List[BenchmarkOutcome]:
     """Run the Figure-15 sweep with cells fanned out across processes.
@@ -814,6 +730,7 @@ def run_suite_parallel(scale: float = 1.0,
                         spec_names=spec_names)
     results, _ = run_tasks(tasks, processes=processes,
                            start_method=start_method, cache_dir=cache_dir,
+                           compile_cache_dir=compile_cache_dir,
                            verbose=verbose)
     ordered_names = []
     for task in tasks:
@@ -854,6 +771,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="multiprocessing start method")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
+    parser.add_argument("--compile-cache", default=None,
+                        help="directory for the persistent compile cache "
+                             "(shared across sweep/service workers)")
     parser.add_argument("--seed", type=int, default=1234,
                         help="device seed used for every cell")
     parser.add_argument("--substitution-fraction", type=float, default=0.25)
@@ -868,6 +788,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             substitution_fraction=args.substitution_fraction,
             device_seed=args.seed, processes=args.processes,
             start_method=args.start_method, cache_dir=args.cache_dir,
+            compile_cache_dir=args.compile_cache,
             spec_names=args.workloads, verbose=True)
     except ValueError as exc:
         parser.error(str(exc))

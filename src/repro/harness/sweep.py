@@ -107,6 +107,7 @@ def run_sweep(spec: SweepSpec,
               processes: Optional[int] = None,
               start_method: Optional[str] = None,
               cache_dir: Optional[str] = None,
+              compile_cache_dir: Optional[str] = None,
               verbose: bool = False
               ) -> Tuple[List[Dict[str, object]], CacheStats]:
     """Execute ``spec`` and return (BENCH rows, cache stats).
@@ -118,7 +119,9 @@ def run_sweep(spec: SweepSpec,
     tasks = tasks_from_spec(spec)
     results, stats = run_tasks(tasks, processes=processes,
                                start_method=start_method,
-                               cache_dir=cache_dir, verbose=verbose)
+                               cache_dir=cache_dir,
+                               compile_cache_dir=compile_cache_dir,
+                               verbose=verbose)
     return sweep_rows(tasks, results), stats
 
 
@@ -231,6 +234,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=("fork", "spawn", "forkserver"))
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk cell cache")
+    parser.add_argument("--compile-cache", default=None,
+                        help="directory for the persistent compile cache "
+                             "(cells skip lowering/emit on a warm hit; "
+                             "results are bit-identical either way)")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="write BENCH_<name>.json into DIR")
     parser.add_argument("--name", default="sweep",
@@ -294,6 +301,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rows, stats = run_sweep(spec, processes=args.processes,
                                     start_method=args.start_method,
                                     cache_dir=args.cache_dir,
+                                    compile_cache_dir=args.compile_cache,
                                     verbose=not args.quiet)
         finally:
             if args.trace:
@@ -345,9 +353,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.timing_meta:
             volatile = {"wall_seconds": wall_seconds,
                         "processes": args.processes}
+        cache_block = {"hits": stats.hits, "misses": stats.misses}
+        if args.compile_cache:
+            # Outside ``results_sha256`` by design: the digest must stay
+            # byte-identical with and without a compile cache.
+            cache_block["compile_hits"] = stats.compile_hits
+            cache_block["compile_misses"] = stats.compile_misses
         doc = make_bench(args.name, rows, kind="sweep",
                          spec=spec.to_dict(),
-                         cache={"hits": stats.hits, "misses": stats.misses},
+                         cache=cache_block,
                          volatile=volatile)
         if args.out:
             path = write_bench(args.out, doc)

@@ -174,6 +174,37 @@ class FastBlock:
             self.item_off = []
             self.item_off_np = np.empty(0, dtype=np.int64)
 
+    @classmethod
+    def from_columns(cls, start: int, n: int, pos_cum: List[int],
+                     pushes: List[int],
+                     items: List[Tuple[int, int, int, int]],
+                     cw_idx: List[int], cw_pushes: List[int],
+                     item_kinds: List[int], item_a: List[int],
+                     item_b: List[int], item_off: List[int],
+                     item_off_np) -> "FastBlock":
+        """Rebuild a block whose derived columns already exist.
+
+        The persistent compile cache stores blocks column-wise
+        (:mod:`repro.compiler.cache`), so a warm load can hand every
+        slot in directly instead of paying ``__init__``'s transpose +
+        array build per block.  Callers own the invariant that the
+        columns really are ``zip(*items)`` — nothing re-checks it."""
+        block = cls.__new__(cls)
+        block.start = start
+        block.n = n
+        block.pos_cum = pos_cum
+        block.pushes = pushes
+        block.items = items
+        block.cw_idx = cw_idx
+        block.cw_pushes = cw_pushes
+        block.cw_last = cw_pushes[-1] if cw_pushes else -1
+        block.item_kinds = item_kinds
+        block.item_a = item_a
+        block.item_b = item_b
+        block.item_off = item_off
+        block.item_off_np = item_off_np
+        return block
+
     def replay_end(self, start: int, budget: int, free: int) -> int:
         """Largest offset ``e`` such that replaying ``[start, e)`` is
         *exactly* equivalent to stepwise execution.
@@ -276,6 +307,27 @@ class DecodedProgram:
         self.block_replays = 0
         self.vector_items = 0
 
+    @classmethod
+    def from_artifact(cls, instructions: Tuple, steps: List[tuple],
+                      fast_block: List[Optional[FastBlock]],
+                      has_recv: bool) -> "DecodedProgram":
+        """Assemble a decoded program from already-decoded parts.
+
+        Used by the persistent compile cache's warm load, which stores
+        ``steps``/``fast_block`` explicitly and must not re-run
+        ``__init__``'s decode pass.  Replay counters start at zero —
+        they are writer-process state, not program content."""
+        decoded = cls.__new__(cls)
+        decoded.instructions = instructions
+        decoded.n = len(instructions)
+        decoded.steps = steps
+        decoded.fast_block = fast_block
+        decoded.has_recv = has_recv
+        decoded.vector_replays = 0
+        decoded.block_replays = 0
+        decoded.vector_items = 0
+        return decoded
+
     @staticmethod
     def _build_block(steps, start: int, end: int) -> FastBlock:
         position = 0
@@ -362,6 +414,53 @@ def decode_program(program, trust_pin: bool = True) -> DecodedProgram:
         _by_content.move_to_end(content_key)
     program._decoded_cache = (instructions, len(instructions), decoded)
     return decoded
+
+
+def adopt_decoded(program, decoded: DecodedProgram) -> None:
+    """Install an externally produced decode of ``program`` into the caches.
+
+    The compile cache (:mod:`repro.compiler.cache`) pickles each
+    program's :class:`DecodedProgram` next to the program itself, so a
+    warm load skips the decode pass entirely.  ``decoded.instructions``
+    must be the *same objects* as ``program.instructions`` (pickling
+    them in one payload guarantees that via the pickle memo) — the
+    id-tuple content key below is only safe under that aliasing, so it
+    is asserted rather than trusted.
+
+    Both cache levels are primed: the per-program pin serves
+    ``decode_program(trust_pin=True)`` (shot reloads) and the content
+    entry serves ``trust_pin=False`` (``HISQCore.start``), which would
+    otherwise re-decode from scratch and silently waste the artifact.
+    The replay counters are writer-process state, not program content —
+    they restart at zero in the adopting process.
+    """
+    instructions = program.instructions
+    if len(decoded.instructions) != len(instructions) or any(
+            a is not b for a, b in zip(decoded.instructions, instructions)):
+        raise ValueError("decoded artifact does not alias the program's "
+                         "instruction objects")
+    decoded.vector_replays = 0
+    decoded.block_replays = 0
+    decoded.vector_items = 0
+    _prime_decoded(program, decoded, tuple(map(id, instructions)))
+
+
+def _prime_decoded(program, decoded: DecodedProgram, content_key: tuple
+                   ) -> None:
+    """Install ``decoded`` in both cache levels without any checks.
+
+    ``content_key`` must be ``tuple(map(id, program.instructions))`` for
+    instructions the decoded object pins — :func:`adopt_decoded` is the
+    checked public path; the compile cache's warm load
+    (:mod:`repro.compiler.cache`) calls this directly because it builds
+    program and decode from one instruction pool, so the aliasing holds
+    by construction and the key is shared across programs that reuse a
+    decode."""
+    _by_content[content_key] = decoded
+    if len(_by_content) > _BY_CONTENT_LIMIT:
+        _by_content.popitem(last=False)
+    program._decoded_cache = (program.instructions,
+                              len(program.instructions), decoded)
 
 
 def clear_decode_caches() -> None:

@@ -14,15 +14,30 @@ analogy's precondition), the destination router raises Tm to at least
 ``now + processing + max downstream latency`` — the pre-configured
 ``down_bound`` of the group.  Any excess over ``max_i T_i`` is exactly the
 synchronization overhead of section 4.4.
+
+The event-fabric side is allocation-light: inbound bookings, upward
+relays and downward broadcasts each travel through a per-router FIFO
+deque plus one *prebound* callback, instead of a fresh lambda closure
+per message.  Every class of traffic through one router has a uniform
+latency (hop or processing delay), so deque order and engine firing
+order provably agree — the payload does not need to ride inside the
+closure.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import SynchronizationError
+from ..obs import metrics as _metrics
 from .messages import BookingMessage, TimePointMessage
+from .sync_plan import SYNC_PLAN_FALLBACK
+
+ABANDONED_EPOCHS = _metrics.counter(
+    "repro_router_abandoned_epochs_total",
+    "incomplete (group, epoch) rendezvous dropped at engine teardown")
 
 
 @dataclass
@@ -56,12 +71,50 @@ class Router:
         self.groups: Dict[int, SyncGroupInfo] = {}
         self.fabric = None  # wired by the system builder
         self._pending: Dict[tuple, Dict[int, int]] = {}
+        #: Payload FIFOs behind the prebound callbacks.  Safe because
+        #: each queue's traffic has one uniform engine delay: inbound
+        #: bookings all travel one hop, relays and broadcasts all wait
+        #: this router's processing delay — insertion order is firing
+        #: order.
+        self._inbound: deque = deque()
+        self._up: deque = deque()
+        self._down: deque = deque()
+        # Prebind the engine callbacks once — scheduling then passes an
+        # existing object instead of materializing a bound method (let
+        # alone a lambda) per message.
+        self.deliver_booking = self.deliver_booking
+        self._relay_up = self._relay_up
+        self._relay_down = self._relay_down
         self.bookings_handled = 0
         self.broadcasts_sent = 0
+        #: Incomplete rendezvous dropped by :meth:`abandon` (leak
+        #: diagnostics; a healthy drained run ends with 0).
+        self.abandoned_epochs = 0
 
     def configure_group(self, info: SyncGroupInfo) -> None:
         """Register static routing data for one sync group."""
         self.groups[info.group] = info
+
+    # -- prebound fabric callbacks (one per router, not one per message) --
+
+    def enqueue_booking(self, message: BookingMessage) -> None:
+        """Buffer an inbound booking for delivery after one hop; the
+        caller schedules :meth:`deliver_booking` at the arrival cycle."""
+        self._inbound.append(message)
+
+    def deliver_booking(self) -> None:
+        """Engine callback: the oldest in-flight booking arrives."""
+        self.receive_booking(self._inbound.popleft())
+
+    def _relay_up(self) -> None:
+        """Engine callback: forward the oldest finished partial max."""
+        self.fabric.router_to_parent(self, self._up.popleft())
+
+    def _relay_down(self) -> None:
+        """Engine callback: broadcast the oldest finished Tm."""
+        message = self._down.popleft()
+        info = self.groups[message.group]
+        self.fabric.router_to_children(self, info.member_children, message)
 
     def receive_booking(self, msg: BookingMessage) -> None:
         """Handle a booking message from a child (Figure 8, left path)."""
@@ -92,16 +145,16 @@ class Router:
             self.telf.log(self.engine.now, self.name, "sync_done",
                           port=msg.group, value=tm,
                           note="Tm (overhead {})".format(tm - partial_max))
+            SYNC_PLAN_FALLBACK.value += 1
             self._broadcast(msg.group, msg.epoch, tm, info)
         else:
             if self.parent_address is None:
                 raise SynchronizationError(
                     "{}: non-destination router without parent".format(
                         self.name))
-            self.engine.after(self.process_cycles, lambda: (
-                self.fabric.router_to_parent(
-                    self, BookingMessage(msg.group, msg.epoch, self.address,
-                                         partial_max))))
+            self._up.append(BookingMessage(msg.group, msg.epoch,
+                                           self.address, partial_max))
+            self.engine.after(self.process_cycles, self._relay_up)
 
     def receive_time_point(self, msg: TimePointMessage) -> None:
         """Handle a Tm broadcast from the parent (Figure 8, right path)."""
@@ -115,10 +168,27 @@ class Router:
     def _broadcast(self, group: int, epoch: int, tm: int,
                    info: SyncGroupInfo) -> None:
         self.broadcasts_sent += 1
-        message = TimePointMessage(group, epoch, tm)
-        self.engine.after(self.process_cycles, lambda: (
-            self.fabric.router_to_children(self, info.member_children,
-                                           message)))
+        self._down.append(TimePointMessage(group, epoch, tm))
+        self.engine.after(self.process_cycles, self._relay_down)
+
+    def abandon(self) -> int:
+        """Drop every incomplete (group, epoch) rendezvous; return count.
+
+        Called by the system's drain hook at engine teardown: a crashed
+        member or aborted program leaves partially filled booking
+        buckets that nothing would ever complete, and before this hook
+        they leaked for the router's lifetime.  In-flight queue payloads
+        are cleared too — their engine events are already gone.
+        """
+        count = len(self._pending)
+        if count:
+            self._pending.clear()
+            self.abandoned_epochs += count
+            ABANDONED_EPOCHS.value += count
+        self._inbound.clear()
+        self._up.clear()
+        self._down.clear()
+        return count
 
     def __repr__(self):
         return "Router({!r}, addr={}, groups={})".format(

@@ -61,7 +61,8 @@ def spawn_worker(url: str, store: Optional[str] = None,
                  worker_id: Optional[str] = None,
                  log_level: Optional[str] = None,
                  log_json: bool = False,
-                 trace: Optional[str] = None) -> subprocess.Popen:
+                 trace: Optional[str] = None,
+                 compile_cache: Optional[str] = None) -> subprocess.Popen:
     """Launch one worker subprocess against ``url`` (used by ``serve
     --workers N``, the tests and CI).  ``log_level``/``log_json``
     propagate the parent's logging configuration; ``trace`` makes the
@@ -80,6 +81,8 @@ def spawn_worker(url: str, store: Optional[str] = None,
         command += ["--log-json"]
     if trace:
         command += ["--trace", trace]
+    if compile_cache:
+        command += ["--compile-cache", compile_cache]
     env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
     return subprocess.Popen(command, env=env)
 
@@ -117,7 +120,8 @@ async def _serve(args) -> int:
             worker_id="serve-worker-{}".format(index),
             log_level=args.log_level, log_json=args.log_json,
             trace=(args.worker_trace.format(index=index)
-                   if args.worker_trace else None)))
+                   if args.worker_trace else None),
+            compile_cache=args.compile_cache))
     if workers:
         _log.info("workers_spawned", count=len(workers),
                   pids=[p.pid for p in workers])
@@ -262,6 +266,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="spawned workers export span traces to this "
                             "path ('{index}' expands per worker, e.g. "
                             "/tmp/worker-{index}.trace.json)")
+    serve.add_argument("--compile-cache", default=None,
+                       help="persistent compile-cache directory shared by "
+                            "the spawned workers")
     obs_log.add_log_arguments(serve)
     serve.set_defaults(run=_cmd_serve)
 

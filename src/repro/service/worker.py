@@ -29,6 +29,7 @@ import signal
 import sys
 import time
 import traceback
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..harness.parallel import SweepTask, run_cell_timed
@@ -49,6 +50,7 @@ def work_loop(url: str,
               max_cells: Optional[int] = None,
               cell_delay_ms: float = 0.0,
               max_connect_failures: int = 30,
+              compile_cache_dir: Optional[str] = None,
               verbose: bool = False) -> int:
     """Run the lease/execute/report loop; returns completed-cell count.
 
@@ -87,6 +89,11 @@ def work_loop(url: str,
         idle_since = time.monotonic()
         key, lease = job["key"], job["lease"]
         task = SweepTask.from_dict(job["task"])
+        if compile_cache_dir and task.compile_cache_dir is None:
+            # Worker-local compile cache: a submitting client that set a
+            # dir in the task wins; otherwise every worker on this host
+            # shares the operator-configured store.
+            task = replace(task, compile_cache_dir=compile_cache_dir)
         if cell_delay_ms > 0:
             # Fault-injection / load-shaping hook: the crash-resume test
             # kills the worker inside this window, i.e. provably
@@ -140,6 +147,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cell-delay-ms", type=float, default=0.0,
                         help="pause between lease and execution "
                              "(fault-injection tests, load shaping)")
+    parser.add_argument("--compile-cache", default=None,
+                        help="persistent compile-cache directory shared "
+                             "by workers on this host")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="export this worker's spans (and traced "
                              "cells' TELF tracks) as Chrome trace-event "
@@ -168,6 +178,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   idle_exit_seconds=args.idle_exit,
                   max_cells=args.max_cells,
                   cell_delay_ms=args.cell_delay_ms,
+                  compile_cache_dir=args.compile_cache,
                   verbose=args.verbose)
     except ServiceClientError as exc:
         print("worker error: {}".format(exc), file=sys.stderr)

@@ -16,14 +16,49 @@ from typing import Dict, Iterable, List, Optional
 from ..core.config import CENTRAL_ADDRESS, CoreConfig
 from ..core.node import HISQCore
 from ..errors import ExecutionError, SynchronizationError
+from ..fastpath import sync_plan_enabled
+from ..isa.decoded import decode_program
 from ..isa.program import Program
 from ..network.messages import BookingMessage, TimePointMessage
-from ..network.router import Router, SyncGroupInfo
+from ..network.router import ABANDONED_EPOCHS, Router, SyncGroupInfo
+from ..network.sync_plan import (SYNC_PLAN_RESOLVED, PlanDelivery,
+                                 SyncPlanGroup, build_sync_plan_group)
 from ..network.topology import Topology, build_topology
 from .config import SimulationConfig
 from .device import QuantumDevice
 from .engine import Engine
 from .telf import ExecutionStats, TelfLog
+
+
+class _DeliverMessage:
+    """One in-flight classical message (latency varies per source/dest
+    pair, so the payload must ride with the event — but as one slotted
+    object, not a closure plus captured cells)."""
+
+    __slots__ = ("core", "source", "value")
+
+    def __init__(self, core: HISQCore, source: int, value: int):
+        self.core = core
+        self.source = source
+        self.value = value
+
+    def __call__(self) -> None:
+        self.core.deliver_message(self.source, self.value)
+
+
+class _FanDown:
+    """One coalesced Tm broadcast hop: every child of one router in one
+    engine event (the cascade used to schedule one event + one lambda
+    per child for the same cycle)."""
+
+    __slots__ = ("deliveries",)
+
+    def __init__(self, deliveries):
+        self.deliveries = deliveries
+
+    def __call__(self) -> None:
+        for callback, arg in self.deliveries:
+            callback(arg)
 
 
 class ControlSystem:
@@ -77,6 +112,18 @@ class ControlSystem:
         self._group_target: Dict[int, int] = {}
         self._epochs: Dict[tuple, int] = {}
         self.unmapped_codewords = 0
+        #: Compiled sync plans (:mod:`repro.network.sync_plan`), one per
+        #: registered group, plus their per-level sync-unit fan-out lists
+        #: resolved once at registration time.
+        self._sync_plans: Dict[int, SyncPlanGroup] = {}
+        self._sync_plan_levels: Dict[int, list] = {}
+        #: (group, epoch) -> [bookings seen, max T, max dest arrival].
+        self._sync_plan_state: Dict[tuple, list] = {}
+        #: Decided once at :meth:`start_all` (all programs loaded by
+        #: then); None = not decided yet.
+        self._sync_plan_active: Optional[bool] = None
+        self.sync_plan_resolved = 0
+        self.abandoned_sync_epochs = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -113,6 +160,7 @@ class ControlSystem:
             path = self.topology.path_to_ancestor(member, target)
             for child, parent in zip(path, path[1:]):
                 expected.setdefault(parent, set()).add(child)
+        target_down_bound = 0
         for router_addr, children in expected.items():
             member_hops = [
                 len(self.topology.path_to_ancestor(m, router_addr)) - 1
@@ -120,12 +168,21 @@ class ControlSystem:
                 if router_addr in self.topology.path_to_ancestor(m, target)]
             down_bound = max(h * hop + max(0, h - 1) * process
                              for h in member_hops)
+            if router_addr == target:
+                target_down_bound = down_bound
             self.routers[router_addr].configure_group(SyncGroupInfo(
                 group=group_id,
                 expected=sorted(children),
                 member_children=sorted(children),
                 is_destination=(router_addr == target),
                 down_bound=down_bound))
+        plan = build_sync_plan_group(group_id, members, target,
+                                     self.topology, hop, process,
+                                     target_down_bound)
+        self._sync_plans[group_id] = plan
+        self._sync_plan_levels[group_id] = [
+            (delay, tuple(self.cores[m].sync_unit for m in addrs))
+            for delay, addrs in plan.levels]
         return target
 
     # ------------------------------------------------------------------
@@ -144,9 +201,11 @@ class ControlSystem:
                     core.name, target))
         latency = self.config.neighbor_link_cycles
         peer = self.cores[target]
-        source = core.address
-        self.engine.after(latency,
-                          lambda: peer.sync_unit.receive_signal(source))
+        # Uniform latency => deque order is firing order; the payload
+        # travels through the SyncUnit's FIFO behind a prebound callback
+        # instead of a per-signal closure.
+        peer.sync_unit.enqueue_signal(core.address)
+        self.engine.after(latency, peer.sync_unit.deliver_signal)
         return latency
 
     def send_booking(self, core: HISQCore, group: int,
@@ -162,34 +221,82 @@ class ControlSystem:
         key = (core.address, group)
         epoch = self._epochs.get(key, 0)
         self._epochs[key] = epoch + 1
+        if self._sync_plan_active:
+            self._plan_booking(group, epoch, core.address, time_point)
+            return
         parent = self.topology.parent[core.address]
-        message = BookingMessage(group, epoch, core.address, time_point)
         router = self.routers[parent]
+        router.enqueue_booking(
+            BookingMessage(group, epoch, core.address, time_point))
         self.engine.after(self.config.router_hop_cycles,
-                          lambda: router.receive_booking(message))
+                          router.deliver_booking)
+
+    def _plan_booking(self, group: int, epoch: int, member: int,
+                      time_point: int) -> None:
+        """Fold one booking into the compiled plan; resolve on the last.
+
+        Mirrors the cascade arithmetically (see
+        :mod:`repro.network.sync_plan` for the derivation): the epoch
+        resolves the moment its last member books, scheduling one
+        batched delivery event per tree depth at the exact cycles the
+        router broadcasts would have reached those members — and keeps
+        the involved routers' diagnostic counters in step.
+        """
+        plan = self._sync_plans[group]
+        arrival = self.engine.now + plan.up_delay[member]
+        state_key = (group, epoch)
+        entry = self._sync_plan_state.get(state_key)
+        if entry is None:
+            entry = self._sync_plan_state[state_key] = [0, time_point,
+                                                        arrival]
+        else:
+            if time_point > entry[1]:
+                entry[1] = time_point
+            if arrival > entry[2]:
+                entry[2] = arrival
+        entry[0] += 1
+        if entry[0] < plan.member_count:
+            return
+        del self._sync_plan_state[state_key]
+        partial_max, dest_arrival = entry[1], entry[2]
+        tm = max(partial_max, dest_arrival + plan.process + plan.down_bound)
+        self.sync_plan_resolved += 1
+        SYNC_PLAN_RESOLVED.value += 1
+        routers = self.routers
+        for address, count in plan.booking_counts:
+            routers[address].bookings_handled += count
+        for address in plan.broadcast_routers:
+            routers[address].broadcasts_sent += 1
+        at = self.engine.at
+        for delay, units in self._sync_plan_levels[group]:
+            at(dest_arrival + delay, PlanDelivery(units, tm))
 
     def router_to_parent(self, router: Router, message: BookingMessage
                          ) -> None:
         """One hop up the tree."""
         parent = self.routers[router.parent_address]
+        parent.enqueue_booking(message)
         self.engine.after(self.config.router_hop_cycles,
-                          lambda: parent.receive_booking(message))
+                          parent.deliver_booking)
 
     def router_to_children(self, router: Router, children: List[int],
                            message: TimePointMessage) -> None:
-        """Broadcast a Tm one hop down the tree."""
-        for child in children:
-            if child in self.routers:
-                target_router = self.routers[child]
-                self.engine.after(
-                    self.config.router_hop_cycles,
-                    lambda r=target_router: r.receive_time_point(message))
-            else:
-                core = self.cores[child]
-                self.engine.after(
-                    self.config.router_hop_cycles,
-                    lambda c=core: c.sync_unit.receive_time_point(
-                        message.time_point))
+        """Broadcast a Tm one hop down the tree.
+
+        All children sit one uniform hop away, so the fan-out is one
+        coalesced engine event delivering in the given (sorted) order —
+        identical cycle, identical relative order, N-1 fewer events and
+        zero per-child closures."""
+        routers = self.routers
+        cores = self.cores
+        deliveries = [
+            (routers[child].receive_time_point, message)
+            if child in routers
+            else (cores[child].sync_unit.receive_time_point,
+                  message.time_point)
+            for child in children]
+        self.engine.after(self.config.router_hop_cycles,
+                          _FanDown(deliveries))
 
     def send_message(self, core: HISQCore, destination: int,
                      value: int) -> None:
@@ -209,10 +316,8 @@ class ControlSystem:
                                                               destination))
         latency = self.topology.message_latency_cycles(core.address,
                                                        destination)
-        target = self.cores[destination]
-        source = core.address
-        self.engine.after(latency,
-                          lambda: target.deliver_message(source, value))
+        self.engine.after(latency, _DeliverMessage(
+            self.cores[destination], core.address, value))
 
     def emit_codeword(self, core: HISQCore, port: int, codeword: int) -> None:
         """Decode a codeword emission through the board's table."""
@@ -227,17 +332,66 @@ class ControlSystem:
     # Execution
     # ------------------------------------------------------------------
 
+    def _sync_plans_applicable(self) -> bool:
+        """Whether compiled sync plans may replace the router cascade.
+
+        The provably safe class only: every loaded program recv-free
+        (no feedback can observe message interleaving — the lane
+        fast-forward class), no quantum backend, gate log off, TELF off
+        (so nothing order- or record-sensitive watches the fabric), and
+        the escape hatches (``REPRO_NO_SYNC_PLAN``,
+        ``REPRO_NO_FASTPATH``) unset.  A program that fails to decode
+        falls back to the cascade rather than erroring.
+        """
+        if not self._sync_plans or not sync_plan_enabled():
+            return False
+        if self.device.backend is not None or self.device.record_gate_log \
+                or self.telf.enabled:
+            return False
+        try:
+            return all(not decode_program(core.program).has_recv
+                       for core in self.cores.values()
+                       if len(core.program.instructions))
+        except Exception:
+            return False
+
     def start_all(self, at: int = 0) -> None:
         """Start every controller that has a program loaded."""
+        if self._sync_plan_active is None:
+            self._sync_plan_active = self._sync_plans_applicable()
         for core in self.cores.values():
             if len(core.program.instructions):
                 core.start(at)
+
+    def drain_sync_state(self) -> int:
+        """Drop rendezvous state nothing can complete; return the count.
+
+        Engine-teardown hook: once the event queue has drained, any
+        booking bucket still sitting in a router — or any partially
+        booked plan epoch — belongs to a crashed/aborted member and
+        would otherwise leak for the system's lifetime.  (A rendezvous
+        spanning several routers counts once per partial bucket; the
+        number is a leak diagnostic, not an epoch census.)
+        """
+        abandoned = 0
+        for router in self.routers.values():
+            abandoned += router.abandon()
+        stranded = len(self._sync_plan_state)
+        if stranded:
+            self._sync_plan_state.clear()
+            ABANDONED_EPOCHS.value += stranded
+            abandoned += stranded
+        return abandoned
 
     def run(self, until: Optional[int] = None,
             allow_blocked: bool = False) -> ExecutionStats:
         """Start all cores, run to completion, and collect statistics."""
         self.start_all()
         self.engine.run(until=until)
+        if until is None:
+            # Bounded runs may legitimately hold in-flight sync state
+            # they would complete if resumed; full drains cannot.
+            self.abandoned_sync_epochs = self.drain_sync_state()
         blocked = [core.name for core in self.cores.values()
                    if len(core.program.instructions) and not core.drained]
         if blocked and until is None and not allow_blocked:

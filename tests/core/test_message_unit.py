@@ -78,3 +78,63 @@ class TestMessageUnit:
         unit.deliver(2, 0)
         assert unit.pending() == 3
         assert unit.pending(1) == 2
+
+
+class TestWildcardInterleaving:
+    """ANY_SOURCE and concrete receives interleaved over one unit: the
+    lazy arrival-order queue must skip entries consumed by concrete
+    receives without ever reordering or double-delivering (regression
+    for the O(n) ``_order.remove`` replacement)."""
+
+    def test_concrete_then_wildcard_skips_consumed(self):
+        unit = MessageUnit("c0")
+        unit.deliver(1, 10)
+        unit.deliver(2, 20)
+        unit.deliver(1, 11)
+        got = []
+        unit.receive(1, lambda s, v: got.append((s, v)))   # eats (1, 10)
+        unit.receive(ANY_SOURCE, lambda s, v: got.append((s, v)))
+        unit.receive(ANY_SOURCE, lambda s, v: got.append((s, v)))
+        assert got == [(1, 10), (2, 20), (1, 11)]
+        assert unit.pending() == 0
+
+    def test_wildcard_sees_arrival_order_across_gaps(self):
+        unit = MessageUnit("c0")
+        for source, value in [(3, 1), (1, 2), (3, 3), (2, 4), (1, 5)]:
+            unit.deliver(source, value)
+        got = []
+        unit.receive(3, lambda s, v: got.append(v))        # eats (3, 1)
+        unit.receive(3, lambda s, v: got.append(v))        # eats (3, 3)
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(v))
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(v))
+        unit.receive(ANY_SOURCE, lambda s, v: got.append(v))
+        assert got == [1, 3, 2, 4, 5]
+
+    def test_interleaving_matches_oracle(self):
+        """Differential check against a naive list-based model across a
+        deterministic mixed schedule."""
+        import random
+
+        rng = random.Random(1234)
+        unit = MessageUnit("c0")
+        oracle = []  # (source, value) in arrival order
+        got, expected = [], []
+        next_value = 0
+        for _ in range(400):
+            action = rng.randrange(3)
+            if action == 0:
+                source = rng.randrange(4)
+                unit.deliver(source, next_value)
+                oracle.append((source, next_value))
+                next_value += 1
+            elif action == 1 and oracle:
+                source = rng.choice(oracle)[0]
+                match = next(i for i, (s, _) in enumerate(oracle)
+                             if s == source)
+                expected.append(oracle.pop(match))
+                unit.receive(source, lambda s, v: got.append((s, v)))
+            elif action == 2 and oracle:
+                expected.append(oracle.pop(0))
+                unit.receive(ANY_SOURCE, lambda s, v: got.append((s, v)))
+        assert got == expected
+        assert unit.pending() == len(oracle)

@@ -376,3 +376,55 @@ class TestWireSerialization:
         assert rebuilt == cell
         assert rebuilt.lifetimes_ns == cell.lifetimes_ns
         assert all(isinstance(k, int) for k in rebuilt.lifetimes_ns)
+
+
+class TestCompileCachePlumbing:
+    """compile_cache_dir: wire format, cache-key exclusion, execution."""
+
+    def test_field_round_trips(self):
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        task = replace(task, compile_cache_dir="/tmp/somewhere")
+        rebuilt = SweepTask.from_dict(task.to_dict())
+        assert rebuilt.compile_cache_dir == "/tmp/somewhere"
+        assert rebuilt == task
+
+    def test_not_in_cache_key(self):
+        """Cached compilations are bit-identical by contract, so the
+        result-cache key must not fragment on the compile-cache dir."""
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        warm = replace(task, compile_cache_dir="/tmp/somewhere")
+        assert warm.cache_key() == task.cache_key()
+
+    def test_run_tasks_counts_and_matches(self, tmp_path):
+        """Serial sweeps report exact compile hit/miss tallies, and a
+        warm compile cache reproduces cold results bit-for-bit."""
+        from repro.harness.parallel import clear_cell_caches, run_tasks
+
+        tasks = build_tasks(SCALE, ("bisp", "lockstep"),
+                            spec_names=["bv_n400"])
+        clear_cell_caches()
+        cold, cold_stats = run_tasks(
+            tasks, processes=1, compile_cache_dir=str(tmp_path))
+        assert cold_stats.compile_misses == 2
+        assert cold_stats.compile_hits == 0
+        clear_cell_caches()
+        warm, warm_stats = run_tasks(
+            tasks, processes=1, compile_cache_dir=str(tmp_path))
+        assert warm_stats.compile_hits == 2
+        assert warm_stats.compile_misses == 0
+        assert warm == cold
+
+    def test_task_level_dir_wins(self, tmp_path):
+        """A task that already carries a dir keeps it when run_tasks is
+        handed a different one."""
+        from repro.harness.parallel import run_tasks
+
+        clear_cell_caches()
+        task, = build_tasks(SCALE, ("bisp",), spec_names=["bv_n400"])
+        pinned = str(tmp_path / "pinned")
+        tasks = [replace(task, compile_cache_dir=pinned)]
+        run_tasks(tasks, processes=1,
+                  compile_cache_dir=str(tmp_path / "other"))
+        assert len(list((tmp_path / "pinned").glob("*.pkl"))) == 1
+        assert not (tmp_path / "other").exists() or \
+            not list((tmp_path / "other").glob("*.pkl"))

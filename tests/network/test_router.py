@@ -102,3 +102,48 @@ class TestAggregation:
         router.receive_booking(BookingMessage(7, 0, 0, 1))
         with pytest.raises(SynchronizationError):
             router.receive_booking(BookingMessage(7, 0, 0, 2))
+
+
+class TestAbandon:
+    """Teardown drain: incomplete rendezvous must not leak forever."""
+
+    def test_partial_epoch_abandoned_and_counted(self):
+        engine, router = make_router([0, 1, 2])
+        router.receive_booking(BookingMessage(7, 0, 0, 5))
+        router.receive_booking(BookingMessage(7, 0, 1, 6))
+        assert router.abandon() == 1
+        assert router.abandoned_epochs == 1
+        assert router._pending == {}
+        # The drained bucket is really gone: a fresh epoch 0 booking
+        # from the same member is a new rendezvous, not a duplicate.
+        router.receive_booking(BookingMessage(7, 0, 0, 5))
+
+    def test_complete_run_abandons_nothing(self):
+        engine, router = make_router([0, 1])
+        router.receive_booking(BookingMessage(7, 0, 0, 5))
+        router.receive_booking(BookingMessage(7, 0, 1, 9))
+        engine.run()
+        assert router.abandon() == 0
+        assert router.abandoned_epochs == 0
+
+    def test_multiple_partial_epochs_counted(self):
+        engine, router = make_router([0, 1])
+        router.receive_booking(BookingMessage(7, 0, 0, 5))
+        router.receive_booking(BookingMessage(7, 1, 0, 6))
+        router.receive_booking(BookingMessage(7, 2, 0, 7))
+        assert router.abandon() == 3
+        assert router.abandoned_epochs == 3
+
+    def test_system_run_drains_and_reports(self):
+        """A full ControlSystem run exposes the drained count; a clean
+        run reports zero."""
+        from repro.isa import assemble
+        from repro.sim import ControlSystem
+
+        system = ControlSystem(3, mesh_kind="line")
+        system.register_sync_group(40, [0, 1])
+        for address in (0, 1):
+            system.load_program(address,
+                                assemble("sync 40,1\nwaiti 1\nhalt"))
+        system.run()
+        assert system.abandoned_sync_epochs == 0

@@ -1,0 +1,175 @@
+"""Compiled sync plans: bit-identity with the router cascade, gating."""
+
+import pytest
+
+from repro.compiler import compile_circuit, run_circuit
+from repro.isa import assemble
+from repro.network.sync_plan import (build_sync_plan_group,
+                                     reset_sync_plan_totals,
+                                     sync_plan_totals)
+from repro.quantum import QuantumCircuit
+from repro.sim import ControlSystem
+
+
+def _region_system(members, syncs=3, record_telf=False):
+    """A quiet (TELF-off) system where ``members`` region-sync
+    ``syncs`` times; spans two leaf routers when members straddle the
+    fanout boundary."""
+    system = ControlSystem(20, mesh_kind="line", record_telf=record_telf,
+                           record_gate_log=False)
+    system.register_sync_group(40, members)
+    for address in members:
+        program = assemble("sync 40,1\nwaiti 1\n" * syncs + "halt")
+        system.load_program(address, program)
+    return system
+
+
+def _run_region(members, monkeypatch, no_plan, syncs=3):
+    if no_plan:
+        monkeypatch.setenv("REPRO_NO_SYNC_PLAN", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+    system = _region_system(members, syncs=syncs)
+    stats = system.run()
+    return system, stats
+
+
+class TestPlanMatchesCascade:
+    @pytest.mark.parametrize("members", [[0, 1], [0, 19], [0, 9, 19]])
+    def test_timing_identical(self, members, monkeypatch):
+        plan_sys, plan_stats = _run_region(members, monkeypatch,
+                                           no_plan=False)
+        fall_sys, fall_stats = _run_region(members, monkeypatch,
+                                           no_plan=True)
+        assert plan_sys._sync_plan_active is True
+        assert fall_sys._sync_plan_active is False
+        assert plan_sys.sync_plan_resolved == 3
+        assert fall_sys.sync_plan_resolved == 0
+        for address in members:
+            plan_core = plan_sys.cores[address]
+            fall_core = fall_sys.cores[address]
+            assert plan_core.last_event_time == fall_core.last_event_time
+            assert plan_core.counters() == fall_core.counters()
+            assert plan_core.sync_unit.tm_received == \
+                fall_core.sync_unit.tm_received
+
+    @pytest.mark.parametrize("members", [[0, 19], [0, 9, 19]])
+    def test_router_diagnostics_stay_in_step(self, members, monkeypatch):
+        """The plan books nothing through the routers, but their
+        bookings/broadcast counters must still read as if it had —
+        otherwise fleet dashboards silently flatline under the plan."""
+        plan_sys, _ = _run_region(members, monkeypatch, no_plan=False)
+        fall_sys, _ = _run_region(members, monkeypatch, no_plan=True)
+        for address, router in plan_sys.routers.items():
+            other = fall_sys.routers[address]
+            assert router.bookings_handled == other.bookings_handled
+            assert router.broadcasts_sent == other.broadcasts_sent
+
+    def test_counters_move(self, monkeypatch):
+        reset_sync_plan_totals()
+        _run_region([0, 19], monkeypatch, no_plan=False)
+        assert sync_plan_totals() == {"resolved": 3, "fallback": 0}
+        reset_sync_plan_totals()
+        _run_region([0, 19], monkeypatch, no_plan=True)
+        assert sync_plan_totals()["resolved"] == 0
+        assert sync_plan_totals()["fallback"] == 3
+
+
+class TestGating:
+    def test_env_hatch_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SYNC_PLAN", "1")
+        system = _region_system([0, 19])
+        system.run()
+        assert system._sync_plan_active is False
+
+    def test_no_fastpath_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        system = _region_system([0, 19])
+        system.run()
+        assert system._sync_plan_active is False
+
+    def test_telf_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        system = _region_system([0, 19], record_telf=True)
+        system.run()
+        assert system._sync_plan_active is False
+
+    def test_recv_program_disables(self, monkeypatch):
+        """Any recv-bearing program keeps the dynamic routers — message
+        interleaving is observable through feedback."""
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        system = _region_system([0, 19])
+        system.load_program(1, assemble("send.i 2,7\nhalt"))
+        system.load_program(2, assemble("recv $5,1\nhalt"))
+        system.run()
+        assert system._sync_plan_active is False
+
+    def test_backend_and_gate_log_disable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        system = _region_system([0, 19])
+        system.device.record_gate_log = True
+        assert system._sync_plans_applicable() is False
+        system.device.record_gate_log = False
+        system.device.backend = object()
+        assert system._sync_plans_applicable() is False
+        system.device.backend = None
+        assert system._sync_plans_applicable() is True
+
+    def test_no_groups_no_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        system = ControlSystem(4, mesh_kind="line", record_telf=False)
+        system.load_program(0, assemble("halt"))
+        system.run()
+        assert system._sync_plan_active is False
+
+
+class TestPlanArithmetic:
+    def test_levels_and_delays(self):
+        """Compiled delays equal the cascade's per-hop sums on the real
+        tree topology."""
+        system = ControlSystem(20, mesh_kind="line", record_telf=False)
+        topology = system.topology
+        members = [0, 9, 19]
+        target = topology.common_ancestor(members)
+        hop = system.config.router_hop_cycles
+        process = system.config.router_process_cycles
+        plan = build_sync_plan_group(40, members, target, topology,
+                                     hop, process, down_bound=11)
+        for member in members:
+            depth = len(topology.path_to_ancestor(member, target)) - 1
+            assert plan.up_delay[member] == \
+                depth * hop + (depth - 1) * process
+        delays = [delay for delay, _ in plan.levels]
+        assert delays == sorted(delays)
+        delivered = [m for _, addrs in plan.levels for m in addrs]
+        assert sorted(delivered) == members
+        assert plan.down_bound == 11
+
+
+class TestCompiledCircuits:
+    def test_region_sync_circuit_identical(self, monkeypatch):
+        """A compiled circuit with long-range CNOTs (region sync groups,
+        no feedback) runs bit-identically with and without the plan."""
+        circuit = QuantumCircuit(12)
+        for _ in range(2):
+            circuit.cx(0, 11)
+            circuit.cx(3, 9)
+        compilation = compile_circuit(circuit, mesh_kind="line")
+        assert compilation.sync_groups
+
+        monkeypatch.delenv("REPRO_NO_SYNC_PLAN", raising=False)
+        plan_run = run_circuit(circuit, mesh_kind="line", device_seed=5,
+                               record_gate_log=False, record_telf=False,
+                               compilation=compilation)
+        monkeypatch.setenv("REPRO_NO_SYNC_PLAN", "1")
+        fall_run = run_circuit(circuit, mesh_kind="line", device_seed=5,
+                               record_gate_log=False, record_telf=False,
+                               compilation=compilation)
+        assert plan_run.makespan_cycles == fall_run.makespan_cycles
+        assert plan_run.stats.sync_stall_cycles == \
+            fall_run.stats.sync_stall_cycles
+        assert plan_run.system.device.lifetimes_ns() == \
+            fall_run.system.device.lifetimes_ns()
+        assert plan_run.system.sync_plan_resolved > 0
+        assert fall_run.system.sync_plan_resolved == 0
