@@ -1,0 +1,21 @@
+"""Deterministic chaos fabric: seeded fault injection for the sweep
+service and its storage layer.
+
+The contract this package exists to check: **under any injected fault
+schedule, a sweep either fails loudly or converges to the exact serial
+``results_sha256``** — faults may cost time, never correctness.  See
+:mod:`repro.chaos.plan` for the plan/injector model and
+``benchmarks/bench_chaos.py`` for the seeded soak that enforces the
+contract in CI (the ``chaos-smoke`` job).
+"""
+
+from .plan import (  # noqa: F401
+    CHAOS_PLAN_ENV, ChaosError, FaultInjector, FaultPlan, FaultRule,
+    KNOWN_FAULTS, activate, active, deactivate, load_plan,
+)
+
+__all__ = [
+    "CHAOS_PLAN_ENV", "ChaosError", "FaultInjector", "FaultPlan",
+    "FaultRule", "KNOWN_FAULTS", "activate", "active", "deactivate",
+    "load_plan",
+]

@@ -31,15 +31,21 @@ whenever present, required as a group when any one appears).
 :data:`SERVICE_ROW_KEYS` (submission/cell totals, store + in-flight
 dedup hits, lease bookkeeping); timing-dependent detail — lease-latency
 percentiles, queue-depth traces, throughput — belongs in ``volatile``
-with the wall-clocks.  ``kind="benchmark"`` rows are free-form but need
-at least one numeric value.  Everything outside ``volatile`` is
+with the wall-clocks.  ``kind="chaos"`` rows summarise one seeded
+fault-injection soak (:data:`CHAOS_ROW_KEYS`): the injected-fault
+counters by site, quarantine count and the converged sweep's own
+``results_sha256`` — everything a fixed chaos seed reproduces exactly.
+Timing-coupled bookkeeping (client retries, re-leases, wall-clock)
+reports through ``volatile``.  ``kind="benchmark"`` rows are free-form
+but need at least one numeric value.  Everything outside ``volatile`` is
 deterministic for a fixed spec and seed — byte-identical between serial
 and parallel execution — which is why wall-clock timings are *only*
 allowed inside ``volatile`` (it is excluded from ``results_sha256``).
 
 Version history: v2 added the noise columns and the optional ``noise``/
 ``noise_shots`` spec fields; v3 added the ``service`` row family
-(``repro.service`` load/soak artifacts).  Older artifacts still *load*
+(``repro.service`` load/soak artifacts) and later the ``chaos`` row
+family (seeded fault-injection soaks; same version — purely additive).  Older artifacts still *load*
 — the validator accepts them read-only so old baselines keep gating —
 but :func:`write_bench` only emits the current version.
 """
@@ -102,6 +108,27 @@ SERVICE_ROW_KEYS = {
     "hit_rate": (int, float),
     "leases_granted": int,
     "leases_expired": int,
+}
+
+#: Required keys (and checked types) of every ``kind="chaos"`` row —
+#: the deterministic outcome of one seeded fault-injection soak.  Every
+#: counter here replays byte-identically for a fixed chaos seed (fault
+#: budgets are exhausted by construction); anything traffic- or
+#: timing-dependent (client retries, re-leases, expiry sweeps,
+#: wall-clock) belongs in ``volatile``.
+CHAOS_ROW_KEYS = {
+    "label": str,
+    "chaos_seed": int,
+    "cells_total": int,
+    "faults_total": int,
+    "faults_http": int,
+    "faults_worker": int,
+    "faults_scheduler": int,
+    "faults_diskcache": int,
+    "worker_crashes": int,
+    "store_quarantines": int,
+    "converged": bool,
+    "sweep_results_sha256": str,
 }
 
 _SCALARS = (str, int, float, bool, type(None))
@@ -194,11 +221,11 @@ def validate_bench(doc: object) -> Dict[str, object]:
     if not doc["name"] or not all(
             c.isalnum() or c == "_" for c in doc["name"]):
         _fail("name", "must be a non-empty [A-Za-z0-9_]+ string")
-    if doc["kind"] not in ("sweep", "benchmark", "service"):
-        _fail("kind", "must be 'sweep', 'benchmark' or 'service'")
-    if doc["kind"] == "service" and doc["schema_version"] < 3:
-        _fail("kind", "'service' rows need schema_version >= 3, got {}"
-              .format(doc["schema_version"]))
+    if doc["kind"] not in ("sweep", "benchmark", "service", "chaos"):
+        _fail("kind", "must be 'sweep', 'benchmark', 'service' or 'chaos'")
+    if doc["kind"] in ("service", "chaos") and doc["schema_version"] < 3:
+        _fail("kind", "'{}' rows need schema_version >= 3, got {}"
+              .format(doc["kind"], doc["schema_version"]))
     _check_type("machine", doc["machine"], dict)
     for key in ("platform", "python", "cpu_count"):
         if key not in doc["machine"]:
@@ -241,6 +268,15 @@ def validate_bench(doc: object) -> Dict[str, object]:
                 _check_type("{}.{}".format(path, key), row[key], types)
             if row["hits"] + row["misses"] != row["cells_total"]:
                 _fail(path, "hits + misses must equal cells_total")
+        elif doc["kind"] == "chaos":
+            for key, types in CHAOS_ROW_KEYS.items():
+                if key not in row:
+                    _fail("{}.{}".format(path, key), "missing chaos-row key")
+                _check_type("{}.{}".format(path, key), row[key], types)
+            by_site = (row["faults_http"] + row["faults_worker"] +
+                       row["faults_scheduler"] + row["faults_diskcache"])
+            if by_site != row["faults_total"]:
+                _fail(path, "per-site fault counts must sum to faults_total")
         elif not any(isinstance(v, (int, float)) and not isinstance(v, bool)
                      for v in row.values()):
             _fail(path, "benchmark row needs at least one numeric value")

@@ -16,6 +16,7 @@ bit-identical" a property you can assert instead of hope for.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Optional, Tuple
@@ -241,12 +242,20 @@ class SweepSubmission:
     restriction the BENCH schema enforces).  Like the spec itself it is
     JSON-round-trippable (``from_dict(s.to_dict()) == s``), so the HTTP
     front end, the CLI and the scheduler all exchange the same value.
+
+    ``idempotency_key`` makes retry-safety explicit: a client that
+    resubmits after a lost ``/submit`` response sends the same key and
+    the scheduler returns the original submission instead of creating a
+    duplicate.  :meth:`content_idempotency_key` derives the natural
+    key — a sha256 over the submission's canonical JSON — which the
+    service client uses by default.
     """
 
     spec: SweepSpec
     name: str = "sweep"
     owner: str = "anonymous"
     priority: int = 0
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self):
         self.validate()
@@ -270,10 +279,29 @@ class SweepSubmission:
             raise SweepSpecError(
                 "submission priority must be an integer >= 0 "
                 "(lower runs first), got {!r}".format(self.priority))
+        if self.idempotency_key is not None and (
+                not isinstance(self.idempotency_key, str)
+                or not self.idempotency_key
+                or len(self.idempotency_key) > 128):
+            raise SweepSpecError(
+                "idempotency_key must be a non-empty string of at most "
+                "128 characters, got {!r}".format(self.idempotency_key))
+
+    def content_idempotency_key(self) -> str:
+        """sha256 over the canonical submission JSON (sans any explicit
+        key): byte-equal submissions share one key by construction."""
+        base = {"spec": self.spec.to_dict(), "name": self.name,
+                "owner": self.owner, "priority": self.priority}
+        canonical = json.dumps(base, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, object]:
-        return {"spec": self.spec.to_dict(), "name": self.name,
+        data = {"spec": self.spec.to_dict(), "name": self.name,
                 "owner": self.owner, "priority": self.priority}
+        if self.idempotency_key is not None:
+            data["idempotency_key"] = self.idempotency_key
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepSubmission":

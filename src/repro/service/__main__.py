@@ -23,14 +23,17 @@ import os
 import signal
 import subprocess
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import asyncio
 
+from ..chaos import plan as chaos_plan
 from ..errors import ReproError
-from ..harness.benchjson import write_bench
+from ..harness.benchjson import make_bench, write_bench
 from ..harness.spec import SweepSubmission
-from ..harness.sweep import add_spec_arguments, spec_from_args
+from ..harness.sweep import add_spec_arguments, run_sweep, \
+    spec_from_args
 from ..obs import log as obs_log
 from . import client
 from .client import ServiceClientError
@@ -62,11 +65,15 @@ def spawn_worker(url: str, store: Optional[str] = None,
                  log_level: Optional[str] = None,
                  log_json: bool = False,
                  trace: Optional[str] = None,
-                 compile_cache: Optional[str] = None) -> subprocess.Popen:
+                 compile_cache: Optional[str] = None,
+                 chaos_plan_path: Optional[str] = None
+                 ) -> subprocess.Popen:
     """Launch one worker subprocess against ``url`` (used by ``serve
     --workers N``, the tests and CI).  ``log_level``/``log_json``
     propagate the parent's logging configuration; ``trace`` makes the
-    worker export its span trace to that path on exit."""
+    worker export its span trace to that path on exit;
+    ``chaos_plan_path`` activates a fault plan in the worker (spawned
+    workers also inherit ``REPRO_CHAOS_PLAN`` from the environment)."""
     command = [sys.executable, "-m", "repro.service.worker",
                "--url", url, "--poll", str(poll_seconds)]
     if store:
@@ -83,6 +90,8 @@ def spawn_worker(url: str, store: Optional[str] = None,
         command += ["--trace", trace]
     if compile_cache:
         command += ["--compile-cache", compile_cache]
+    if chaos_plan_path:
+        command += ["--chaos-plan", chaos_plan_path]
     env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
     return subprocess.Popen(command, env=env)
 
@@ -100,6 +109,15 @@ def _parse_quotas(values: Optional[Sequence[str]]) -> dict:
 
 
 async def _serve(args) -> int:
+    if args.chaos_plan:
+        # Seeded fault injection in this process (scheduler + HTTP
+        # response faults) and, via spawn_worker below, in every
+        # co-located worker.
+        injector = chaos_plan.activate(
+            chaos_plan.load_plan(args.chaos_plan))
+        _log.info("chaos_plan_loaded", path=args.chaos_plan,
+                  seed=injector.plan.seed,
+                  rules=len(injector.plan.rules))
     store = CellStore(args.store)
     scheduler = Scheduler(store, lease_ttl=args.lease_ttl,
                           max_attempts=args.max_attempts,
@@ -121,7 +139,8 @@ async def _serve(args) -> int:
             log_level=args.log_level, log_json=args.log_json,
             trace=(args.worker_trace.format(index=index)
                    if args.worker_trace else None),
-            compile_cache=args.compile_cache))
+            compile_cache=args.compile_cache,
+            chaos_plan_path=args.chaos_plan))
     if workers:
         _log.info("workers_spawned", count=len(workers),
                   pids=[p.pid for p in workers])
@@ -179,7 +198,25 @@ def _print_status(status: dict, quiet: bool) -> None:
 
 
 def _fetch_to(args, submission_id: str, name_hint: str) -> int:
-    doc = client.fetch(args.url, submission_id)
+    retries = getattr(args, "retries", 0)
+    timeout = getattr(args, "timeout", 600.0)
+    deadline = None
+    while True:
+        try:
+            doc = client.fetch(args.url, submission_id, retries=retries)
+            break
+        except ServiceClientError as exc:
+            # The scheduler requeues store-lost cells and asks us to
+            # come back; honor that within the submit deadline.
+            if "requeued for recompute" not in str(exc):
+                raise
+            if deadline is None:
+                deadline = time.monotonic() + timeout
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise
+            print("fetch: {}; waiting".format(exc), file=sys.stderr)
+            client.wait_done(args.url, submission_id, timeout=remaining)
     if args.out:
         path = write_bench(args.out, doc)
         print("wrote {}".format(path))
@@ -188,11 +225,37 @@ def _fetch_to(args, submission_id: str, name_hint: str) -> int:
     return 0
 
 
+def _fallback_local(args, spec, reason: str) -> int:
+    """Graceful degradation for ``submit --fallback local``: run the
+    spec through the offline parallel harness against the same
+    ``--cache-dir`` store the service would have used, and say so."""
+    print("service unreachable ({}); falling back to the local "
+          "parallel harness{}".format(
+              reason, " against {}".format(args.cache_dir)
+              if args.cache_dir else ""), file=sys.stderr)
+    rows, stats = run_sweep(spec, cache_dir=args.cache_dir)
+    doc = make_bench(args.name, rows, kind="sweep",
+                     spec=spec.to_dict(),
+                     cache={"hits": stats.hits, "misses": stats.misses})
+    if args.out is not None:
+        path = write_bench(args.out, doc)
+        print("wrote {} (local fallback)".format(path))
+    elif not args.quiet:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_submit(args) -> int:
     spec = spec_from_args(args)
     submission = SweepSubmission(spec=spec, name=args.name,
                                  owner=args.owner, priority=args.priority)
-    status = client.submit(args.url, submission)
+    try:
+        status = client.submit(args.url, submission,
+                               retries=args.retries)
+    except ServiceClientError as exc:
+        if args.fallback == "local" and exc.transient:
+            return _fallback_local(args, spec, str(exc))
+        raise
     if not args.quiet:
         print("submitted {} ({} cells)".format(
             status["id"], status["cells_total"]))
@@ -269,6 +332,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument("--compile-cache", default=None,
                        help="persistent compile-cache directory shared by "
                             "the spawned workers")
+    serve.add_argument("--chaos-plan", default=None, metavar="FILE",
+                       help="seeded FaultPlan JSON activated in the "
+                            "scheduler and every spawned worker "
+                            "(chaos testing; see repro.chaos)")
     obs_log.add_log_arguments(serve)
     serve.set_defaults(run=_cmd_serve)
 
@@ -290,6 +357,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     submit.add_argument("--out", default=None, metavar="DIR",
                         help="after finishing, fetch the artifact into "
                              "DIR (implies --wait)")
+    submit.add_argument("--retries", type=int, default=2,
+                        help="transient-failure retry budget per request "
+                             "(submit carries a content-derived "
+                             "idempotency key when > 0; default 2)")
+    submit.add_argument("--fallback", choices=("none", "local"),
+                        default="none",
+                        help="'local': if the service stays unreachable "
+                             "after the retry budget, run the sweep "
+                             "through the offline parallel harness "
+                             "instead (same --cache-dir store)")
+    submit.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory for --fallback "
+                             "local (use the service's store directory "
+                             "to share work)")
     submit.add_argument("--quiet", action="store_true")
     obs_log.add_log_arguments(submit)
     submit.set_defaults(run=_cmd_submit)

@@ -3,32 +3,107 @@
 Used by the worker process, the ``python -m repro.service`` CLI and the
 CI smoke scripts.  Pure ``urllib`` — no new dependencies, and errors
 surface as :class:`ServiceClientError` with the server's own message.
+
+Retry discipline
+    Every route the service exposes is idempotent — completes, fails,
+    releases and heartbeats by scheduler construction, ``/submit`` via
+    the submission's ``idempotency_key``, GETs trivially — so
+    :func:`request` accepts a ``retries`` budget: *transient* failures
+    (connection refused/reset, timeouts, truncated responses, 5xx)
+    retry with capped jittered exponential backoff, while definite
+    rejections (4xx) raise immediately.  The polling helpers
+    (:func:`wait_healthy`, :func:`wait_done`) use the same backoff
+    instead of fixed-interval busy-polling: cheap first probes, capped
+    intervals, unchanged deadline semantics.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from dataclasses import replace
+from typing import Dict, Iterator, Optional
 
 from ..errors import ReproError
 from ..harness.spec import SweepSubmission
+from ..obs import log as obs_log
+
+_log = obs_log.get_logger("repro.service.client")
+
+#: Default first backoff sleep and cap for request retries (seconds).
+RETRY_BACKOFF_BASE = 0.1
+RETRY_BACKOFF_CAP = 2.0
 
 
 class ServiceClientError(ReproError):
-    """HTTP-level failure talking to the sweep service."""
+    """HTTP-level failure talking to the sweep service.
+
+    ``status`` carries the HTTP status when one was received (None for
+    connection-level failures); ``transient`` is True when retrying
+    could plausibly succeed (timeouts, 5xx, torn responses) and False
+    for definite rejections (4xx).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 transient: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.transient = transient
+
+
+def backoff_intervals(base: float = RETRY_BACKOFF_BASE,
+                      cap: float = RETRY_BACKOFF_CAP,
+                      rng: Optional[random.Random] = None
+                      ) -> Iterator[float]:
+    """Capped exponential backoff with full jitter: each sleep is drawn
+    uniformly from ``(0, min(cap, base * 2**n)]``.  Jitter is wall-clock
+    shaping only — it never touches result bytes — so plain ``random``
+    is fine here where the simulation itself must use derived seeds."""
+    rng = rng or random
+    attempt = 0
+    while True:
+        ceiling = min(cap, base * (2.0 ** attempt))
+        yield ceiling * (0.5 + 0.5 * rng.random())
+        attempt += 1
 
 
 def request(url: str, method: str, path: str,
             payload: Optional[Dict] = None,
-            timeout: float = 60.0) -> Dict:
+            timeout: float = 60.0,
+            retries: int = 0,
+            backoff_base: float = RETRY_BACKOFF_BASE,
+            backoff_cap: float = RETRY_BACKOFF_CAP) -> Dict:
     """One JSON request against the service; returns the decoded body.
 
     Non-2xx responses raise :class:`ServiceClientError` carrying the
-    server's ``error`` message (connection failures likewise).
+    server's ``error`` message (connection failures likewise).  With
+    ``retries > 0``, transient failures are retried up to that many
+    times with jittered exponential backoff; 4xx rejections never
+    retry.  Only use a budget on idempotent requests — which every
+    service route is, provided ``/submit`` carries an idempotency key.
     """
+    last: Optional[ServiceClientError] = None
+    sleeps = backoff_intervals(backoff_base, backoff_cap)
+    for attempt in range(max(0, retries) + 1):
+        try:
+            return _request_once(url, method, path, payload, timeout)
+        except ServiceClientError as exc:
+            if not exc.transient or attempt >= retries:
+                raise
+            last = exc
+            pause = next(sleeps)
+            _log.debug("request_retry", method=method, path=path,
+                       attempt=attempt + 1, budget=retries,
+                       sleep_s=round(pause, 3), error=str(exc)[:160])
+            time.sleep(pause)
+    raise last  # pragma: no cover - loop always returns or raises
+
+
+def _request_once(url: str, method: str, path: str,
+                  payload: Optional[Dict], timeout: float) -> Dict:
     full = url.rstrip("/") + path
     data = None
     headers = {"Accept": "application/json"}
@@ -46,17 +121,21 @@ def request(url: str, method: str, path: str,
                 "error", str(exc))
         except Exception:
             message = str(exc)
-        raise ServiceClientError("{} {}: {}".format(
-            method, full, message)) from None
+        raise ServiceClientError(
+            "{} {}: {}".format(method, full, message),
+            status=exc.code, transient=exc.code >= 500) from None
     except (urllib.error.URLError, OSError, TimeoutError) as exc:
-        raise ServiceClientError("{} {}: {}".format(
-            method, full, exc)) from None
+        raise ServiceClientError(
+            "{} {}: {}".format(method, full, exc),
+            transient=True) from None
     try:
         return json.loads(raw.decode("utf-8")) if raw else {}
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # A syntactically broken body over a clean connection is a torn
+        # (truncated/dropped mid-body) response: transient.
         raise ServiceClientError(
             "{} {}: invalid JSON response: {}".format(
-                method, full, exc)) from None
+                method, full, exc), transient=True) from None
 
 
 def healthz(url: str, timeout: float = 5.0) -> bool:
@@ -68,28 +147,62 @@ def healthz(url: str, timeout: float = 5.0) -> bool:
 
 
 def wait_healthy(url: str, timeout: float = 30.0,
-                 interval: float = 0.2) -> None:
+                 interval: float = 0.2,
+                 max_interval: float = 2.0) -> None:
     """Block until ``/healthz`` answers (CI boots the service in the
-    background and needs a readiness barrier)."""
+    background and needs a readiness barrier).  Probes back off
+    exponentially from ``interval`` to ``max_interval`` with jitter;
+    the ``timeout`` deadline is unchanged."""
     deadline = time.monotonic() + timeout
+    sleeps = backoff_intervals(interval, max_interval)
     while time.monotonic() < deadline:
         if healthz(url):
             return
-        time.sleep(interval)
+        time.sleep(min(next(sleeps),
+                       max(0.0, deadline - time.monotonic())))
     raise ServiceClientError(
-        "service at {} not healthy within {:.0f}s".format(url, timeout))
+        "service at {} not healthy within {:.0f}s".format(url, timeout),
+        transient=True)
 
 
-def submit(url: str, submission: SweepSubmission) -> Dict:
-    return request(url, "POST", "/submit", submission.to_dict())
+def submit(url: str, submission: SweepSubmission,
+           retries: int = 0) -> Dict:
+    """Submit a sweep.  With a retry budget the submission is made
+    explicitly idempotent: if it carries no ``idempotency_key`` one is
+    derived from its content, so a retry after a lost response lands on
+    the original submission instead of creating a duplicate."""
+    if retries > 0 and submission.idempotency_key is None:
+        submission = replace(
+            submission,
+            idempotency_key=submission.content_idempotency_key())
+    return request(url, "POST", "/submit", submission.to_dict(),
+                   retries=retries)
 
 
-def status(url: str, submission_id: str) -> Dict:
-    return request(url, "GET", "/status/{}".format(submission_id))
+def status(url: str, submission_id: str, retries: int = 0) -> Dict:
+    return request(url, "GET", "/status/{}".format(submission_id),
+                   retries=retries)
 
 
-def fetch(url: str, submission_id: str) -> Dict:
-    return request(url, "GET", "/fetch/{}".format(submission_id))
+def fetch(url: str, submission_id: str, retries: int = 0) -> Dict:
+    return request(url, "GET", "/fetch/{}".format(submission_id),
+                   retries=retries)
+
+
+def release(url: str, worker: str, key: str, lease: str,
+            reason: str = "", retries: int = 0) -> Dict:
+    """Hand a leased cell back without completing or failing it."""
+    return request(url, "POST", "/release",
+                   {"worker": worker, "key": key, "lease": lease,
+                    "reason": reason}, retries=retries)
+
+
+def heartbeat(url: str, worker: str, key: str, lease: str,
+              timeout: float = 10.0) -> Dict:
+    """Extend a live lease (no retries: the next beat is the retry)."""
+    return request(url, "POST", "/heartbeat",
+                   {"worker": worker, "key": key, "lease": lease},
+                   timeout=timeout)
 
 
 def metrics(url: str) -> Dict:
@@ -106,17 +219,25 @@ def metrics_text(url: str, timeout: float = 60.0) -> str:
         with urllib.request.urlopen(req, timeout=timeout) as response:
             return response.read().decode("utf-8")
     except (urllib.error.URLError, OSError, TimeoutError) as exc:
-        raise ServiceClientError("GET {}: {}".format(full, exc)) \
-            from None
+        raise ServiceClientError("GET {}: {}".format(full, exc),
+                                 transient=True) from None
 
 
 def wait_done(url: str, submission_id: str, timeout: float = 600.0,
-              interval: float = 0.25) -> Dict:
+              interval: float = 0.25,
+              max_interval: float = 2.0,
+              poll_retries: int = 3) -> Dict:
     """Poll ``/status`` until the submission leaves ``running``; returns
-    the final status (state ``done`` or ``failed``)."""
+    the final status (state ``done`` or ``failed``).
+
+    Polls back off exponentially from ``interval`` to ``max_interval``
+    with jitter (deadline semantics unchanged), and each transient poll
+    failure — the status GET is idempotent — retries within
+    ``poll_retries`` instead of aborting the whole wait."""
     deadline = time.monotonic() + timeout
+    sleeps = backoff_intervals(interval, max_interval)
     while True:
-        current = status(url, submission_id)
+        current = status(url, submission_id, retries=poll_retries)
         if current["state"] != "running":
             return current
         if time.monotonic() >= deadline:
@@ -125,5 +246,6 @@ def wait_done(url: str, submission_id: str, timeout: float = 600.0,
                 "cells pending)".format(
                     submission_id, timeout,
                     current["cells_total"] - current["cells_done"],
-                    current["cells_total"]))
-        time.sleep(interval)
+                    current["cells_total"]), transient=True)
+        time.sleep(min(next(sleeps),
+                       max(0.0, deadline - time.monotonic())))

@@ -19,12 +19,24 @@ Worker routes
     to :data:`MAX_LEASE_WAIT` s) · ``POST /complete`` (``{"worker",
     "key", "lease", "result"}`` or ``{"stored": true}``, optionally
     plus ``"timings"`` = per-phase seconds) · ``POST /fail``
-    (``{"worker", "key", "lease", "error"}``).
+    (``{"worker", "key", "lease", "error"}``) · ``POST /release``
+    (``{"worker", "key", "lease", "reason"}`` — hand a lease back
+    without burning an attempt) · ``POST /heartbeat`` (``{"worker",
+    "key", "lease"}`` — extend a live lease's TTL).
 
 Errors map to JSON bodies: scheduler :class:`ServiceError` -> 400 with
 ``{"error": ...}`` (404 for unknown submissions), malformed requests ->
-400, unknown routes -> 404.  The module also ships the matching asyncio
-client (:func:`http_request`) used by the load benchmark and tests.
+400, unknown routes -> 404, and any unexpected exception -> 500 with
+the class name — one bad request must never take down the scheduler
+loop.  The module also ships the matching asyncio client
+(:func:`http_request`) used by the load benchmark and tests.
+
+When a chaos plan is active (:mod:`repro.chaos`) the *response* path is
+an injection site: ``drop`` closes the connection without answering
+(after the scheduler already processed the request — the retrying
+client exercises idempotency), ``delay`` sleeps ``arg`` seconds before
+answering, ``truncate`` sends half the advertised body, and
+``error_500`` substitutes an injected internal error.
 """
 
 from __future__ import annotations
@@ -35,10 +47,23 @@ from urllib.parse import parse_qs
 
 import asyncio
 
+from ..chaos import plan as chaos_plan
 from ..errors import ReproError
 from ..harness.spec import SweepSubmission
+from ..obs import log as obs_log
+from ..obs import metrics as _metrics
 from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
 from .scheduler import Scheduler, ServiceError
+
+_log = obs_log.get_logger("repro.service.http")
+
+#: Every response attempt, including ones a chaos ``drop`` swallows —
+#: the denominator that turns ``repro_chaos_injected_total`` drop
+#: counts into a dropped-response *fraction* (the chaos soak's ">= 5%
+#: of responses dropped" floor needs both sides of the ratio).
+_responses_total = _metrics.counter(
+    "repro_http_responses_total",
+    "HTTP responses attempted by this server (dropped ones included)")
 
 #: Upper bound on one /lease long-poll; workers just poll again.
 MAX_LEASE_WAIT = 30.0
@@ -106,7 +131,31 @@ class ServiceServer:
                 status, payload = code, {"error": str(exc)}
             except ReproError as exc:
                 status, payload = 400, {"error": str(exc)}
-            await _respond(writer, status, payload)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Catch-all: one poisoned request must never take the
+                # scheduler loop down.  The client gets a 500 with the
+                # class name; the details go to the structured log.
+                _log.error("request_crashed", method=method, path=path,
+                           error=type(exc).__name__,
+                           detail=str(exc)[:200])
+                status, payload = 500, {
+                    "error": "internal error: {}".format(
+                        type(exc).__name__)}
+            truncate = False
+            _responses_total.inc()
+            injector = chaos_plan.active()
+            if injector is not None:
+                action = await _chaos_response_fault(injector, path)
+                if action == "drop":
+                    return
+                if action == "error_500":
+                    status, payload = 500, {
+                        "error": "injected internal error "
+                                 "(chaos error_500)"}
+                truncate = action == "truncate"
+            await _respond(writer, status, payload, truncate=truncate)
         except ConnectionError:
             pass
         except asyncio.CancelledError:
@@ -143,7 +192,7 @@ class ServiceServer:
             if len(parts) == 2 and parts[0] == "status":
                 return 200, scheduler.status(parts[1])
             if len(parts) == 2 and parts[0] == "fetch":
-                return 200, scheduler.fetch(parts[1])
+                return 200, await scheduler.fetch(parts[1])
         elif method == "POST":
             if body is None:
                 raise _BadRequest("{} needs a JSON body".format(path))
@@ -177,7 +226,39 @@ class ServiceServer:
                     _field(body, "key", str),
                     _field(body, "lease", str),
                     error=_field(body, "error", str))
+            if parts == ["release"]:
+                return 200, await scheduler.release(
+                    _field(body, "worker", str),
+                    _field(body, "key", str),
+                    _field(body, "lease", str),
+                    reason=str(body.get("reason", "")))
+            if parts == ["heartbeat"]:
+                return 200, await scheduler.heartbeat(
+                    _field(body, "worker", str),
+                    _field(body, "key", str),
+                    _field(body, "lease", str))
         return 404, {"error": "no route {} {}".format(method, path)}
+
+
+async def _chaos_response_fault(injector,
+                                path: str) -> Optional[str]:
+    """Pick (and pre-apply) this response's injected fault, if any.
+
+    ``delay`` composes with the others and is applied here; the caller
+    acts on the returned ``drop``/``truncate``/``error_500``.  Decisions
+    are keyed by route plus that route's response ordinal, so a plan
+    replays the same drops on the same traffic shape.
+    """
+    route = path.partition("?")[0].strip("/").split("/")[0] or "root"
+    rule = injector.decide("http", "delay", route,
+                           injector.seq("http", "delay", route))
+    if rule is not None:
+        await asyncio.sleep(float(rule.arg))
+    for fault in ("drop", "truncate", "error_500"):
+        if injector.decide("http", fault, route,
+                           injector.seq("http", fault, route)):
+            return fault
+    return None
 
 
 class _BadRequest(ReproError):
@@ -210,6 +291,9 @@ async def _read_request(reader: asyncio.StreamReader
         name, _, value = line.partition(":")
         if name.strip().lower() == "content-length":
             content_length = int(value.strip())
+    if content_length < 0:
+        raise _BadRequest("negative content-length ({})".format(
+            content_length))
     if content_length > MAX_BODY_BYTES:
         raise _BadRequest("body too large ({} bytes)".format(
             content_length))
@@ -227,7 +311,8 @@ async def _read_request(reader: asyncio.StreamReader
 
 
 async def _respond(writer: asyncio.StreamWriter, status: int,
-                   payload: Union[Dict, str]) -> None:
+                   payload: Union[Dict, str],
+                   truncate: bool = False) -> None:
     reasons = {200: "OK", 201: "Created", 400: "Bad Request",
                404: "Not Found", 500: "Internal Server Error"}
     if isinstance(payload, str):
@@ -243,6 +328,10 @@ async def _respond(writer: asyncio.StreamWriter, status: int,
             "Connection: close\r\n\r\n").format(
                 status, reasons.get(status, "OK"), content_type,
                 len(body))
+    if truncate:
+        # Chaos 'truncate': advertise the full length, deliver half.
+        # The client's JSON decode fails and it must retry.
+        body = body[:len(body) // 2]
     writer.write(head.encode("latin-1") + body)
     await writer.drain()
 

@@ -29,6 +29,22 @@ Leases and crash resume
     exactly once per death) until ``max_attempts`` is reached.  Results
     are pure functions of the cell key, so a late complete from a
     presumed-dead worker is accepted idempotently, never a conflict.
+
+Hardening (the chaos-fabric contract)
+    ``heartbeat`` lets a slow-but-alive worker extend its lease, so
+    TTL expiry distinguishes *dead* from *slow*; ``release`` hands a
+    lease back voluntarily (graceful drain, ENOSPC) without burning a
+    retry attempt or recording a failure.  ``submit`` deduplicates
+    retried requests via the submission's ``idempotency_key``, and its
+    store probe checksum-verifies the first sight of every key — a
+    bit-rotted entry quarantines and recomputes instead of being
+    served.  ``fetch`` requeues any cell the store lost (pruned or
+    quarantined) and tells the client to retry, so corruption costs
+    time, never correctness.  When a chaos plan is active
+    (:mod:`repro.chaos`) the scheduler is itself an injection site:
+    ``clock_skew`` ages leases artificially during the expiry sweep
+    and ``duplicate_complete`` re-delivers a complete to prove
+    idempotency.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 import asyncio
 
+from ..chaos import plan as chaos_plan
 from ..errors import ReproError
 from ..harness.benchjson import make_bench
 from ..harness.parallel import CellResult, SweepTask, tasks_from_spec
@@ -78,6 +95,10 @@ class ServiceCounters:
     completes: int = 0
     late_completes: int = 0
     failures: int = 0
+    releases: int = 0
+    heartbeats: int = 0
+    fetch_requeues: int = 0
+    idempotent_replays: int = 0
     max_queue_depth: int = 0
 
     def hits(self) -> int:
@@ -143,7 +164,7 @@ class _Submission:
 
     def status(self) -> Dict[str, object]:
         total = len(self.keys)
-        return {
+        data = {
             "id": self.id,
             "name": self.submission.name,
             "owner": self.submission.owner,
@@ -161,6 +182,10 @@ class _Submission:
                               for phase in sorted(self.phase_seconds)},
             "cells_timed": self.cells_timed,
         }
+        if self.submission.idempotency_key is not None:
+            # Echoed so a retrying client can confirm its key matched.
+            data["idempotency_key"] = self.submission.idempotency_key
+        return data
 
 
 class Scheduler:
@@ -200,6 +225,11 @@ class Scheduler:
         self._submission_seq = 0
         self._inflight: Dict[str, int] = {}
         self._workers: Dict[str, Dict[str, object]] = {}
+        #: keys whose store entry this scheduler has checksum-verified
+        #: at least once (later probes downgrade to a cheap stat).
+        self._verified: set = set()
+        #: idempotency_key -> submission id, for retry-safe /submit.
+        self._idempotency: Dict[str, str] = {}
         #: seconds from job enqueue to lease grant (volatile telemetry).
         self.lease_latencies: List[float] = []
 
@@ -207,18 +237,34 @@ class Scheduler:
 
     async def submit(self, submission: SweepSubmission) -> Dict[str, object]:
         """Accept a submission: shard, dedupe, enqueue.  Returns the
-        initial status dict (possibly already ``done`` on a warm store)."""
+        initial status dict (possibly already ``done`` on a warm store).
+
+        A submission carrying an ``idempotency_key`` the scheduler has
+        already accepted returns the *original* submission's status
+        (flagged ``resubmitted``) instead of creating a duplicate —
+        the retry-safety contract behind the client's submit retries.
+        """
         tasks = tasks_from_spec(submission.spec)
         if not tasks:
             raise ServiceError("submission resolves to an empty grid")
-        self._submission_seq += 1
-        sid = "s{:06d}".format(self._submission_seq)
         keys = [task.cache_key() for task in tasks]
-        record = _Submission(id=sid, submission=submission, tasks=tasks,
-                             keys=keys, pending=set())
-        self.counters.submissions += 1
-        self.counters.cells_total += len(tasks)
+        idem = submission.idempotency_key
         async with self._work:
+            if idem is not None and idem in self._idempotency:
+                original = self._submissions.get(self._idempotency[idem])
+                if original is not None:
+                    self.counters.idempotent_replays += 1
+                    replay = original.status()
+                    replay["resubmitted"] = True
+                    return replay
+            self._submission_seq += 1
+            sid = "s{:06d}".format(self._submission_seq)
+            record = _Submission(id=sid, submission=submission,
+                                 tasks=tasks, keys=keys, pending=set())
+            self.counters.submissions += 1
+            self.counters.cells_total += len(tasks)
+            if idem is not None:
+                self._idempotency[idem] = sid
             fresh = 0
             for task, key in zip(tasks, keys):
                 if key in self._failed:
@@ -236,7 +282,7 @@ class Scheduler:
                         job.priority = submission.priority
                         if job.state == "queued":
                             self._push_job(job)
-                elif self.store.has(key):
+                elif self._store_has_verified(key):
                     record.store_hits += 1
                     self.counters.store_hits += 1
                 else:
@@ -261,6 +307,18 @@ class Scheduler:
                 self._work.notify_all()
         return record.status()
 
+    def _store_has_verified(self, key: str) -> bool:
+        """Submit-time store probe that trusts no stat: the first sight
+        of each key actually loads and checksum-verifies the entry (a
+        corrupt one is quarantined by the store and reported as a miss
+        here, so it recomputes); later probes are cheap stats."""
+        if key in self._verified:
+            return self.store.has(key)
+        if self.store.get(key) is not None:
+            self._verified.add(key)
+            return True
+        return False
+
     def status(self, submission_id: str) -> Dict[str, object]:
         record = self._submissions.get(submission_id)
         if record is None:
@@ -268,13 +326,19 @@ class Scheduler:
                 submission_id, sorted(self._submissions)))
         return record.status()
 
-    def fetch(self, submission_id: str) -> Dict[str, object]:
+    async def fetch(self, submission_id: str) -> Dict[str, object]:
         """Assemble the finished submission's BENCH document.
 
         Rows come from :func:`~repro.harness.sweep.sweep_rows` over the
         *stored* cells — the exact code path of the offline sweep CLI —
         so ``results_sha256`` is byte-identical to a serial
         ``run_suite``/sweep of the same spec.
+
+        Every cell is loaded through the store's checksum verification;
+        a cell the store lost since completion (pruned, or bit-rotted
+        and quarantined by the read) is **requeued for recompute** and
+        the fetch raises a retryable :class:`ServiceError` — the
+        submission goes back to ``running`` until the cell lands again.
         """
         record = self._submissions.get(submission_id)
         if record is None:
@@ -286,20 +350,51 @@ class Scheduler:
                     submission_id, record.state, len(record.pending),
                     len(record.keys)))
         results: Dict[Tuple[str, str, float, int], CellResult] = {}
+        lost: List[Tuple[SweepTask, str]] = []
         for task, key in zip(record.tasks, record.keys):
             cell = self.store.get(key)
             if cell is None:
-                raise ServiceError(
-                    "store lost cell {} of submission {} (pruned "
-                    "store? resubmit to recompute)".format(
-                        key[:12], submission_id))
-            results[task.key()] = cell
+                lost.append((task, key))
+            else:
+                results[task.key()] = cell
+        if lost:
+            await self._requeue_lost(record, lost)
+            raise ServiceError(
+                "store lost {} cell(s) of submission {} (pruned or "
+                "quarantined); requeued for recompute — poll status "
+                "and retry the fetch".format(len(lost), submission_id))
         rows = sweep_rows(record.tasks, results)
         return make_bench(
             record.submission.name, rows, kind="sweep",
             spec=record.submission.spec.to_dict(),
             cache={"hits": record.store_hits + record.dedup_hits,
                    "misses": record.misses})
+
+    async def _requeue_lost(self, record: _Submission,
+                            lost: List[Tuple[SweepTask, str]]) -> None:
+        """Put cells the store lost back into the job table on behalf of
+        ``record`` (they re-run through the normal lease machinery)."""
+        async with self._work:
+            fresh = 0
+            for task, key in lost:
+                self._verified.discard(key)
+                record.pending.add(key)
+                self.counters.fetch_requeues += 1
+                job = self._jobs.get(key)
+                if job is not None:
+                    if record.id not in job.waiters:
+                        job.waiters.append(record.id)
+                    continue
+                job = _Job(key=key, task=task,
+                           owner=record.submission.owner,
+                           priority=record.submission.priority,
+                           waiters=[record.id],
+                           enqueued_at=time.monotonic())
+                self._jobs[key] = job
+                self._push_job(job)
+                fresh += 1
+            if fresh:
+                self._work.notify_all()
 
     # -- worker side -------------------------------------------------------
 
@@ -415,23 +510,37 @@ class Scheduler:
             raise ServiceError(
                 "worker {} reported stored={} but the store has no "
                 "entry".format(worker, key[:12]))
-        async with self._work:
-            job = self._jobs.pop(key, None)
-            if job is None:
-                # Job already finished (another worker's late double) —
-                # the store write above was idempotent; just count it.
-                self.counters.late_completes += 1
-                return {"ok": True, "late": True}
-            late = job.lease_id != lease or job.state != "leased"
-            if late:
-                self.counters.late_completes += 1
-            self._release_charge(job)
-            self.counters.completes += 1
-            if timings:
-                self._record_timings(job, timings)
-            self._finish(job, error=None)
-            self._work.notify_all()  # a quota slot freed up
-        return {"ok": True, "late": late}
+        injector = chaos_plan.active()
+        deliveries = 1
+        if injector is not None and injector.decide(
+                "scheduler", "duplicate_complete", key, lease):
+            # A retried request whose first delivery actually landed:
+            # process the complete twice and let idempotency absorb it.
+            deliveries = 2
+        reply: Dict[str, object] = {}
+        for delivery in range(deliveries):
+            async with self._work:
+                job = self._jobs.pop(key, None)
+                if job is None:
+                    # Job already finished (another worker's late
+                    # double) — the store write above was idempotent;
+                    # just count it.
+                    self.counters.late_completes += 1
+                    if not delivery:
+                        reply = {"ok": True, "late": True}
+                    continue
+                late = job.lease_id != lease or job.state != "leased"
+                if late:
+                    self.counters.late_completes += 1
+                self._release_charge(job)
+                self.counters.completes += 1
+                if timings:
+                    self._record_timings(job, timings)
+                self._finish(job, error=None)
+                self._work.notify_all()  # a quota slot freed up
+            if not delivery:
+                reply = {"ok": True, "late": late}
+        return reply
 
     async def fail(self, worker: str, key: str, lease: str,
                    error: str) -> Dict[str, object]:
@@ -449,6 +558,45 @@ class Scheduler:
             self._finish(job, error=error)
             self._work.notify_all()
         return {"ok": True, "late": False}
+
+    async def release(self, worker: str, key: str, lease: str,
+                      reason: str = "") -> Dict[str, object]:
+        """Hand a leased cell back voluntarily (graceful SIGTERM drain,
+        ENOSPC on the store write).  The job requeues at its original
+        priority; unlike expiry this consumes no retry attempt and
+        records no failure — the environment hiccuped, not the cell."""
+        async with self._work:
+            job = self._jobs.get(key)
+            if job is None or job.state != "leased" or \
+                    job.lease_id != lease:
+                self.counters.late_completes += 1
+                return {"ok": True, "late": True}
+            self._release_charge(job)
+            self.counters.releases += 1
+            job.attempts = max(0, job.attempts - 1)
+            job.lease_id = None
+            job.lease_worker = None
+            job.state = "queued"
+            job.enqueued_at = time.monotonic()
+            self._push_job(job)
+            self._work.notify_all()
+        return {"ok": True, "late": False, "reason": reason}
+
+    async def heartbeat(self, worker: str, key: str,
+                        lease: str) -> Dict[str, object]:
+        """A mid-cell liveness signal: extends the lease a full TTL so
+        the expiry sweep can tell *slow* (heartbeating) from *dead*
+        (silent) before giving the cell away."""
+        async with self._work:
+            self.counters.heartbeats += 1
+            seen = self._workers.setdefault(worker, {"leases": 0})
+            seen["last_heartbeat"] = time.time()
+            job = self._jobs.get(key)
+            extended = (job is not None and job.state == "leased"
+                        and job.lease_id == lease)
+            if extended:
+                job.lease_deadline = time.monotonic() + self.lease_ttl
+        return {"ok": True, "extended": extended}
 
     def _record_timings(self, job: _Job,
                         timings: Dict[str, float]) -> None:
@@ -485,6 +633,16 @@ class Scheduler:
         """Requeue every job whose lease deadline passed; returns how
         many were re-leased (or failed out after ``max_attempts``)."""
         now = time.monotonic()
+        injector = chaos_plan.active()
+        if injector is not None:
+            rule = injector.decide("scheduler", "clock_skew",
+                                   injector.seq("clock_skew"))
+            if rule is not None:
+                # The expiry clock jumps forward: leases age early, so
+                # live-but-slow workers get re-leased and their eventual
+                # completes land late — exactly the skew the idempotent
+                # complete path must absorb.
+                now += float(rule.arg)
         expired = 0
         async with self._work:
             for job in list(self._jobs.values()):
@@ -577,6 +735,11 @@ class Scheduler:
             ("completes", "repro_service_completes_total"),
             ("late_completes", "repro_service_late_completes_total"),
             ("failures", "repro_service_failures_total"),
+            ("releases", "repro_service_releases_total"),
+            ("heartbeats", "repro_service_heartbeats_total"),
+            ("fetch_requeues", "repro_service_fetch_requeues_total"),
+            ("idempotent_replays",
+             "repro_service_idempotent_replays_total"),
         )
         lines: List[str] = []
         for attr, full in counter_names:

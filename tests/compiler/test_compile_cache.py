@@ -10,6 +10,7 @@ from repro.compiler import compile_circuit, run_circuit
 from repro.compiler.cache import (COMPILE_CACHE_VERSION, CompileCache,
                                   cached_compile, compile_cache_totals,
                                   compile_key)
+from repro.diskcache import PickleDirStore
 from repro.isa import decoded
 from repro.sim.config import SimulationConfig
 
@@ -130,10 +131,13 @@ class TestIntegrity:
         deserializes into a live compilation."""
         cache, circuit = self._warm(tmp_path)
         key = compile_key(circuit)
-        payload = pickle.loads(
-            (tmp_path / (key + ".pkl")).read_bytes())
+        # Round-trip through the plain base store so the rewritten entry
+        # carries a *valid* checksum envelope — this must be a version
+        # miss, not an integrity quarantine.
+        raw_store = PickleDirStore(str(tmp_path))
+        payload = raw_store.get(key)
         payload["version"] = COMPILE_CACHE_VERSION + 1
-        (tmp_path / (key + ".pkl")).write_bytes(pickle.dumps(payload))
+        raw_store.put(key, payload)
         assert cache.get(key) is None
         before = compile_cache_totals()
         cached_compile(circuit, cache=cache)

@@ -295,7 +295,7 @@ class TestFetch:
             status = await scheduler.submit(SweepSubmission(
                 spec=tiny_spec, name="tiny"))
             await drain(scheduler)
-            return scheduler.fetch(status["id"])
+            return await scheduler.fetch(status["id"])
 
         doc = asyncio.run(scenario())
         reference = serial_bench(tiny_spec, name="tiny")
@@ -307,7 +307,7 @@ class TestFetch:
             scheduler = make_scheduler(tmp_path)
             status = await scheduler.submit(SweepSubmission(spec=tiny_spec))
             with pytest.raises(ServiceError):
-                scheduler.fetch(status["id"])
+                await scheduler.fetch(status["id"])
 
         asyncio.run(scenario())
 
@@ -316,7 +316,7 @@ class TestFetch:
         with pytest.raises(ServiceError):
             scheduler.status("s999999")
         with pytest.raises(ServiceError):
-            scheduler.fetch("s999999")
+            asyncio.run(scheduler.fetch("s999999"))
 
 
 class TestMetrics:
